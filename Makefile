@@ -1,0 +1,20 @@
+# Convenience targets; all assume the package is installed (see README).
+
+.PHONY: test bench validate calibrate examples all
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+validate:
+	repro-bench validate --scale 0.5 --iterations 2 --no-thermabox
+
+calibrate:
+	python scripts/calibrate.py
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null || exit 1; done
+
+all: test bench

@@ -1,0 +1,67 @@
+"""Future work (paper §VI): cooldown-phase ambient estimation accuracy.
+
+"Preliminary results on using the cooldown phase as an estimate of ambient
+temperature are encouraging."  This bench quantifies the claim on the
+simulated Nexus 5: probe accuracy across rooms and observation windows,
+plus the property the crowd pipeline actually relies on — that *relative*
+room differences are recovered almost exactly.
+"""
+
+from repro.core.ambient_estimation import cooldown_probe
+from repro.device.fleet import PAPER_FLEETS, build_device
+from repro.instruments.monsoon import MonsoonPowerMonitor
+from repro.thermal.ambient import ConstantAmbient
+
+AMBIENTS_C = (14.0, 22.0, 30.0, 38.0)
+WINDOWS_S = (300.0, 900.0)
+
+
+def probe(ambient_c: float, observe_s: float):
+    device = build_device(PAPER_FLEETS["Nexus 5"][1], initial_temp_c=ambient_c)
+    device.connect_supply(MonsoonPowerMonitor(3.8))
+    return cooldown_probe(
+        device, ConstantAmbient(ambient_c), observe_s=observe_s
+    )
+
+
+def test_ablation_ambient_estimator(benchmark):
+    def sweep():
+        return {
+            window: {ambient: probe(ambient, window) for ambient in AMBIENTS_C}
+            for window in WINDOWS_S
+        }
+
+    estimates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\n§VI ambient estimator accuracy (Nexus 5, heat-then-observe probe):")
+    for window, by_ambient in estimates.items():
+        errors = [
+            by_ambient[a].ambient_c - a for a in AMBIENTS_C
+        ]
+        print(
+            f"  observe {window:4.0f} s: errors "
+            + ", ".join(f"{e:+.1f}C" for e in errors)
+        )
+
+    long_window = estimates[WINDOWS_S[-1]]
+    # Absolute accuracy: within a few degrees, uncalibrated.
+    for ambient in AMBIENTS_C:
+        assert abs(long_window[ambient].ambient_c - ambient) < 4.0
+    # Relative accuracy: room-to-room differences within 1.5 °C per 8 °C
+    # true spacing — what strict filters and ranking need.
+    values = [long_window[a].ambient_c for a in AMBIENTS_C]
+    for (a_lo, v_lo), (a_hi, v_hi) in zip(
+        zip(AMBIENTS_C, values), zip(AMBIENTS_C[1:], values[1:])
+    ):
+        assert abs((v_hi - v_lo) - (a_hi - a_lo)) < 1.5
+    # A longer observation window does not hurt mean accuracy.
+    def mean_abs_error(window):
+        return sum(
+            abs(estimates[window][a].ambient_c - a) for a in AMBIENTS_C
+        ) / len(AMBIENTS_C)
+
+    assert mean_abs_error(WINDOWS_S[-1]) <= mean_abs_error(WINDOWS_S[0]) + 0.5
+    # Every fit is confident enough to pass the crowd filter.
+    for by_ambient in estimates.values():
+        for estimate in by_ambient.values():
+            assert estimate.is_confident(min_r_squared=0.9)

@@ -1,0 +1,86 @@
+"""Future work (paper §VI): recovering CPU bins by clustering.
+
+"In cases where there is no clear bin labels ... we plan to create our own
+bins by clustering the performance data using unstructured learning
+algorithms."  This bench runs a synthetic 18-unit Nexus 5 fleet through a
+shortened ACCUBENCH campaign, clusters the (performance, energy) features,
+and checks the recovered clusters align with the true voltage bins.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.clustering import choose_k, kmeans, silhouette_score
+from repro.core.config import AccubenchConfig
+from repro.core.experiments import fixed_frequency, unconstrained
+from repro.core.runner import CampaignConfig, CampaignRunner
+from repro.device.catalog import device_spec
+from repro.device.fleet import synthetic_fleet
+
+FLEET_SIZE = 18
+
+
+def run_campaign():
+    # Shorter phases: 18 units x 2 workloads is the expensive part.
+    config = CampaignConfig(
+        accubench=AccubenchConfig(
+            warmup_s=120.0, workload_s=180.0, cooldown_target_c=38.0,
+            cooldown_timeout_s=2700.0, iterations=2, dt=0.1,
+            trace_decimation=10,
+        ),
+        use_thermabox=False,
+    )
+    runner = CampaignRunner(config)
+    fleet = synthetic_fleet("Nexus 5", FLEET_SIZE, lot_name="cluster-lot")
+    true_bins = {d.serial: d.soc.bin_index for d in fleet}
+    perf = runner.run_fleet("Nexus 5", unconstrained(), devices=fleet)
+    # Rebuild the fleet for the second workload: same silicon (same
+    # serials/seed), fresh thermal state.
+    fleet2 = synthetic_fleet("Nexus 5", FLEET_SIZE, lot_name="cluster-lot")
+    energy = runner.run_fleet(
+        "Nexus 5", fixed_frequency(device_spec("Nexus 5")), devices=fleet2
+    )
+    return true_bins, perf, energy
+
+
+def test_ablation_bin_clustering(benchmark):
+    true_bins, perf, energy = benchmark.pedantic(
+        run_campaign, rounds=1, iterations=1
+    )
+    serials = perf.serials
+    features = [
+        [perf.by_serial(s).performance, energy.by_serial(s).energy_j]
+        for s in serials
+    ]
+    observed_bins = sorted({true_bins[s] for s in serials})
+    k = len(observed_bins)
+    result = kmeans(features, k=k, seed=1)
+    score = silhouette_score(features, result)
+
+    # Cluster -> majority true bin; count units agreeing with their
+    # cluster's majority label (purity).
+    by_cluster = {}
+    for serial, assignment in zip(serials, result.assignments):
+        by_cluster.setdefault(assignment, []).append(true_bins[serial])
+    agreeing = sum(
+        Counter(members).most_common(1)[0][1] for members in by_cluster.values()
+    )
+    purity = agreeing / len(serials)
+
+    auto_k, _ = choose_k(features, seed=1)
+
+    print(
+        f"\n§VI clustering: {len(serials)} synthetic Nexus 5 units, "
+        f"{k} true bins present"
+        f"\n  purity at true k: {purity:.0%}   silhouette {score:.2f}"
+        f"\n  silhouette-chosen k: {auto_k}"
+    )
+
+    # Clusters must align strongly with manufacturing bins.
+    assert purity >= 0.7
+    assert score > 0.3
+    # Energy separates bins even when performance alone would not: the
+    # energy feature must vary substantially across the fleet.
+    energies = [f[1] for f in features]
+    assert max(energies) / min(energies) > 1.1

@@ -1,0 +1,46 @@
+"""Ablation: cooldown target temperature vs repeatability.
+
+The cooldown phase "ensures that the workload phases of all experimental
+iterations across devices are run under similar thermal states."  A target
+close to ambient equalizes the chassis; a lax target lets each iteration
+start from whatever state the previous one left behind, hurting RSD.
+"""
+
+from repro.core.experiments import unconstrained
+from repro.core.protocol import Accubench
+from repro.core.results import DeviceResult
+from repro.device.fleet import PAPER_FLEETS, build_device
+from repro.instruments.monsoon import MonsoonPowerMonitor
+from benchmarks.conftest import bench_accubench_config
+
+TARGETS_C = (38.0, 46.0, 58.0)
+ITERATIONS = 4
+
+
+def rsd_for_target(target_c: float) -> float:
+    device = build_device(PAPER_FLEETS["Nexus 5"][2])
+    device.connect_supply(MonsoonPowerMonitor(3.8))
+    bench = Accubench(bench_accubench_config(cooldown_target_c=target_c))
+    results = tuple(
+        bench.run_iteration(device, unconstrained()) for _ in range(ITERATIONS)
+    )
+    summary = DeviceResult(
+        model="Nexus 5", serial=device.serial,
+        workload="UNCONSTRAINED", iterations=results,
+    )
+    return summary.performance_rsd
+
+
+def test_ablation_cooldown_target(benchmark):
+    def sweep():
+        return {target: rsd_for_target(target) for target in TARGETS_C}
+
+    rsds = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation — cooldown target vs iteration RSD:")
+    for target, rsd in rsds.items():
+        print(f"  target {target:.0f} C -> RSD {rsd:6.2%}")
+
+    # The paper-style tight target stays near the reported ~1.1% error.
+    assert rsds[TARGETS_C[0]] < 0.03
+    # A lax target is strictly worse than the tight one.
+    assert rsds[TARGETS_C[-1]] > rsds[TARGETS_C[0]]

@@ -1,0 +1,49 @@
+"""Ablation: what the warmup phase buys (paper Section III).
+
+"A problem with existing benchmarks is that they produce very different
+results on the same CPU depending on whether the CPU was previously idle
+or under use.  The warmup phase mitigates this."  Removing the warmup
+should widen the gap between a cold-start first iteration and the warm
+iterations that follow.
+"""
+
+import numpy as np
+
+from repro.core.experiments import unconstrained
+from repro.core.protocol import Accubench
+from repro.device.fleet import PAPER_FLEETS, build_device
+from repro.instruments.monsoon import MonsoonPowerMonitor
+from benchmarks.conftest import bench_accubench_config
+
+ITERATIONS = 4
+
+
+def first_iteration_bias(warmup_s: float) -> float:
+    """|first − steady| / steady over back-to-back iterations."""
+    device = build_device(PAPER_FLEETS["Nexus 5"][2])
+    device.connect_supply(MonsoonPowerMonitor(3.8))
+    bench = Accubench(bench_accubench_config(warmup_s=warmup_s))
+    scores = [
+        bench.run_iteration(device, unconstrained()).iterations_completed
+        for _ in range(ITERATIONS)
+    ]
+    steady = float(np.mean(scores[1:]))
+    return abs(scores[0] - steady) / steady
+
+
+def test_ablation_warmup_removes_cold_start_bias(benchmark):
+    def compare():
+        return {
+            "with warmup (180 s)": first_iteration_bias(180.0),
+            "without warmup (1 s)": first_iteration_bias(1.0),
+        }
+
+    biases = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print("\nAblation — first-iteration bias vs steady state:")
+    for label, bias in biases.items():
+        print(f"  {label:<22s} {bias:6.2%}")
+
+    with_warmup = biases["with warmup (180 s)"]
+    without = biases["without warmup (1 s)"]
+    assert without > with_warmup, "warmup should reduce cold-start bias"
+    assert with_warmup < 0.04, "paper-style warmup keeps bias within noise"

@@ -1,0 +1,57 @@
+"""Figure 1: Nexus 5 energy/performance/temperature across CPU bins.
+
+Fixed amount of work, unconstrained frequency: the figure's bin-4 chip
+consumed ~20% more energy while taking ~18% longer than bin-0, and once
+the 80 °C limit was hit one CPU core was shut down.
+"""
+
+import pytest
+
+from repro.core.protocol import Accubench
+from repro.device.fleet import FleetUnit, build_device
+from repro.instruments.monsoon import MonsoonPowerMonitor
+from repro.sim.engine import World
+from benchmarks.conftest import bench_accubench_config
+
+#: Enough work that a throttled chip shows its colours (~6 min on bin-0).
+WORK_ITERATIONS = 800.0
+
+
+def run_fixed_work(bin_index: int):
+    # The figure's bin-4 chip died mid-study (Section IV-A1); we place it
+    # conservatively toward its bin's slow edge.
+    unit = FleetUnit(
+        model="Nexus 5", serial=f"bin-{bin_index}",
+        bin_index=bin_index, bin_fraction=0.3,
+    )
+    device = build_device(unit)
+    device.connect_supply(MonsoonPowerMonitor(3.8))
+    bench = Accubench(bench_accubench_config(keep_traces=True))
+    return bench.run_fixed_work(device, WORK_ITERATIONS)
+
+
+def test_fig01_bin_energy(benchmark):
+    results = benchmark.pedantic(
+        lambda: {b: run_fixed_work(b) for b in (0, 4)}, rounds=1, iterations=1
+    )
+    bin0, bin4 = results[0], results[4]
+
+    time0, time4 = bin0.iterations_completed, bin4.iterations_completed
+    energy_excess = bin4.energy_j / bin0.energy_j - 1.0
+    time_excess = time4 / time0 - 1.0
+    print(
+        f"\nFig 1: bin-4 vs bin-0 at {WORK_ITERATIONS:.0f} iterations of work:"
+        f"\n  energy {bin4.energy_j:.0f} J vs {bin0.energy_j:.0f} J "
+        f"(+{energy_excess:.1%}; paper ~20%)"
+        f"\n  time   {time4:.0f} s vs {time0:.0f} s (+{time_excess:.1%}; paper ~18%)"
+        f"\n  peak die temp: bin-4 {bin4.max_cpu_temp_c:.1f} C, "
+        f"bin-0 {bin0.max_cpu_temp_c:.1f} C"
+    )
+
+    # Shape: bin-4 pays both in energy and in time, by tens of percent.
+    assert 0.08 <= energy_excess <= 0.40
+    assert 0.05 <= time_excess <= 0.40
+    # The thermal hard limit engages: the trace sees fewer than 4 cores.
+    online = bin4.trace.column("online_cores")
+    assert online.min() < 4, "expected the 80 C core-shutdown to engage"
+    assert bin4.max_cpu_temp_c >= 79.0

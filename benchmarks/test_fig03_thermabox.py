@@ -1,0 +1,52 @@
+"""Figure 3: the THERMABOX controlled thermal environment.
+
+The paper's chamber holds 26 ± 0.5 °C around a running phone.  This bench
+reproduces the regulation behaviour: settle from a cool room, then hold
+the band for half an hour while the device under test dumps heat inside.
+"""
+
+from repro.instruments.thermabox import Thermabox, ThermaboxConfig
+
+ROOM_C = 22.0
+HOLD_S = 1800
+DEVICE_LOAD_W = 4.0
+
+
+def regulation_trace():
+    box = Thermabox(ThermaboxConfig(), initial_temp_c=ROOM_C)
+    box.wait_until_stable(ROOM_C)
+    errors = []
+    for _ in range(HOLD_S):
+        box.step(ROOM_C, 1.0, load_w=DEVICE_LOAD_W)
+        errors.append(box.air_temp_c - box.config.target_c)
+    return box, errors
+
+
+def test_fig03_thermabox_regulation(benchmark):
+    box, errors = benchmark.pedantic(regulation_trace, rounds=1, iterations=1)
+    worst = max(abs(e) for e in errors)
+    mean_error = sum(errors) / len(errors)
+    heater_duty = box.heater_duty_seconds / (HOLD_S + 1e-9)
+
+    print(
+        f"\nFig 3: THERMABOX holding {box.config.target_c} C against a "
+        f"{ROOM_C} C room with a {DEVICE_LOAD_W} W device inside:"
+        f"\n  worst excursion {worst:.2f} C (spec ±{box.config.tolerance_c} C)"
+        f"\n  mean error {mean_error:+.3f} C"
+        f"\n  heater duty {heater_duty:.1%}, compressor duty "
+        f"{box.cooler_duty_seconds / HOLD_S:.1%}"
+    )
+
+    assert worst <= box.config.tolerance_c
+    assert abs(mean_error) < 0.3
+
+
+def test_fig03_thermabox_settles_from_hot_room(benchmark):
+    def settle():
+        box = Thermabox(ThermaboxConfig(), initial_temp_c=31.0)
+        return box.wait_until_stable(room_temp_c=29.0), box
+
+    settle_s, box = benchmark.pedantic(settle, rounds=1, iterations=1)
+    print(f"\nFig 3 (settle): from 31 C in a 29 C room: stable in {settle_s:.0f} s")
+    assert box.is_within_band()
+    assert settle_s < 1800.0

@@ -1,0 +1,59 @@
+"""Figure 4: ACCUBENCH stages during an UNCONSTRAINED workload (Nexus 5).
+
+The figure shows the die temperature trace across warmup → cooldown →
+workload, with the CPU "beginning to throttle very quickly during the
+warmup and workload phases" and the cooldown normalizing thermal state.
+"""
+
+import numpy as np
+
+from repro.core.experiments import unconstrained
+from repro.core.protocol import Accubench
+from repro.device.fleet import PAPER_FLEETS, build_device
+from repro.instruments.monsoon import MonsoonPowerMonitor
+from benchmarks.conftest import bench_accubench_config
+
+
+def run_protocol():
+    device = build_device(PAPER_FLEETS["Nexus 5"][2])
+    device.connect_supply(MonsoonPowerMonitor(3.8))
+    bench = Accubench(bench_accubench_config(keep_traces=True))
+    return bench.run_iteration(device, unconstrained())
+
+
+def test_fig04_stages_unconstrained(benchmark):
+    result = benchmark.pedantic(run_protocol, rounds=1, iterations=1)
+    trace = result.trace
+
+    lines = ["\nFig 4: ACCUBENCH phases (UNCONSTRAINED, Nexus 5 bin-2):"]
+    for span in trace.phases:
+        temps = trace.window(span.start_s, span.end_s, "cpu_temp")
+        steps = trace.window(span.start_s, span.end_s, "throttle_steps")
+        lines.append(
+            f"  {span.name:<9s} {span.duration_s:6.0f} s   "
+            f"die {temps.min():5.1f}..{temps.max():5.1f} C   "
+            f"throttled {np.mean(steps > 0):5.1%} of samples"
+        )
+    print("\n".join(lines))
+
+    warmup = trace.phase("warmup")
+    cooldown = trace.phase("cooldown")
+    workload = trace.phase("workload")
+
+    # Warmup heats the die from near-ambient into throttling territory.
+    warmup_temps = trace.window(warmup.start_s, warmup.end_s, "cpu_temp")
+    assert warmup_temps.max() > 70.0
+    assert (trace.window(warmup.start_s, warmup.end_s, "throttle_steps") > 0).any()
+
+    # Cooldown ends at the target temperature.
+    cooldown_temps = trace.window(cooldown.start_s, cooldown.end_s, "cpu_temp")
+    assert cooldown_temps[-1] <= bench_accubench_config().cooldown_target_c + 1.0
+
+    # Workload throttles again (the figure's second sawtooth region).
+    workload_steps = trace.window(workload.start_s, workload.end_s, "throttle_steps")
+    assert (workload_steps > 0).any()
+    assert result.time_throttled_s > 30.0
+
+    # Device suspends during cooldown (wakelock released).
+    asleep = trace.window(cooldown.start_s, cooldown.end_s, "asleep")
+    assert asleep.mean() > 0.95

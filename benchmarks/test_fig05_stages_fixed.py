@@ -1,0 +1,43 @@
+"""Figure 5: thermal behaviour during a FIXED-FREQUENCY workload (Nexus 5).
+
+"Due to a low frequency, the device never heats up to throttling levels" —
+the trace stays far below the mitigation thresholds for the whole
+protocol's workload phase.
+"""
+
+from repro.core.experiments import fixed_frequency
+from repro.core.protocol import Accubench
+from repro.device.catalog import device_spec
+from repro.device.fleet import PAPER_FLEETS, build_device
+from repro.instruments.monsoon import MonsoonPowerMonitor
+from benchmarks.conftest import bench_accubench_config
+
+
+def run_protocol():
+    device = build_device(PAPER_FLEETS["Nexus 5"][2])
+    device.connect_supply(MonsoonPowerMonitor(3.8))
+    bench = Accubench(bench_accubench_config(keep_traces=True))
+    return bench.run_iteration(device, fixed_frequency(device_spec("Nexus 5")))
+
+
+def test_fig05_stages_fixed_frequency(benchmark):
+    result = benchmark.pedantic(run_protocol, rounds=1, iterations=1)
+    trace = result.trace
+    workload = trace.phase("workload")
+    temps = trace.window(workload.start_s, workload.end_s, "cpu_temp")
+    freqs = trace.window(workload.start_s, workload.end_s, "freq")
+
+    print(
+        f"\nFig 5: FIXED-FREQUENCY at 960 MHz (Nexus 5 bin-2):"
+        f"\n  workload die temp {temps.min():.1f}..{temps.max():.1f} C "
+        f"(throttle trip {device_spec('Nexus 5').throttle.throttle_temp_c} C)"
+        f"\n  frequency held at {freqs.min():.0f}..{freqs.max():.0f} MHz"
+        f"\n  throttled time: {result.time_throttled_s:.0f} s"
+    )
+
+    trip = device_spec("Nexus 5").throttle.throttle_temp_c
+    assert temps.max() < trip - 10.0, "fixed frequency must stay far from the trip"
+    assert result.time_throttled_s == 0.0
+    assert freqs.min() == freqs.max() == 960.0
+    # The workload phase still does real work.
+    assert result.iterations_completed > 0

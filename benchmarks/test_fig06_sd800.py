@@ -1,0 +1,42 @@
+"""Figures 6a/6b: process variation in the SD-800 (Nexus 5).
+
+UNCONSTRAINED: bin-0 fastest, ~14% over bin-3.  FIXED-FREQUENCY: bin-0
+uses ~19% less energy than bin-3 — despite having the highest operating
+voltage of all bins, the paper's counterintuitive headline.
+"""
+
+from repro.core.paper_targets import TABLE2_TARGETS, in_band
+from repro.core.reporting import render_experiment
+
+
+def test_fig06_sd800_variation(study, benchmark):
+    performance, energy = study["Nexus 5"]
+
+    def analyze():
+        return (
+            performance.performance_variation,
+            energy.energy_variation,
+            performance.best_serial,
+            energy.most_efficient_serial,
+        )
+
+    perf_var, energy_var, fastest, leanest = benchmark(analyze)
+
+    print("\n" + render_experiment(performance, "performance"))
+    print(render_experiment(energy, "energy"))
+    print(
+        f"Fig 6: perf variation {perf_var:.1%} (paper 14%), "
+        f"energy variation {energy_var:.1%} (paper 19%)"
+    )
+
+    target = TABLE2_TARGETS["Nexus 5"]
+    assert in_band(perf_var, target.performance_band)
+    assert in_band(energy_var, target.energy_band)
+    # Bin-0 wins both, highest voltage notwithstanding.
+    assert fastest == "bin-0"
+    assert leanest == "bin-0"
+    # Ordering is monotone in bin index on both axes.
+    perfs = [performance.by_serial(f"bin-{i}").performance for i in range(4)]
+    energies = [energy.by_serial(f"bin-{i}").energy_j for i in range(4)]
+    assert perfs == sorted(perfs, reverse=True)
+    assert energies == sorted(energies)

@@ -1,0 +1,35 @@
+"""Figures 7a/7b: process variation in the SD-810 (Nexus 6P).
+
+Device-363 exhibited ~10% lower performance and ~12% more energy than
+device-793, with no extractable bins (RBCPR adaptive voltage; every unit
+reports "speed-bin 0").
+"""
+
+from repro.core.paper_targets import TABLE2_TARGETS, in_band
+from repro.core.reporting import render_experiment
+
+
+def test_fig07_sd810_variation(study, benchmark):
+    performance, energy = study["Nexus 6P"]
+
+    def analyze():
+        return performance.performance_variation, energy.energy_variation
+
+    perf_var, energy_var = benchmark(analyze)
+
+    print("\n" + render_experiment(performance, "performance"))
+    print(render_experiment(energy, "energy"))
+    print(
+        f"Fig 7: perf variation {perf_var:.1%} (paper 10%), "
+        f"energy variation {energy_var:.1%} (paper 12%)"
+    )
+
+    target = TABLE2_TARGETS["Nexus 6P"]
+    assert in_band(perf_var, target.performance_band)
+    assert in_band(energy_var, target.energy_band)
+    # The paper's named units keep their roles.
+    assert performance.best_serial == "device-793"
+    assert performance.worst_serial == "device-363"
+    assert energy.most_efficient_serial == "device-793"
+    worst_energy = max(energy.energies_j(), key=energy.energies_j().get)
+    assert worst_energy == "device-363"

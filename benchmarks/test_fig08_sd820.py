@@ -1,0 +1,33 @@
+"""Figures 8a/8b: process variation in the SD-820 (LG G5).
+
+Low performance variation (~4%) but clear energy variation (~10%) across
+the five units — 14 nm FinFET tamed the spread but did not erase it.
+"""
+
+from repro.core.paper_targets import TABLE2_TARGETS, in_band
+from repro.core.reporting import render_experiment
+
+
+def test_fig08_sd820_variation(study, benchmark):
+    performance, energy = study["LG G5"]
+
+    def analyze():
+        return performance.performance_variation, energy.energy_variation
+
+    perf_var, energy_var = benchmark(analyze)
+
+    print("\n" + render_experiment(performance, "performance"))
+    print(render_experiment(energy, "energy"))
+    print(
+        f"Fig 8: perf variation {perf_var:.1%} (paper 4%), "
+        f"energy variation {energy_var:.1%} (paper 10%)"
+    )
+
+    target = TABLE2_TARGETS["LG G5"]
+    assert in_band(perf_var, target.performance_band)
+    assert in_band(energy_var, target.energy_band)
+    # Energy spreads more than performance on this generation (the
+    # figure's defining feature).
+    assert energy_var > perf_var
+    # Five units, per the study.
+    assert len(performance.devices) == 5

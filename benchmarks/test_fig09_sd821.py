@@ -1,0 +1,35 @@
+"""Figures 9a/9b: process variation in the SD-821 (Google Pixel).
+
+"Very similar behavior to the SD-820": ~5% performance and ~9% energy
+variation across three units.
+"""
+
+from repro.core.paper_targets import TABLE2_TARGETS, in_band
+from repro.core.reporting import render_experiment
+
+
+def test_fig09_sd821_variation(study, benchmark):
+    performance, energy = study["Google Pixel"]
+
+    def analyze():
+        return performance.performance_variation, energy.energy_variation
+
+    perf_var, energy_var = benchmark(analyze)
+
+    print("\n" + render_experiment(performance, "performance"))
+    print(render_experiment(energy, "energy"))
+    print(
+        f"Fig 9: perf variation {perf_var:.1%} (paper 5%), "
+        f"energy variation {energy_var:.1%} (paper 9%)"
+    )
+
+    target = TABLE2_TARGETS["Google Pixel"]
+    assert in_band(perf_var, target.performance_band)
+    assert in_band(energy_var, target.energy_band)
+    # The units the paper names in Figure 11 keep their ordering here.
+    assert performance.by_serial("device-488").performance > performance.by_serial(
+        "device-653"
+    ).performance
+
+    # Like the SD-820: energy spreads more than performance.
+    assert energy_var > perf_var

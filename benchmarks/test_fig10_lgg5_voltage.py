@@ -1,0 +1,73 @@
+"""Figure 10: the LG G5's anomalous input-voltage throttling.
+
+Powering the G5 from a Monsoon set to the battery's *nominal* 3.85 V
+trips an OS policy that caps CPU frequency; at the battery's *maximum*
+4.4 V the device performs on par with battery power (≈20% faster).
+"""
+
+from repro.core.experiments import unconstrained
+from repro.core.runner import CampaignRunner
+from repro.device.battery import Battery
+from repro.device.fleet import PAPER_FLEETS, build_device
+from repro.sim.engine import World
+from repro.soc.perf import iterations_from_ops
+from benchmarks.conftest import bench_accubench_config, bench_campaign
+
+
+def run_monsoon(supply_voltage: float) -> float:
+    runner = CampaignRunner(bench_campaign(use_thermabox=False))
+    device = build_device(PAPER_FLEETS["LG G5"][2])
+    return runner.run_device(
+        device, unconstrained(), supply_voltage=supply_voltage
+    ).performance
+
+
+def run_battery() -> float:
+    """Battery-powered performance reference (manual protocol drive).
+
+    ACCUBENCH proper requires a Monsoon for energy accounting; the paper's
+    battery runs only compared *performance*, so this drives the same
+    warmup/cooldown/workload cycle directly.
+    """
+    config = bench_accubench_config()
+    device = build_device(PAPER_FLEETS["LG G5"][2])
+    device.connect_supply(Battery(device.spec.battery, state_of_charge=0.95))
+    world = World(device, dt=config.dt, trace_decimation=config.trace_decimation)
+
+    device.acquire_wakelock()
+    device.start_load()
+    world.run_for(config.warmup_s)
+    device.stop_load()
+    device.release_wakelock()
+    world.run_until(
+        lambda w: w.device.read_cpu_temp() <= config.cooldown_target_c,
+        check_every_s=config.cooldown_poll_s,
+        timeout_s=config.cooldown_timeout_s,
+    )
+    device.acquire_wakelock()
+    device.start_load()
+    ops_before = world.ops_total
+    world.run_for(config.workload_s)
+    return iterations_from_ops(world.ops_total - ops_before)
+
+
+def test_fig10_g5_input_voltage(benchmark):
+    def compare():
+        return run_monsoon(3.85), run_monsoon(4.40), run_battery()
+
+    nominal, maximum, battery = benchmark.pedantic(compare, rounds=1, iterations=1)
+    deficit = (maximum - nominal) / maximum
+    battery_gap = abs(maximum - battery) / battery
+
+    print(
+        f"\nFig 10: LG G5 performance"
+        f"\n  Monsoon 3.85 V : {nominal:7.0f} iterations  (throttled)"
+        f"\n  Monsoon 4.40 V : {maximum:7.0f} iterations"
+        f"\n  battery        : {battery:7.0f} iterations"
+        f"\n  3.85 V deficit {deficit:.1%} (paper ~20%); "
+        f"4.4 V vs battery gap {battery_gap:.1%} (paper: on par)"
+    )
+
+    assert 0.12 <= deficit <= 0.30
+    # At max voltage the Monsoon matches battery power, as the paper found.
+    assert battery_gap < 0.05

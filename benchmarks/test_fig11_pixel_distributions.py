@@ -1,0 +1,69 @@
+"""Figure 11: frequency/temperature distributions on two Google Pixels.
+
+Device-488 outperformed device-653 by ~7%, with the mean-frequency delta
+matching the performance delta.  Counterintuitively, the *faster* unit
+spent more time at high temperature — time-at-temperature alone does not
+predict throttling severity (paper Section IV-B).
+"""
+
+from repro.core.distributions import compare_pair, summarize_workload
+from repro.core.experiments import unconstrained
+from repro.core.protocol import Accubench
+from repro.device.fleet import PAPER_FLEETS, build_device
+from repro.instruments.monsoon import MonsoonPowerMonitor
+from benchmarks.conftest import bench_accubench_config
+
+
+def run_unit(index: int):
+    device = build_device(PAPER_FLEETS["Google Pixel"][index])
+    device.connect_supply(MonsoonPowerMonitor(3.85))
+    bench = Accubench(bench_accubench_config(keep_traces=True))
+    result = bench.run_iteration(device, unconstrained())
+    summary = summarize_workload(result.trace, device.serial, hot_threshold_c=72.0)
+    return result, summary
+
+
+def test_fig11_pixel_distributions(benchmark):
+    def run_pair():
+        return run_unit(0), run_unit(2)  # device-488, device-653
+
+    (res488, sum488), (res653, sum653) = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    comparison = compare_pair(sum488, sum653)
+    perf_delta = (
+        res488.iterations_completed - res653.iterations_completed
+    ) / res653.iterations_completed
+
+    print(
+        f"\nFig 11: Pixel device-488 vs device-653"
+        f"\n  perf delta        {perf_delta:6.1%} (paper ~7%)"
+        f"\n  mean freq delta   {comparison.mean_freq_delta:6.1%} "
+        f"({sum488.mean_freq_mhz:.0f} vs {sum653.mean_freq_mhz:.0f} MHz)"
+        f"\n  time >=72C        488: {sum488.time_above_hot_s:5.0f} s, "
+        f"653: {sum653.time_above_hot_s:5.0f} s"
+        f"\n  max temp          488: {sum488.max_temp_c:.1f} C, "
+        f"653: {sum653.max_temp_c:.1f} C"
+    )
+
+    # 488 is the faster unit, by a Figure-11-sized margin.
+    assert comparison.faster.serial == "device-488"
+    assert 0.02 <= perf_delta <= 0.15
+    # Mean frequency delta tracks performance delta (the paper's evidence
+    # that throttling, not background work, drives the difference).
+    assert abs(comparison.mean_freq_delta - perf_delta) < 0.03
+
+
+def test_fig11_temp_distribution_insufficiency(benchmark):
+    """The subtler Section IV-B point: the slower unit is the one whose
+    temperature does not drop as readily once throttled, so its
+    temperature distribution alone would mislead."""
+
+    def run_pair():
+        return run_unit(0)[1], run_unit(2)[1]
+
+    sum488, sum653 = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    # The slower, leakier 653 runs at lower frequency yet its mean
+    # temperature is NOT correspondingly lower -- heat without speed.
+    assert sum653.mean_freq_mhz < sum488.mean_freq_mhz
+    assert sum653.mean_temp_c > sum488.mean_temp_c - 2.0

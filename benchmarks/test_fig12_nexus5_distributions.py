@@ -1,0 +1,47 @@
+"""Figure 12: frequency/temperature distributions on two Nexus 5 bins.
+
+Bin-1 outperformed bin-3 by ~11%, and the mean frequency was also ~11%
+higher — performance differences are frequency differences.
+"""
+
+from repro.core.distributions import compare_pair, summarize_workload
+from repro.core.experiments import unconstrained
+from repro.core.protocol import Accubench
+from repro.device.fleet import PAPER_FLEETS, build_device
+from repro.instruments.monsoon import MonsoonPowerMonitor
+from benchmarks.conftest import bench_accubench_config
+
+
+def run_bin(index: int):
+    device = build_device(PAPER_FLEETS["Nexus 5"][index])
+    device.connect_supply(MonsoonPowerMonitor(3.8))
+    bench = Accubench(bench_accubench_config(keep_traces=True))
+    result = bench.run_iteration(device, unconstrained())
+    return result, summarize_workload(result.trace, device.serial)
+
+
+def test_fig12_nexus5_distributions(benchmark):
+    def run_pair():
+        return run_bin(1), run_bin(3)
+
+    (res1, sum1), (res3, sum3) = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    comparison = compare_pair(sum1, sum3)
+    perf_delta = (
+        res1.iterations_completed - res3.iterations_completed
+    ) / res3.iterations_completed
+
+    print(
+        f"\nFig 12: Nexus 5 bin-1 vs bin-3"
+        f"\n  perf delta      {perf_delta:6.1%} (paper ~11%)"
+        f"\n  mean freq delta {comparison.mean_freq_delta:6.1%} "
+        f"({sum1.mean_freq_mhz:.0f} vs {sum3.mean_freq_mhz:.0f} MHz)"
+        f"\n  freq p10..p90   bin-1 {sum1.freq_p10_mhz:.0f}..{sum1.freq_p90_mhz:.0f}, "
+        f"bin-3 {sum3.freq_p10_mhz:.0f}..{sum3.freq_p90_mhz:.0f}"
+    )
+
+    assert comparison.faster.serial == "bin-1"
+    assert 0.04 <= perf_delta <= 0.18
+    # "the mean frequency also 11% higher": deltas agree.
+    assert abs(comparison.mean_freq_delta - perf_delta) < 0.03
+    # Bin-3 spends its workload lower in the frequency ladder.
+    assert sum3.freq_p10_mhz < sum1.freq_p10_mhz

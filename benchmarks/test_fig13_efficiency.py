@@ -1,0 +1,48 @@
+"""Figure 13: relative efficiency of the five SoC generations.
+
+"While the SD-805 is definitely more performant than the SD-800, it comes
+at the cost of decreased efficiency"; efficiency otherwise improves as the
+process shrinks.
+"""
+
+from repro.core.efficiency import (
+    efficiency_point,
+    efficiency_series,
+    relative_to_first,
+    sd805_regression,
+)
+from repro.core.reporting import render_efficiency
+from repro.soc.catalog import soc_by_name
+from repro.device.catalog import device_spec
+
+
+def test_fig13_relative_efficiency(study, benchmark):
+    def build_series():
+        points = []
+        for model, (performance, _) in study.items():
+            soc = soc_by_name(device_spec(model).soc_name)
+            points.append(efficiency_point(performance, soc.name, soc.year))
+        return efficiency_series(points)
+
+    series = benchmark(build_series)
+    relative = relative_to_first(series)
+
+    print("\n" + render_efficiency(series))
+    print("Relative to SD-800:", {k: round(v, 2) for k, v in relative.items()})
+
+    # The headline anomaly: SD-805 measured less efficient than SD-800.
+    assert sd805_regression(series)
+
+    # The overall arc still bends up: the 14 nm parts beat every 28/20 nm
+    # part, and the best SoC is a 14 nm one.
+    by_soc = {p.soc: p.mean_iters_per_kj for p in series}
+    assert by_soc["SD-820"] > by_soc["SD-800"]
+    assert by_soc["SD-821"] > by_soc["SD-800"]
+    assert max(by_soc, key=by_soc.get) in {"SD-820", "SD-821"}
+
+    # SD-805 also performs more work in absolute terms (it IS faster).
+    perf_805 = study["Nexus 6"][0]
+    perf_800 = study["Nexus 5"][0]
+    best_805 = max(d.performance for d in perf_805.devices)
+    worst_800 = min(d.performance for d in perf_800.devices)
+    assert best_805 > worst_800 * 0.9

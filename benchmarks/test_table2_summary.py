@@ -1,0 +1,70 @@
+"""Table II: summary of energy-performance variations across all 5 SoCs.
+
+Reruns the paper's entire study — every fleet, both workloads, full-length
+ACCUBENCH inside the THERMABOX — and checks each model's variation against
+the acceptance bands of DESIGN.md §5.
+"""
+
+from repro.core.paper_targets import TABLE2_TARGETS, in_band
+from repro.core.reporting import render_table2
+
+
+def test_table2_summary(study, benchmark):
+    def summarize():
+        rows = {}
+        for model, (performance, energy) in study.items():
+            target = TABLE2_TARGETS[model]
+            rows[model] = (
+                target.soc,
+                len(performance.devices),
+                performance.performance_variation,
+                energy.energy_variation,
+            )
+        return rows
+
+    rows = benchmark(summarize)
+
+    print("\n--- Table II (paper targets in parentheses) ---")
+    print(render_table2(rows))
+    for model, target in TABLE2_TARGETS.items():
+        print(
+            f"  {model:<14s} target perf {target.performance:.0%} "
+            f"energy {target.energy:.0%}"
+        )
+
+    for model, (soc, count, perf, energy) in rows.items():
+        target = TABLE2_TARGETS[model]
+        assert count == target.device_count, model
+        assert in_band(perf, target.performance_band), (
+            f"{model} perf {perf:.1%} outside {target.performance_band}"
+        )
+        assert in_band(energy, target.energy_band), (
+            f"{model} energy {energy:.1%} outside {target.energy_band}"
+        )
+
+
+def test_fixed_frequency_repeatability(study, benchmark):
+    """Section IV / VII: the methodology's error bars.
+
+    FIXED-FREQUENCY performance must be nearly identical across devices
+    (paper: within 1.3% on the Nexus 5, RSD 2.63% on the Nexus 6P) and
+    repeatable across iterations (average error ~1.1% RSD).
+    """
+
+    def collect():
+        spreads = {}
+        rsds = {}
+        for model, (_, energy) in study.items():
+            perfs = [d.performance for d in energy.devices]
+            spreads[model] = (max(perfs) - min(perfs)) / min(perfs)
+            rsds[model] = energy.mean_performance_rsd
+        return spreads, rsds
+
+    spreads, rsds = benchmark(collect)
+    print("\nFIXED-FREQUENCY perf spread / per-unit RSD:")
+    for model in spreads:
+        print(f"  {model:<14s} {spreads[model]:6.2%}   {rsds[model]:6.2%}")
+    for model, spread in spreads.items():
+        assert spread < 0.04, f"{model} spread {spread:.2%}"
+    for model, rsd in rsds.items():
+        assert rsd < 0.03, f"{model} RSD {rsd:.2%}"

@@ -1,0 +1,76 @@
+"""Governor showdown: who wins the bursty-load race?
+
+The paper pins its workload to isolate silicon effects; real phones run
+bursty loads under a governor.  This example replays the same burst/idle
+pattern on a Nexus 5 under three governors and scores each on work done,
+energy used, and peak temperature — the classic responsiveness-vs-battery
+trade the interactive governor was designed around.
+
+    python examples/governor_showdown.py
+"""
+
+from repro.device.fleet import PAPER_FLEETS, build_device
+from repro.instruments.monsoon import MonsoonPowerMonitor
+from repro.sim.engine import World
+from repro.soc.dvfs import InteractiveGovernor, OndemandGovernor, PerformanceGovernor
+from repro.soc.perf import iterations_from_ops
+
+BURST_S = 3.0
+LIGHT_S = 5.0
+LIGHT_UTILIZATION = 0.25
+CYCLES = 40
+
+
+def run(governor_name: str):
+    device = build_device(PAPER_FLEETS["Nexus 5"][2])
+    monsoon = MonsoonPowerMonitor(3.8)
+    device.connect_supply(monsoon)
+    governor = {
+        "performance": PerformanceGovernor(),
+        "interactive": InteractiveGovernor(hispeed_freq_mhz=1190.0),
+        "ondemand": OndemandGovernor(),
+    }[governor_name]
+
+    world = World(device, dt=0.1, trace_decimation=2)
+    device.acquire_wakelock()
+    monsoon.reset_counters()
+    for _ in range(CYCLES):
+        device.start_load(utilization=1.0)
+        device.soc.set_governor(governor)  # start_load reinstalls governors
+        world.run_for(BURST_S)
+        # Light phase: the screen-on lull between bursts (typing, reading).
+        device.start_load(utilization=LIGHT_UTILIZATION)
+        device.soc.set_governor(governor)
+        world.run_for(LIGHT_S)
+    return {
+        "iterations": iterations_from_ops(world.ops_total),
+        "energy_j": monsoon.energy_j,
+        "peak_temp_c": world.trace.max("cpu_temp"),
+    }
+
+
+def main() -> None:
+    print(
+        f"Bursty load on a Nexus 5 (bin-2): {CYCLES} cycles of "
+        f"{BURST_S:.0f} s full burst / {LIGHT_S:.0f} s light load "
+        f"({LIGHT_UTILIZATION:.0%})\n"
+    )
+    print(f"{'governor':<14s} {'work':>8s} {'energy':>8s} {'it/kJ':>7s} {'peak':>7s}")
+    for name in ("performance", "interactive", "ondemand"):
+        result = run(name)
+        per_kj = result["iterations"] / (result["energy_j"] / 1000.0)
+        print(
+            f"{name:<14s} {result['iterations']:8.1f} "
+            f"{result['energy_j']:7.0f}J {per_kj:7.1f} "
+            f"{result['peak_temp_c']:6.1f}C"
+        )
+    print(
+        "\nThe performance governor races through light phases at maximum "
+        "voltage and\npays for it in joules; ondemand drops to the floor and "
+        "does the least work;\ninteractive lands in between — the trade that "
+        "made it the era's shipped default."
+    )
+
+
+if __name__ == "__main__":
+    main()

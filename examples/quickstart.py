@@ -1,0 +1,62 @@
+"""Quickstart: measure process variation on a simulated Nexus 5 fleet.
+
+Runs the paper's two experiments (UNCONSTRAINED for performance,
+FIXED-FREQUENCY for energy) over the four Nexus 5 units of the study and
+prints the Figure 6 story: bin-0 is both the fastest and the most
+energy-efficient chip, despite being binned at the highest voltage.
+
+    python examples/quickstart.py
+
+Takes ~20 seconds (a shortened protocol; pass --paper-scale for the full
+3-minute warmup / 5-minute workload protocol).
+"""
+
+import sys
+
+from repro import (
+    AccubenchConfig,
+    CampaignConfig,
+    CampaignRunner,
+    device_spec,
+    fixed_frequency,
+    unconstrained,
+)
+from repro.core.reporting import render_experiment
+
+
+def main() -> None:
+    if "--paper-scale" in sys.argv:
+        protocol = AccubenchConfig()  # the paper's durations, 5 iterations
+    else:
+        protocol = AccubenchConfig(
+            warmup_s=90.0, workload_s=150.0, iterations=2, dt=0.2
+        )
+    runner = CampaignRunner(CampaignConfig(accubench=protocol))
+
+    print("Running UNCONSTRAINED (performance) on the Nexus 5 fleet...")
+    performance = runner.run_fleet("Nexus 5", unconstrained())
+    print(render_experiment(performance, "performance"))
+    print(
+        f"-> {performance.best_serial} is "
+        f"{performance.performance_variation:.1%} faster than "
+        f"{performance.worst_serial} (paper: 14%)\n"
+    )
+
+    print("Running FIXED-FREQUENCY (energy) on the Nexus 5 fleet...")
+    energy = runner.run_fleet("Nexus 5", fixed_frequency(device_spec("Nexus 5")))
+    print(render_experiment(energy, "energy"))
+    print(
+        f"-> {energy.most_efficient_serial} uses "
+        f"{energy.energy_variation:.1%} less energy than the worst unit "
+        f"(paper: 19%)"
+    )
+    print(
+        "\nNote the counterintuitive result: bin-0 runs at the HIGHEST "
+        "voltage (Table I)\nyet wins both races — its slow transistors "
+        "leak the least, so it throttles least\nand wastes the least "
+        "static power.  (Paper Section IV-A1.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

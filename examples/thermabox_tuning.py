@@ -1,0 +1,63 @@
+"""THERMABOX tuning: build and characterize your own thermal chamber.
+
+The paper calls its experimental setup "a contribution unto itself."
+This example exercises the chamber model the way you'd commission a real
+build: settle time from a cold start, regulation quality under device
+load, actuator duty cycles, and what happens if you skimp on the
+compressor's minimum-off-time protection.
+
+    python examples/thermabox_tuning.py
+"""
+
+import numpy as np
+
+from repro import Thermabox, ThermaboxConfig
+
+
+def characterize(config: ThermaboxConfig, label: str, room_c: float) -> None:
+    box = Thermabox(config, initial_temp_c=room_c, rng=np.random.default_rng(1))
+    settle_s = box.wait_until_stable(room_c)
+
+    errors = []
+    switches = 0
+    cooler_was_on = box.cooler_on
+    for _ in range(1800):
+        box.step(room_c, 1.0, load_w=4.0)  # a phone under test inside
+        errors.append(box.air_temp_c - config.target_c)
+        if box.cooler_on != cooler_was_on:
+            switches += 1
+            cooler_was_on = box.cooler_on
+
+    worst = max(abs(e) for e in errors)
+    print(f"\n{label} (room {room_c:.0f} C):")
+    print(f"  settle time          : {settle_s:6.0f} s")
+    print(f"  worst excursion      : {worst:6.2f} C (spec ±{config.tolerance_c} C)")
+    print(f"  mean error           : {np.mean(errors):+6.3f} C")
+    print(f"  heater duty          : {box.heater_duty_seconds / 1800:6.1%}")
+    print(f"  compressor duty      : {box.cooler_duty_seconds / 1800:6.1%}")
+    print(f"  compressor switches  : {switches // 2:6d} starts in 30 min")
+
+
+def main() -> None:
+    print("Commissioning the THERMABOX model (paper Figure 3)...")
+
+    characterize(ThermaboxConfig(), "paper build, cool room", room_c=22.0)
+    characterize(ThermaboxConfig(), "paper build, warm room", room_c=29.0)
+
+    beefy = ThermaboxConfig(heater_w=400.0, cooler_w=350.0, deadband_c=0.15)
+    characterize(beefy, "overpowered actuators", room_c=22.0)
+
+    gentle = ThermaboxConfig(compressor_min_off_s=120.0)
+    characterize(gentle, "long compressor rest (2 min)", room_c=29.0)
+
+    print(
+        "\nTakeaways: the stock 250 W halogen + compressor build holds "
+        "±0.5 °C with a\nphone dissipating inside; oversizing actuators "
+        "tightens regulation but\nshort-cycles the compressor — the "
+        "minimum-off-time guard trades a little\nregulation for machine "
+        "lifetime, exactly as in a physical build."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro - reproduction of *Quantifying Process Variations and Its Impacts
+on Smartphones* (Srinivasa, Haseley, Hempstead, Challen; ISPASS 2019).
+
+The paper measured, on physical handsets inside a temperature-stabilized
+chamber, how silicon process variation makes identical-looking smartphones
+differ in performance and energy.  This library rebuilds the entire
+measurement stack as a physics-based simulation -- silicon variation and
+binning, chassis thermals, DVFS and throttling, the Monsoon power monitor,
+the THERMABOX chamber -- and the paper's ACCUBENCH methodology on top.
+
+Quick start::
+
+    from repro import CampaignRunner, unconstrained
+
+    runner = CampaignRunner()
+    result = runner.run_fleet("Nexus 5", unconstrained())
+    print(f"performance spread: {result.performance_variation:.1%}")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    Accubench,
+    AccubenchConfig,
+    CampaignConfig,
+    CampaignRunner,
+    DeviceResult,
+    ExperimentResult,
+    ExperimentSpec,
+    IterationResult,
+    fixed_frequency,
+    unconstrained,
+)
+from repro.device import (
+    Device,
+    DeviceSpec,
+    FleetUnit,
+    build_device,
+    device_spec,
+    paper_fleet,
+    synthetic_fleet,
+)
+from repro.errors import ReproError
+from repro.instruments import MonsoonPowerMonitor, Thermabox, ThermaboxConfig
+from repro.sim import World
+from repro.silicon import SiliconProfile, nexus5_table
+from repro.soc import soc_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Accubench",
+    "AccubenchConfig",
+    "CampaignConfig",
+    "CampaignRunner",
+    "Device",
+    "DeviceResult",
+    "DeviceSpec",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "FleetUnit",
+    "IterationResult",
+    "MonsoonPowerMonitor",
+    "ReproError",
+    "SiliconProfile",
+    "Thermabox",
+    "ThermaboxConfig",
+    "World",
+    "build_device",
+    "device_spec",
+    "fixed_frequency",
+    "nexus5_table",
+    "paper_fleet",
+    "soc_by_name",
+    "synthetic_fleet",
+    "unconstrained",
+    "__version__",
+]

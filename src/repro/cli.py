@@ -1,0 +1,328 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+    repro-bench list-devices
+    repro-bench table1
+    repro-bench run-fleet "Nexus 5" --experiment both --scale 0.3
+    repro-bench table2 --scale 0.3 --iterations 2
+    repro-bench estimate-ambient "Nexus 5" --ambient 31
+    repro-bench crowd --users 12 --scale 0.5
+
+Every command prints a human-readable report; ``run-fleet`` can also dump
+machine-readable JSON (``--json out.json``).  ``--scale`` shortens the
+protocol's phase durations (1.0 = the paper's 3-minute warmup / 5-minute
+workload).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import AccubenchConfig
+from repro.core.experiments import fixed_frequency, unconstrained
+from repro.core.reporting import (
+    render_experiment,
+    render_table1,
+    render_table2,
+)
+from repro.core.runner import CampaignConfig, CampaignRunner
+from repro.device.catalog import DEVICE_NAMES, device_spec
+from repro.errors import ReproError
+from repro.rng import DEFAULT_ROOT_SEED
+from repro.soc.catalog import soc_by_name
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Reproduction of 'Quantifying Process Variations and Its "
+            "Impacts on Smartphones' (ISPASS 2019)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-devices", help="catalogued handsets and SoCs")
+    sub.add_parser("table1", help="print the paper's Table I voltage bins")
+
+    run = sub.add_parser("run-fleet", help="run one model's paper fleet")
+    run.add_argument("model", help="handset model, e.g. 'Nexus 5'")
+    run.add_argument(
+        "--experiment",
+        choices=("unconstrained", "fixed", "both"),
+        default="both",
+        help="which workload(s) to run",
+    )
+    _add_protocol_args(run)
+    run.add_argument("--json", metavar="PATH", help="also dump results as JSON")
+
+    table2 = sub.add_parser("table2", help="the full Table II study")
+    table2.add_argument(
+        "--models", nargs="*", default=None, help="subset of models"
+    )
+    _add_protocol_args(table2)
+
+    ambient = sub.add_parser(
+        "estimate-ambient",
+        help="run the §VI cooldown probe and estimate the room temperature",
+    )
+    ambient.add_argument("model", help="handset model")
+    ambient.add_argument(
+        "--ambient", type=float, default=26.0, help="true room temperature, °C"
+    )
+    ambient.add_argument(
+        "--observe", type=float, default=600.0, help="observation window, s"
+    )
+
+    crowd = sub.add_parser(
+        "crowd", help="simulate the §VI crowdsourced study with strict filters"
+    )
+    crowd.add_argument("--model", default="Nexus 5")
+    crowd.add_argument("--users", type=int, default=12)
+    crowd.add_argument("--scale", type=float, default=1.0)
+    crowd.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
+
+    validate = sub.add_parser(
+        "validate", help="check the calibrated build against the paper's bands"
+    )
+    validate.add_argument(
+        "--models", nargs="*", default=None, help="subset of models"
+    )
+    _add_protocol_args(validate)
+
+    export = sub.add_parser(
+        "export-fleet", help="run a fleet and export figure data as CSV"
+    )
+    export.add_argument("model", help="handset model")
+    export.add_argument("--out", required=True, metavar="DIR", help="output directory")
+    _add_protocol_args(export)
+
+    return parser
+
+
+def _add_protocol_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="scale factor on protocol durations (1.0 = paper length)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=None, help="iterations per unit"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_ROOT_SEED, help="root seed"
+    )
+    parser.add_argument(
+        "--no-thermabox",
+        action="store_true",
+        help="run in the open room instead of the chamber",
+    )
+
+
+def _runner(args: argparse.Namespace) -> CampaignRunner:
+    protocol = AccubenchConfig().scaled(args.scale)
+    if args.iterations is not None:
+        protocol = AccubenchConfig(
+            warmup_s=protocol.warmup_s,
+            workload_s=protocol.workload_s,
+            cooldown_target_c=protocol.cooldown_target_c,
+            cooldown_poll_s=protocol.cooldown_poll_s,
+            cooldown_timeout_s=protocol.cooldown_timeout_s,
+            iterations=args.iterations,
+            dt=protocol.dt,
+            trace_decimation=protocol.trace_decimation,
+        )
+    return CampaignRunner(
+        CampaignConfig(
+            accubench=protocol,
+            use_thermabox=not args.no_thermabox,
+            root_seed=args.seed,
+        )
+    )
+
+
+def _cmd_list_devices() -> int:
+    print(f"{'Model':<14s} {'SoC':<8s} {'Process':<12s} {'Cores':>5s} "
+          f"{'Top MHz':>8s} {'Bins':>5s}")
+    for name in DEVICE_NAMES:
+        spec = device_spec(name)
+        soc = soc_by_name(spec.soc_name)
+        top = max(cluster.max_freq_mhz for cluster in soc.clusters)
+        print(
+            f"{name:<14s} {soc.name:<8s} {soc.process.name:<12s} "
+            f"{soc.total_cores:>5d} {top:>8.0f} {soc.bin_count:>5d}"
+        )
+    return 0
+
+
+def _cmd_table1() -> int:
+    from repro.silicon.vf_tables import nexus5_table
+
+    print(render_table1(nexus5_table()))
+    return 0
+
+
+def _cmd_run_fleet(args: argparse.Namespace) -> int:
+    runner = _runner(args)
+    spec = device_spec(args.model)
+    documents = {}
+    if args.experiment in ("unconstrained", "both"):
+        result = runner.run_fleet(args.model, unconstrained())
+        print(render_experiment(result, "performance"))
+        print(f"performance variation: {result.performance_variation:.1%}\n")
+        documents["unconstrained"] = result
+    if args.experiment in ("fixed", "both"):
+        result = runner.run_fleet(args.model, fixed_frequency(spec))
+        print(render_experiment(result, "energy"))
+        print(f"energy variation: {result.energy_variation:.1%}")
+        documents["fixed-frequency"] = result
+    if args.json:
+        import json
+
+        from repro.core.serialize import experiment_to_dict
+
+        payload = {name: experiment_to_dict(r) for name, r in documents.items()}
+        with open(args.json, "w") as fp:
+            json.dump(payload, fp, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    runner = _runner(args)
+    models = args.models if args.models else list(DEVICE_NAMES)
+    rows = {}
+    for model in models:
+        spec = device_spec(model)
+        perf = runner.run_fleet(model, unconstrained())
+        energy = runner.run_fleet(model, fixed_frequency(spec))
+        rows[model] = (
+            spec.soc_name,
+            len(perf.devices),
+            perf.performance_variation,
+            energy.energy_variation,
+        )
+    print(render_table2(rows))
+    return 0
+
+
+def _cmd_estimate_ambient(args: argparse.Namespace) -> int:
+    from repro.core.ambient_estimation import cooldown_probe
+    from repro.device.fleet import PAPER_FLEETS, build_device
+    from repro.instruments.monsoon import MonsoonPowerMonitor
+    from repro.thermal.ambient import ConstantAmbient
+
+    unit = PAPER_FLEETS[args.model][0]
+    device = build_device(unit, initial_temp_c=args.ambient)
+    device.connect_supply(MonsoonPowerMonitor(device.spec.battery.nominal_v))
+    estimate = cooldown_probe(
+        device, ConstantAmbient(args.ambient), observe_s=args.observe
+    )
+    print(
+        f"true ambient {args.ambient:.1f} C -> estimated "
+        f"{estimate.ambient_c:.1f} C "
+        f"(tau {estimate.time_constant_s:.0f} s, r² {estimate.r_squared:.3f}, "
+        f"{'confident' if estimate.is_confident() else 'NOT confident'})"
+    )
+    return 0
+
+
+def _cmd_crowd(args: argparse.Namespace) -> int:
+    from repro.core.crowd import (
+        CrowdConfig,
+        run_crowd_study,
+        silicon_ranking_quality,
+        strict_filters,
+    )
+
+    protocol = CrowdConfig().protocol.scaled(args.scale)
+    config = CrowdConfig(
+        model=args.model,
+        user_count=args.users,
+        protocol=protocol,
+        root_seed=args.seed,
+    )
+    submissions = run_crowd_study(config)
+    print(f"{len(submissions)} submissions from {args.users} users")
+    raw_quality = silicon_ranking_quality(submissions)
+    filtered = strict_filters(submissions)
+    print(f"raw ranking quality (Spearman ρ):      {raw_quality:+.2f}")
+    if len(filtered) >= 3:
+        filtered_quality = silicon_ranking_quality(filtered)
+        print(
+            f"after strict filters ({len(filtered)} kept):      "
+            f"{filtered_quality:+.2f}"
+        )
+    else:
+        print(f"after strict filters: only {len(filtered)} kept — need ≥3")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validation import all_passed, render_report, validate_study
+
+    runner = _runner(args)
+    results = validate_study(runner, models=args.models)
+    print(render_report(results))
+    return 0 if all_passed(results) else 1
+
+
+def _cmd_export_fleet(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.core.figure_data import bar_series, export_bundle
+
+    runner = _runner(args)
+    spec = device_spec(args.model)
+    perf = runner.run_fleet(args.model, unconstrained())
+    energy = runner.run_fleet(args.model, fixed_frequency(spec))
+    slug = args.model.lower().replace(" ", "-")
+    bundle = export_bundle(
+        [
+            bar_series(perf, "performance", name=f"{slug}-performance"),
+            bar_series(energy, "energy", name=f"{slug}-energy"),
+        ]
+    )
+    os.makedirs(args.out, exist_ok=True)
+    for name, csv_text in bundle.items():
+        path = os.path.join(args.out, f"{name}.csv")
+        with open(path, "w") as fp:
+            fp.write(csv_text)
+        print(f"wrote {path}")
+    print(f"serials (unit_index order): {', '.join(perf.serials)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list-devices":
+            return _cmd_list_devices()
+        if args.command == "table1":
+            return _cmd_table1()
+        if args.command == "run-fleet":
+            return _cmd_run_fleet(args)
+        if args.command == "table2":
+            return _cmd_table2(args)
+        if args.command == "estimate-ambient":
+            return _cmd_estimate_ambient(args)
+        if args.command == "crowd":
+            return _cmd_crowd(args)
+        if args.command == "validate":
+            return _cmd_validate(args)
+        if args.command == "export-fleet":
+            return _cmd_export_fleet(args)
+        parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+        return 2  # pragma: no cover
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Statistical primitives of the paper's analysis.
+
+The paper reports normalized means, errors as Relative Standard Deviation
+("the absolute value of the coefficient of variation", Section IV), and
+headline spreads of the form "bin-0 is 14% faster than bin-3" (relative to
+the worse unit) and "consumes 19% less energy than bin-3" (relative to the
+larger energy).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.errors import AnalysisError
+
+
+def relative_standard_deviation(values: Sequence[float]) -> float:
+    """RSD: sample standard deviation over |mean|.
+
+    A single observation has zero spread by definition here (the paper's
+    error bars need ≥2 iterations to be meaningful, but a degenerate call
+    should not crash an analysis pipeline).
+    """
+    data = list(values)
+    if not data:
+        raise AnalysisError("RSD of an empty sequence is undefined")
+    if len(data) == 1:
+        return 0.0
+    mean = sum(data) / len(data)
+    if mean == 0.0:
+        raise AnalysisError("RSD is undefined for zero mean")
+    variance = sum((x - mean) ** 2 for x in data) / (len(data) - 1)
+    return abs(math.sqrt(variance) / mean)
+
+
+def normalize(values: Sequence[float], reference: str = "max") -> List[float]:
+    """Normalize values for the paper's figure style.
+
+    ``reference`` picks the denominator: ``"max"`` (best bar = 1.0),
+    ``"min"``, or ``"first"``.
+    """
+    data = list(values)
+    if not data:
+        raise AnalysisError("cannot normalize an empty sequence")
+    if reference == "max":
+        denom = max(data)
+    elif reference == "min":
+        denom = min(data)
+    elif reference == "first":
+        denom = data[0]
+    else:
+        raise AnalysisError(f"unknown reference {reference!r}")
+    if denom == 0.0:
+        raise AnalysisError("cannot normalize by zero")
+    return [value / denom for value in data]
+
+
+def performance_variation(performances: Sequence[float]) -> float:
+    """The paper's performance spread: how much faster the best unit is
+    than the worst — (max − min) / min."""
+    data = list(performances)
+    if len(data) < 2:
+        raise AnalysisError("variation needs at least two units")
+    worst = min(data)
+    if worst <= 0:
+        raise AnalysisError("performance must be positive")
+    return (max(data) - worst) / worst
+
+
+def energy_variation(energies: Sequence[float]) -> float:
+    """The paper's energy spread: how much less the best unit consumes
+    than the worst — (max − min) / max."""
+    data = list(energies)
+    if len(data) < 2:
+        raise AnalysisError("variation needs at least two units")
+    worst = max(data)
+    if worst <= 0:
+        raise AnalysisError("energy must be positive")
+    return (worst - min(data)) / worst

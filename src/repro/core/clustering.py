@@ -1,0 +1,170 @@
+"""Unsupervised bin discovery (paper Section VI, future work).
+
+The paper proposes clustering crowdsourced performance/energy data to
+recover CPU bins when manufacturers stop publishing them ("we plan to
+create our own bins by clustering the performance data using unstructured
+learning algorithms").  This module implements that proposal: a small,
+dependency-free k-means (Lloyd's algorithm with k-means++ seeding) over
+per-unit feature vectors, plus silhouette-based selection of k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.rng import derive_stream
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Outcome of one clustering run.
+
+    Attributes
+    ----------
+    assignments:
+        Cluster index per input row.
+    centroids:
+        Cluster centres in feature space, shape (k, features).
+    inertia:
+        Sum of squared distances to assigned centroids.
+    """
+
+    assignments: Tuple[int, ...]
+    centroids: np.ndarray
+    inertia: float
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return self.centroids.shape[0]
+
+
+def _normalize_features(data: np.ndarray) -> np.ndarray:
+    """Z-score each feature column (constant columns become zeros)."""
+    mean = data.mean(axis=0)
+    std = data.std(axis=0)
+    std = np.where(std == 0.0, 1.0, std)
+    return (data - mean) / std
+
+
+def kmeans(
+    features: Sequence[Sequence[float]],
+    k: int,
+    seed: int = 0,
+    max_iter: int = 100,
+    normalize: bool = True,
+) -> ClusterResult:
+    """Lloyd's k-means with k-means++ seeding.
+
+    Deterministic for a given ``seed``.  Raises when ``k`` exceeds the
+    number of rows.
+    """
+    data = np.asarray(features, dtype=float)
+    if data.ndim != 2 or data.shape[0] == 0:
+        raise AnalysisError("features must be a non-empty 2-D array")
+    if not 1 <= k <= data.shape[0]:
+        raise AnalysisError(f"k={k} out of range for {data.shape[0]} rows")
+    working = _normalize_features(data) if normalize else data
+    rng = derive_stream(seed, "kmeans")
+
+    centroids = _kmeanspp_seed(working, k, rng)
+    assignments = np.zeros(working.shape[0], dtype=int)
+    for _ in range(max_iter):
+        distances = np.linalg.norm(
+            working[:, None, :] - centroids[None, :, :], axis=2
+        )
+        new_assignments = distances.argmin(axis=1)
+        if np.array_equal(new_assignments, assignments) and _ != 0:
+            break
+        assignments = new_assignments
+        for index in range(k):
+            members = working[assignments == index]
+            if members.size:
+                centroids[index] = members.mean(axis=0)
+    inertia = float(
+        sum(
+            np.linalg.norm(working[i] - centroids[assignments[i]]) ** 2
+            for i in range(working.shape[0])
+        )
+    )
+    return ClusterResult(
+        assignments=tuple(int(a) for a in assignments),
+        centroids=centroids,
+        inertia=inertia,
+    )
+
+
+def _kmeanspp_seed(data: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ initial centroids."""
+    count = data.shape[0]
+    first = int(rng.integers(0, count))
+    centroids = [data[first]]
+    for _ in range(1, k):
+        distances = np.min(
+            [np.linalg.norm(data - c, axis=1) ** 2 for c in centroids], axis=0
+        )
+        total = distances.sum()
+        if total == 0.0:
+            # All remaining points coincide with a centroid; duplicate one.
+            centroids.append(data[int(rng.integers(0, count))])
+            continue
+        probabilities = distances / total
+        choice = int(rng.choice(count, p=probabilities))
+        centroids.append(data[choice])
+    return np.array(centroids, dtype=float)
+
+
+def silhouette_score(features: Sequence[Sequence[float]], result: ClusterResult) -> float:
+    """Mean silhouette coefficient of a clustering (−1 … 1, higher better).
+
+    Degenerate cases (k=1, singleton clusters) score 0 for the affected
+    points, per the usual convention.
+    """
+    data = _normalize_features(np.asarray(features, dtype=float))
+    labels = np.asarray(result.assignments)
+    count = data.shape[0]
+    if result.k == 1 or count <= result.k:
+        return 0.0
+    scores = []
+    for i in range(count):
+        same = data[(labels == labels[i])]
+        if same.shape[0] <= 1:
+            scores.append(0.0)
+            continue
+        a = float(
+            np.linalg.norm(same - data[i], axis=1).sum() / (same.shape[0] - 1)
+        )
+        b = min(
+            float(np.linalg.norm(data[labels == other] - data[i], axis=1).mean())
+            for other in set(labels.tolist())
+            if other != labels[i]
+        )
+        denom = max(a, b)
+        scores.append(0.0 if denom == 0 else (b - a) / denom)
+    return float(np.mean(scores))
+
+
+def choose_k(
+    features: Sequence[Sequence[float]],
+    k_range: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> Tuple[int, ClusterResult]:
+    """Pick k by silhouette over a candidate range (default 2..min(8, n−1))."""
+    data = np.asarray(features, dtype=float)
+    if data.shape[0] < 3:
+        raise AnalysisError("need at least 3 units to choose a cluster count")
+    candidates = (
+        list(k_range) if k_range is not None else list(range(2, min(8, data.shape[0] - 1) + 1))
+    )
+    best: Optional[Tuple[float, int, ClusterResult]] = None
+    for k in candidates:
+        result = kmeans(features, k, seed=seed)
+        score = silhouette_score(features, result)
+        if best is None or score > best[0]:
+            best = (score, k, result)
+    assert best is not None  # candidates is never empty
+    return best[1], best[2]

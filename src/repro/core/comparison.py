@@ -1,0 +1,124 @@
+"""Cross-generation comparison (paper §IV-C's discussion, quantified).
+
+The paper's discussion compares generations along two axes at once:
+"While manufacturers announce new SoCs by touting their performance and
+energy improvements over the previous generation, we were unable to find
+any sources depicting efficiencies."  This module produces exactly those
+statements from two fleets' results: performance gain, energy cost, and
+the efficiency verdict that marketing omits — including the SD-805's
+faster-but-less-efficient regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.results import ExperimentResult
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class GenerationComparison:
+    """One SoC generation measured against another.
+
+    All ratios are ``newer / older`` fleet means.
+
+    Attributes
+    ----------
+    older_model / newer_model:
+        The compared handsets.
+    performance_ratio:
+        Work completed per fixed time (UNCONSTRAINED), newer over older.
+    power_ratio:
+        Mean workload power, newer over older.
+    efficiency_ratio:
+        Work per joule, newer over older — the number nobody advertises.
+    """
+
+    older_model: str
+    newer_model: str
+    performance_ratio: float
+    power_ratio: float
+    efficiency_ratio: float
+
+    @property
+    def is_faster(self) -> bool:
+        """The newer generation completes more work."""
+        return self.performance_ratio > 1.0
+
+    @property
+    def is_more_efficient(self) -> bool:
+        """The newer generation does more work per joule."""
+        return self.efficiency_ratio > 1.0
+
+    @property
+    def is_marketing_regression(self) -> bool:
+        """Faster on the box, less efficient in the hand — the SD-805
+        pattern the paper calls out."""
+        return self.is_faster and not self.is_more_efficient
+
+    def summary(self) -> str:
+        """One-line human verdict."""
+        speed = f"{self.performance_ratio - 1.0:+.0%} performance"
+        efficiency = f"{self.efficiency_ratio - 1.0:+.0%} efficiency"
+        verdict = (
+            "a marketing regression" if self.is_marketing_regression
+            else "a genuine improvement" if self.is_faster and self.is_more_efficient
+            else "a mixed result"
+        )
+        return (
+            f"{self.newer_model} vs {self.older_model}: {speed}, "
+            f"{efficiency} — {verdict}"
+        )
+
+
+def _fleet_mean(result: ExperimentResult, attribute: str) -> float:
+    values = [getattr(device, attribute) for device in result.devices]
+    if not values:
+        raise AnalysisError("experiment has no devices")
+    return sum(values) / len(values)
+
+
+def _fleet_mean_power(result: ExperimentResult) -> float:
+    powers = [
+        it.mean_power_w for device in result.devices for it in device.iterations
+    ]
+    if not powers:
+        raise AnalysisError("experiment has no iterations")
+    return sum(powers) / len(powers)
+
+
+def compare_generations(
+    older: ExperimentResult, newer: ExperimentResult
+) -> GenerationComparison:
+    """Compare two UNCONSTRAINED fleet results, newer against older."""
+    if older.workload != newer.workload:
+        raise AnalysisError(
+            f"cannot compare {older.workload!r} against {newer.workload!r}"
+        )
+    old_perf = _fleet_mean(older, "performance")
+    new_perf = _fleet_mean(newer, "performance")
+    old_eff = _fleet_mean(older, "efficiency_iters_per_kj")
+    new_eff = _fleet_mean(newer, "efficiency_iters_per_kj")
+    if min(old_perf, new_perf, old_eff, new_eff) <= 0:
+        raise AnalysisError("fleet means must be positive")
+    return GenerationComparison(
+        older_model=older.model,
+        newer_model=newer.model,
+        performance_ratio=new_perf / old_perf,
+        power_ratio=_fleet_mean_power(newer) / _fleet_mean_power(older),
+        efficiency_ratio=new_eff / old_eff,
+    )
+
+
+def generation_ladder(
+    results: Sequence[ExperimentResult],
+) -> List[GenerationComparison]:
+    """Adjacent-generation comparisons over an ordered result sequence."""
+    if len(results) < 2:
+        raise AnalysisError("need at least two generations to compare")
+    return [
+        compare_generations(older, newer)
+        for older, newer in zip(results, results[1:])
+    ]

@@ -1,0 +1,83 @@
+"""ACCUBENCH protocol configuration (paper Section III).
+
+The paper's durations: 3-minute warmup (enough for an idle CPU to reach a
+busy CPU's thermal state), cooldown polling the temperature sensor every
+5 seconds until it reports the target, then a 5-minute workload.  Tests
+scale everything down with :meth:`AccubenchConfig.scaled`; the physics is
+qualitatively identical at shorter durations, just noisier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.units import minutes
+
+
+@dataclass(frozen=True)
+class AccubenchConfig:
+    """Parameters of one ACCUBENCH run.
+
+    Attributes
+    ----------
+    warmup_s:
+        Duration of the all-cores warmup burn, seconds.
+    workload_s:
+        Duration of the measured workload (T_workload), seconds.
+    cooldown_target_c:
+        Sensor temperature at which the workload may start, °C.
+    cooldown_poll_s:
+        Sleep interval between sensor polls during cooldown, seconds.
+    cooldown_timeout_s:
+        Abort bound on the cooldown phase, seconds.
+    iterations:
+        Back-to-back protocol iterations per experiment.
+    dt:
+        Simulation step, seconds.
+    trace_decimation:
+        Record every N-th engine step into the trace.
+    keep_traces:
+        Whether iteration results retain their full traces (the
+        distribution figures need them; big campaigns may drop them).
+    """
+
+    warmup_s: float = minutes(3)
+    workload_s: float = minutes(5)
+    cooldown_target_c: float = 38.0
+    cooldown_poll_s: float = 5.0
+    cooldown_timeout_s: float = minutes(45)
+    iterations: int = 5
+    dt: float = 0.1
+    trace_decimation: int = 10
+    keep_traces: bool = False
+
+    def __post_init__(self) -> None:
+        if self.warmup_s <= 0 or self.workload_s <= 0:
+            raise ConfigurationError("phase durations must be positive")
+        if self.cooldown_poll_s <= 0 or self.cooldown_timeout_s <= 0:
+            raise ConfigurationError("cooldown timings must be positive")
+        if self.iterations < 1:
+            raise ConfigurationError("iterations must be at least 1")
+        if self.dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        if self.cooldown_poll_s < self.dt:
+            raise ConfigurationError("cooldown_poll_s must be at least dt")
+        if self.trace_decimation < 1:
+            raise ConfigurationError("trace_decimation must be at least 1")
+
+    def scaled(self, factor: float) -> "AccubenchConfig":
+        """A config with phase durations scaled by ``factor`` (tests use
+        factors well below 1 to keep runtimes short)."""
+        if factor <= 0:
+            raise ConfigurationError("factor must be positive")
+        return replace(
+            self,
+            warmup_s=self.warmup_s * factor,
+            workload_s=self.workload_s * factor,
+            cooldown_timeout_s=self.cooldown_timeout_s * factor,
+        )
+
+    def with_traces(self) -> "AccubenchConfig":
+        """A config that retains full iteration traces."""
+        return replace(self, keep_traces=True)

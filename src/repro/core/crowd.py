@@ -1,0 +1,232 @@
+"""Crowdsourced benchmarking study simulator (paper §VI).
+
+The paper's endgame: ship a benchmarking app, gather runs from phones in
+the wild, and rank devices / recover bins from the data.  "The only
+parameters that we cannot control for in the wild are ambient temperature
+and software stack.  However, preliminary results on using the cooldown
+phase as an estimate of ambient temperature are encouraging.  This, in
+addition to strict filters, should enable us to compare different devices
+from across the world."
+
+This module simulates exactly that pipeline:
+
+1. sample a population of users, each with their own unit (silicon
+   lottery), room temperature, and battery charge;
+2. each user's app runs a cooldown probe (ambient estimate) followed by a
+   field ACCUBENCH pass, battery-powered, in their uncontrolled room;
+3. apply the paper's "strict filters" (ambient-estimate band, clean decay
+   fits) and measure how well the filtered ranking recovers the true
+   silicon ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.ambient_estimation import AmbientEstimate, cooldown_probe
+from repro.core.config import AccubenchConfig
+from repro.core.experiments import unconstrained
+from repro.core.protocol import Accubench
+from repro.device.battery import Battery
+from repro.device.fleet import synthetic_fleet
+from repro.errors import AnalysisError, ConfigurationError
+from repro.rng import DEFAULT_ROOT_SEED, derive_stream
+from repro.thermal.ambient import ConstantAmbient
+
+
+@dataclass(frozen=True)
+class CrowdConfig:
+    """Population and field-protocol parameters.
+
+    Attributes
+    ----------
+    model:
+        Handset model the crowd owns.
+    user_count:
+        Number of participants.
+    ambient_range_c:
+        Uniform range of room temperatures across the crowd.
+    charge_range:
+        Uniform range of battery state-of-charge at run time.
+    protocol:
+        The field app's (shortened) ACCUBENCH parameters.
+    probe_heat_s / probe_observe_s:
+        The ambient-probe cycle lengths.
+    root_seed:
+        Seed for population sampling.
+    """
+
+    model: str = "Nexus 5"
+    user_count: int = 30
+    ambient_range_c: Tuple[float, float] = (16.0, 36.0)
+    charge_range: Tuple[float, float] = (0.5, 1.0)
+    protocol: AccubenchConfig = field(
+        default_factory=lambda: AccubenchConfig(
+            warmup_s=120.0,
+            workload_s=180.0,
+            cooldown_target_c=40.0,
+            cooldown_timeout_s=3600.0,
+            iterations=1,
+            dt=0.25,
+            trace_decimation=20,
+        )
+    )
+    probe_heat_s: float = 90.0
+    probe_observe_s: float = 600.0
+    root_seed: int = DEFAULT_ROOT_SEED
+
+    def __post_init__(self) -> None:
+        if self.user_count < 1:
+            raise ConfigurationError("user_count must be at least 1")
+        low, high = self.ambient_range_c
+        if low >= high:
+            raise ConfigurationError("ambient_range_c must be (low, high)")
+        low, high = self.charge_range
+        if not 0.0 < low <= high <= 1.0:
+            raise ConfigurationError("charge_range must be within (0, 1]")
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One user's uploaded result.
+
+    Attributes
+    ----------
+    serial:
+        The unit's identity (in reality: an anonymized install id).
+    score:
+        Workload iterations completed.
+    energy_j:
+        Battery energy over the workload (self-reported via fuel gauge).
+    ambient_estimate:
+        The app's cooldown-probe estimate of the user's room.
+    true_ambient_c / true_leak_factor:
+        Ground truth the real study would NOT have — kept for evaluating
+        the pipeline itself.
+    """
+
+    serial: str
+    score: float
+    energy_j: float
+    ambient_estimate: AmbientEstimate
+    true_ambient_c: float
+    true_leak_factor: float
+
+
+def run_crowd_study(config: Optional[CrowdConfig] = None) -> List[Submission]:
+    """Simulate the full §VI crowd campaign and return all submissions."""
+    config = config if config is not None else CrowdConfig()
+    rng = derive_stream(config.root_seed, "crowd", config.model)
+    fleet = synthetic_fleet(
+        config.model,
+        config.user_count,
+        lot_name="crowd",
+        root_seed=config.root_seed,
+    )
+    bench = Accubench(config.protocol)
+    submissions = []
+    for device in fleet:
+        ambient = float(rng.uniform(*config.ambient_range_c))
+        charge = float(rng.uniform(*config.charge_range))
+        device.reboot(soak_temp_c=ambient)
+        device.connect_supply(
+            Battery(device.spec.battery, state_of_charge=charge)
+        )
+        room = ConstantAmbient(ambient)
+        try:
+            estimate = cooldown_probe(
+                device,
+                room,
+                heat_s=config.probe_heat_s,
+                observe_s=config.probe_observe_s,
+                dt=config.protocol.dt,
+            )
+        except AnalysisError:
+            # An unusable decay (e.g. someone's balcony in the wind);
+            # the app uploads nothing.
+            continue
+        result = bench.run_iteration(device, unconstrained(), room=room)
+        submissions.append(
+            Submission(
+                serial=device.serial,
+                score=result.iterations_completed,
+                energy_j=result.energy_j,
+                ambient_estimate=estimate,
+                true_ambient_c=ambient,
+                true_leak_factor=device.profile.leak_factor,
+            )
+        )
+    return submissions
+
+
+def strict_filters(
+    submissions: Sequence[Submission],
+    ambient_band_c: Tuple[float, float] = (22.0, 30.0),
+    min_r_squared: float = 0.9,
+) -> List[Submission]:
+    """The paper's "strict filters": keep comparable runs only.
+
+    Filters on the *estimated* ambient (the real pipeline has no ground
+    truth) and on the decay-fit quality.
+    """
+    low, high = ambient_band_c
+    if low >= high:
+        raise AnalysisError("ambient_band_c must be (low, high)")
+    return [
+        s
+        for s in submissions
+        if s.ambient_estimate.is_confident(min_r_squared)
+        and low <= s.ambient_estimate.ambient_c <= high
+    ]
+
+
+def spearman_rank_correlation(
+    first: Sequence[float], second: Sequence[float]
+) -> float:
+    """Spearman's ρ between two paired sequences (ties share mean rank)."""
+    if len(first) != len(second):
+        raise AnalysisError("sequences must be paired")
+    if len(first) < 3:
+        raise AnalysisError("need at least 3 pairs for a rank correlation")
+
+    def ranks(values: Sequence[float]) -> List[float]:
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        result = [0.0] * len(values)
+        i = 0
+        while i < len(order):
+            j = i
+            while (
+                j + 1 < len(order)
+                and values[order[j + 1]] == values[order[i]]
+            ):
+                j += 1
+            mean_rank = (i + j) / 2.0 + 1.0
+            for k in range(i, j + 1):
+                result[order[k]] = mean_rank
+            i = j + 1
+        return result
+
+    ra, rb = ranks(list(first)), ranks(list(second))
+    mean_a = sum(ra) / len(ra)
+    mean_b = sum(rb) / len(rb)
+    cov = sum((a - mean_a) * (b - mean_b) for a, b in zip(ra, rb))
+    var_a = sum((a - mean_a) ** 2 for a in ra)
+    var_b = sum((b - mean_b) ** 2 for b in rb)
+    if var_a == 0 or var_b == 0:
+        raise AnalysisError("rank correlation undefined for constant input")
+    return cov / (var_a * var_b) ** 0.5
+
+
+def silicon_ranking_quality(submissions: Sequence[Submission]) -> float:
+    """How well scores recover the true silicon ordering.
+
+    Returns Spearman's ρ between −leak_factor (less leakage = better
+    silicon) and score; 1.0 means the crowd data ranks units exactly as
+    their silicon would under lab conditions.
+    """
+    if len(submissions) < 3:
+        raise AnalysisError("need at least 3 submissions to grade a ranking")
+    truth = [-s.true_leak_factor for s in submissions]
+    scores = [s.score for s in submissions]
+    return spearman_rank_correlation(truth, scores)

@@ -1,0 +1,116 @@
+"""Frequency/temperature distribution analysis (paper Section IV-B).
+
+Figures 11 and 12 compare two units' frequency and temperature
+distributions over a workload and show that the *mean frequency* delta
+matches the performance delta — the paper's evidence that variation comes
+from thermal throttling, not background activity.  The section also makes
+a subtler point: time-spent-at-temperature is **not** sufficient to predict
+which device throttles harder (the Pixel device-488 ran hotter yet faster),
+so the analysis here exposes both views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Distributional view of one unit's workload phase.
+
+    Attributes
+    ----------
+    serial:
+        Which unit.
+    mean_freq_mhz / freq_p10_mhz / freq_p90_mhz:
+        Big-cluster frequency statistics over the workload.
+    mean_temp_c / max_temp_c:
+        Die temperature statistics over the workload.
+    time_above_hot_s:
+        Time spent at or above the hot threshold, seconds.
+    freq_histogram / temp_histogram:
+        (counts, bin_edges) histograms, for plotting.
+    """
+
+    serial: str
+    mean_freq_mhz: float
+    freq_p10_mhz: float
+    freq_p90_mhz: float
+    mean_temp_c: float
+    max_temp_c: float
+    time_above_hot_s: float
+    freq_histogram: Tuple[np.ndarray, np.ndarray]
+    temp_histogram: Tuple[np.ndarray, np.ndarray]
+
+
+def summarize_workload(
+    trace: Trace,
+    serial: str,
+    hot_threshold_c: float = 70.0,
+    occurrence: int = 0,
+    bins: int = 24,
+) -> DistributionSummary:
+    """Distill one iteration trace into a :class:`DistributionSummary`."""
+    freq = trace.phase_column("workload", "freq", occurrence)
+    temp = trace.phase_column("workload", "cpu_temp", occurrence)
+    if freq.size == 0 or temp.size == 0:
+        raise AnalysisError("trace has no workload-phase samples")
+    times = trace.times()
+    spacing = float(times[1] - times[0]) if times.size > 1 else 0.0
+    return DistributionSummary(
+        serial=serial,
+        mean_freq_mhz=float(freq.mean()),
+        freq_p10_mhz=float(np.percentile(freq, 10)),
+        freq_p90_mhz=float(np.percentile(freq, 90)),
+        mean_temp_c=float(temp.mean()),
+        max_temp_c=float(temp.max()),
+        time_above_hot_s=float((temp >= hot_threshold_c).sum()) * spacing,
+        freq_histogram=np.histogram(freq, bins=bins),
+        temp_histogram=np.histogram(temp, bins=bins),
+    )
+
+
+@dataclass(frozen=True)
+class PairComparison:
+    """The Figure 11/12 comparison between two units.
+
+    Attributes
+    ----------
+    faster / slower:
+        Distribution summaries, ordered by mean frequency.
+    mean_freq_delta:
+        Fractional mean-frequency advantage of the faster unit.
+    hotter_is_faster:
+        True when the faster unit also spent *more* time hot — the Pixel
+        counterintuitive case showing time-at-temperature is insufficient.
+    """
+
+    faster: DistributionSummary
+    slower: DistributionSummary
+    mean_freq_delta: float
+    hotter_is_faster: bool
+
+
+def compare_pair(
+    first: DistributionSummary, second: DistributionSummary
+) -> PairComparison:
+    """Order two summaries and compute the paper's comparison metrics."""
+    if first.mean_freq_mhz >= second.mean_freq_mhz:
+        faster, slower = first, second
+    else:
+        faster, slower = second, first
+    if slower.mean_freq_mhz <= 0:
+        raise AnalysisError("mean frequency must be positive")
+    delta = (faster.mean_freq_mhz - slower.mean_freq_mhz) / slower.mean_freq_mhz
+    return PairComparison(
+        faster=faster,
+        slower=slower,
+        mean_freq_delta=delta,
+        hotter_is_faster=faster.time_above_hot_s > slower.time_above_hot_s,
+    )

@@ -1,0 +1,80 @@
+"""Cross-generation efficiency (paper Figure 13).
+
+The paper defines efficiency implicitly as useful work per energy during
+the UNCONSTRAINED workload and plots it per SoC generation, observing that
+while efficiency improves overall with process scaling, the SD-805 measured
+*less* efficient than the older SD-800 — a consequence of pushing the same
+28 nm process to 2.65 GHz at higher binned voltages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.results import ExperimentResult
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """One model's point on the Figure 13 axis.
+
+    Attributes
+    ----------
+    model / soc / year:
+        Identity and generation ordering.
+    mean_iters_per_kj:
+        Fleet-mean iterations per kilojoule.
+    per_unit:
+        Per-serial efficiency, for error bars.
+    """
+
+    model: str
+    soc: str
+    year: int
+    mean_iters_per_kj: float
+    per_unit: Tuple[Tuple[str, float], ...]
+
+
+def efficiency_point(
+    result: ExperimentResult, soc_name: str, year: int
+) -> EfficiencyPoint:
+    """Fold one model's UNCONSTRAINED result into an efficiency point."""
+    per_unit = tuple(
+        (device.serial, device.efficiency_iters_per_kj) for device in result.devices
+    )
+    values = [value for _, value in per_unit]
+    return EfficiencyPoint(
+        model=result.model,
+        soc=soc_name,
+        year=year,
+        mean_iters_per_kj=sum(values) / len(values),
+        per_unit=per_unit,
+    )
+
+
+def efficiency_series(points: Sequence[EfficiencyPoint]) -> List[EfficiencyPoint]:
+    """Points sorted in generation order (the Figure 13 x-axis)."""
+    if not points:
+        raise AnalysisError("no efficiency points supplied")
+    return sorted(points, key=lambda p: (p.year, p.soc))
+
+
+def relative_to_first(points: Sequence[EfficiencyPoint]) -> Dict[str, float]:
+    """Each SoC's efficiency relative to the oldest generation (= 1.0)."""
+    ordered = efficiency_series(points)
+    baseline = ordered[0].mean_iters_per_kj
+    if baseline <= 0:
+        raise AnalysisError("baseline efficiency must be positive")
+    return {point.soc: point.mean_iters_per_kj / baseline for point in ordered}
+
+
+def sd805_regression(points: Sequence[EfficiencyPoint]) -> bool:
+    """True if the SD-805 measured less efficient than the SD-800 —
+    the paper's headline Figure 13 anomaly."""
+    by_soc = {point.soc: point.mean_iters_per_kj for point in points}
+    try:
+        return by_soc["SD-805"] < by_soc["SD-800"]
+    except KeyError as missing:
+        raise AnalysisError(f"missing efficiency point for {missing}") from None

@@ -1,0 +1,243 @@
+"""The ACCUBENCH protocol state machine (paper Section III, Figure 4).
+
+One iteration:
+
+1. **Warmup** — acquire a wakelock and burn all cores for a fixed time, so
+   a previously-idle CPU reaches the same thermal state as a busy one.
+2. **Cooldown** — release the wakelock, sleep, and wake every 5 s to poll
+   the temperature sensor until it reports the target temperature.  This
+   normalizes the thermal state *downward* across devices and iterations.
+3. **Workload** — reacquire the wakelock, zero the power monitor, and burn
+   all cores for T_workload; performance is iterations completed, energy
+   is the monitor's integral.
+
+A fixed-*work* variant (:meth:`Accubench.run_fixed_work`) supports the
+paper's Figures 1 and 2, which report energy to complete a set amount of
+work rather than work completed in set time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import AccubenchConfig
+from repro.core.experiments import ExperimentSpec
+from repro.core.results import IterationResult
+from repro.device.phone import Device
+from repro.errors import ProtocolError
+from repro.instruments.thermabox import Thermabox
+from repro.sim.engine import World
+from repro.soc.perf import PI_ITERATION_OPS, iterations_from_ops
+from repro.thermal.ambient import AmbientProfile
+
+#: The cooldown target can never be below ambient; hold at least this
+#: margin above the chamber/room temperature, °C.
+MIN_COOLDOWN_MARGIN_C = 6.0
+
+
+class Accubench:
+    """Runs the protocol against one device."""
+
+    def __init__(self, config: Optional[AccubenchConfig] = None) -> None:
+        self.config = config if config is not None else AccubenchConfig()
+
+    def run_iteration(
+        self,
+        device: Device,
+        experiment: ExperimentSpec,
+        room: Optional[AmbientProfile] = None,
+        chamber: Optional[Thermabox] = None,
+    ) -> IterationResult:
+        """Run one warmup → cooldown → workload pass.
+
+        The device must be powered from an energy-metered supply — the
+        methodology's Monsoon, or a :class:`~repro.device.battery.Battery`
+        (the paper compares both on the LG G5).  Device thermal and
+        mitigation state carries over between calls — exactly like the
+        paper's back-to-back iterations; the warmup/cooldown phases exist
+        to normalize it.
+        """
+        supply = self._require_energy_metering(device)
+        config = self.config
+        world = World(
+            device,
+            room=room,
+            chamber=chamber,
+            dt=config.dt,
+            trace_decimation=config.trace_decimation,
+        )
+
+        self._configure_frequency(device, experiment)
+
+        # Phase 1: warmup.
+        device.acquire_wakelock()
+        device.start_load()
+        world.set_phase("warmup")
+        world.run_for(config.warmup_s)
+
+        # Phase 2: cooldown (suspend; poll the sensor every few seconds).
+        device.stop_load()
+        device.release_wakelock()
+        world.set_phase("cooldown")
+        target_c = max(
+            config.cooldown_target_c, world.ambient_c + MIN_COOLDOWN_MARGIN_C
+        )
+        cooldown_s = world.run_until(
+            lambda w: w.device.read_cpu_temp() <= target_c,
+            check_every_s=config.cooldown_poll_s,
+            timeout_s=config.cooldown_timeout_s,
+        )
+
+        # Phase 3: workload (the measured window).
+        device.acquire_wakelock()
+        device.start_load()
+        energy_before = supply.energy_drawn_j
+        ops_before = world.ops_total
+        world.set_phase("workload")
+        world.run_for(config.workload_s)
+        energy_j = supply.energy_drawn_j - energy_before
+        mean_power_w = energy_j / config.workload_s
+        completed = iterations_from_ops(world.ops_total - ops_before)
+        device.stop_load()
+        device.release_wakelock()
+        world.close()
+
+        return IterationResult(
+            model=device.spec.name,
+            serial=device.serial,
+            workload=experiment.name,
+            iterations_completed=completed,
+            energy_j=energy_j,
+            mean_power_w=mean_power_w,
+            mean_freq_mhz=float(
+                np.mean(world.trace.phase_column("workload", "freq"))
+            ),
+            max_cpu_temp_c=world.trace.max("cpu_temp"),
+            cooldown_s=cooldown_s,
+            time_throttled_s=self._throttled_time(world),
+            trace=world.trace if config.keep_traces else None,
+        )
+
+    def run_fixed_work(
+        self,
+        device: Device,
+        work_iterations: float,
+        room: Optional[AmbientProfile] = None,
+        chamber: Optional[Thermabox] = None,
+        timeout_s: float = 7200.0,
+        skip_conditioning: bool = False,
+        fixed_freq_mhz: Optional[float] = None,
+    ) -> IterationResult:
+        """Measure energy and time to complete a fixed amount of work.
+
+        Used by the Figure 1 (bin energy at fixed work) and Figure 2
+        (ambient-temperature energy scaling) reproductions.  Warmup and
+        cooldown still run unless ``skip_conditioning`` — normalizing the
+        starting state matters just as much for energy comparisons.
+        ``fixed_freq_mhz`` pins the clock (Figure 2 runs at a set
+        frequency); ``None`` leaves the performance governor in charge.
+        """
+        if work_iterations <= 0:
+            raise ProtocolError("work_iterations must be positive")
+        supply = self._require_energy_metering(device)
+        config = self.config
+        world = World(
+            device,
+            room=room,
+            chamber=chamber,
+            dt=config.dt,
+            trace_decimation=config.trace_decimation,
+        )
+        if fixed_freq_mhz is None:
+            device.unconstrain_frequency()
+        else:
+            device.set_fixed_frequency(fixed_freq_mhz)
+
+        if not skip_conditioning:
+            device.acquire_wakelock()
+            device.start_load()
+            world.set_phase("warmup")
+            world.run_for(config.warmup_s)
+            device.stop_load()
+            device.release_wakelock()
+            world.set_phase("cooldown")
+            target_c = max(
+                config.cooldown_target_c, world.ambient_c + MIN_COOLDOWN_MARGIN_C
+            )
+            world.run_until(
+                lambda w: w.device.read_cpu_temp() <= target_c,
+                check_every_s=config.cooldown_poll_s,
+                timeout_s=config.cooldown_timeout_s,
+            )
+
+        device.acquire_wakelock()
+        device.start_load()
+        energy_before = supply.energy_drawn_j
+        ops_before = world.ops_total
+        ops_target = ops_before + work_iterations * PI_ITERATION_OPS
+        world.set_phase("workload")
+        started = world.now
+        world.run_until(
+            lambda w: w.ops_total >= ops_target,
+            check_every_s=max(config.dt, 1.0),
+            timeout_s=timeout_s,
+        )
+        duration_s = world.now - started
+        energy_j = supply.energy_drawn_j - energy_before
+        mean_power_w = energy_j / duration_s if duration_s > 0 else 0.0
+        device.stop_load()
+        device.release_wakelock()
+        world.close()
+
+        return IterationResult(
+            model=device.spec.name,
+            serial=device.serial,
+            workload=f"FIXED-WORK({work_iterations:g})",
+            iterations_completed=duration_s,  # time-to-completion, seconds
+            energy_j=energy_j,
+            mean_power_w=mean_power_w,
+            mean_freq_mhz=float(
+                np.mean(world.trace.phase_column("workload", "freq"))
+            ),
+            max_cpu_temp_c=world.trace.max("cpu_temp"),
+            cooldown_s=0.0,
+            time_throttled_s=self._throttled_time(world),
+            trace=world.trace if config.keep_traces else None,
+        )
+
+    # -- internals --------------------------------------------------------
+
+    @staticmethod
+    def _require_energy_metering(device: Device):
+        """The supply must expose cumulative energy accounting."""
+        supply = device.supply
+        if not hasattr(supply, "energy_drawn_j"):
+            raise ProtocolError(
+                "ACCUBENCH measures energy at the supply: power the device "
+                "from a MonsoonPowerMonitor or Battery (both meter energy "
+                "via .energy_drawn_j)"
+            )
+        return supply
+
+    @staticmethod
+    def _configure_frequency(device: Device, experiment: ExperimentSpec) -> None:
+        if experiment.is_unconstrained:
+            device.unconstrain_frequency()
+        else:
+            assert experiment.fixed_freq_mhz is not None  # spec invariant
+            device.set_fixed_frequency(experiment.fixed_freq_mhz)
+
+    @staticmethod
+    def _throttled_time(world: World) -> float:
+        trace = world.trace
+        try:
+            steps = trace.phase_column("workload", "throttle_steps")
+        except Exception:  # no workload phase recorded
+            return 0.0
+        times = trace.times()
+        if times.size < 2 or steps.size == 0:
+            return 0.0
+        sample_spacing = float(times[1] - times[0])
+        return float((steps > 0).sum()) * sample_spacing

@@ -1,0 +1,104 @@
+"""Device ranking (paper Section VI, future work).
+
+The paper's endgame is a crowdsourced service that ranks a user's unit
+against the population of the same model: "Not only can the devices be
+ranked on the absolute scale with respect to one another, but the gathered
+information can also be used to understand how the manufacturers are
+binning their CPUs."  This module ranks units by a composite
+energy-performance score and places a new unit within a reference
+population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.results import DeviceResult
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class RankedUnit:
+    """One unit's position in a ranking.
+
+    Attributes
+    ----------
+    serial:
+        Unit identity.
+    score:
+        Composite quality score (higher is better silicon).
+    rank:
+        1-based rank within the ranked population.
+    percentile:
+        Percentile within the population (100 = best).
+    """
+
+    serial: str
+    score: float
+    rank: int
+    percentile: float
+
+
+def quality_score(
+    performance: float,
+    energy_j: float,
+    performance_weight: float = 0.5,
+) -> float:
+    """Composite silicon-quality score.
+
+    Geometric blend of performance (more is better) and energy (less is
+    better); the weight sets how much performance counts relative to
+    energy.  Units: arbitrary, comparable within one model + workload.
+    """
+    if performance <= 0 or energy_j <= 0:
+        raise AnalysisError("performance and energy must be positive")
+    if not 0.0 <= performance_weight <= 1.0:
+        raise AnalysisError("performance_weight must be within [0, 1]")
+    energy_weight = 1.0 - performance_weight
+    return (performance**performance_weight) * ((1.0 / energy_j) ** energy_weight)
+
+
+def rank_units(
+    results: Sequence[DeviceResult], performance_weight: float = 0.5
+) -> List[RankedUnit]:
+    """Rank a population of device results, best first."""
+    if not results:
+        raise AnalysisError("cannot rank an empty population")
+    scored = [
+        (r.serial, quality_score(r.performance, r.energy_j, performance_weight))
+        for r in results
+    ]
+    scored.sort(key=lambda item: item[1], reverse=True)
+    population = len(scored)
+    ranked = []
+    for index, (serial, score) in enumerate(scored):
+        rank = index + 1
+        percentile = 100.0 * (population - rank) / max(1, population - 1)
+        ranked.append(
+            RankedUnit(serial=serial, score=score, rank=rank, percentile=percentile)
+        )
+    return ranked
+
+
+def place_unit(
+    unit: DeviceResult,
+    population: Sequence[DeviceResult],
+    performance_weight: float = 0.5,
+) -> RankedUnit:
+    """Place one unit within a reference population (the crowdsourced
+    "how good is *my* phone?" query)."""
+    if not population:
+        raise AnalysisError("reference population is empty")
+    unit_score = quality_score(unit.performance, unit.energy_j, performance_weight)
+    scores = [
+        quality_score(r.performance, r.energy_j, performance_weight)
+        for r in population
+    ]
+    better = sum(1 for s in scores if s > unit_score)
+    rank = better + 1
+    total = len(scores) + 1
+    percentile = 100.0 * (total - rank) / max(1, total - 1)
+    return RankedUnit(
+        serial=unit.serial, score=unit_score, rank=rank, percentile=percentile
+    )

@@ -1,0 +1,174 @@
+"""Campaign runner: the paper's full study design, automated.
+
+For each unit: power it from a Monsoon at the methodology's voltage,
+stabilize the THERMABOX, then run ≥5 back-to-back ACCUBENCH iterations.
+For each model: do that for every unit under both workloads.  This is the
+automation loop the paper describes at the end of Section III ("the app
+first communicates with the THERMABOX and confirms that it is within the
+target temperature range...").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.config import AccubenchConfig
+from repro.core.experiments import ExperimentSpec, fixed_frequency, unconstrained
+from repro.core.protocol import Accubench
+from repro.core.results import DeviceResult, ExperimentResult
+from repro.device.catalog import DeviceSpec
+from repro.device.fleet import paper_fleet
+from repro.device.phone import Device
+from repro.errors import ConfigurationError
+from repro.instruments.monsoon import MonsoonPowerMonitor
+from repro.instruments.thermabox import Thermabox, ThermaboxConfig
+from repro.rng import DEFAULT_ROOT_SEED
+from repro.thermal.ambient import AmbientProfile, ConstantAmbient
+from repro.units import PAPER_AMBIENT_C
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Study-level configuration.
+
+    Attributes
+    ----------
+    accubench:
+        The protocol parameters (durations, iteration count, dt).
+    ambient_c:
+        THERMABOX setpoint (the paper's 26 °C).
+    room_temp_c:
+        Temperature of the room the chamber sits in.
+    use_thermabox:
+        Whether devices run inside a regulated chamber.  Turning this off
+        is the ablation that shows why the chamber exists.
+    monsoon_voltage:
+        Main-channel voltage, or ``None`` to choose per device: the
+        battery's nominal voltage, except on models with an input-voltage
+        throttle where the battery's max voltage is used (the paper's
+        LG G5 lesson, Figure 10).
+    root_seed:
+        Seed for all stochastic elements.
+    """
+
+    accubench: AccubenchConfig = field(default_factory=AccubenchConfig)
+    ambient_c: float = PAPER_AMBIENT_C
+    room_temp_c: float = 23.0
+    use_thermabox: bool = True
+    monsoon_voltage: Optional[float] = None
+    root_seed: int = DEFAULT_ROOT_SEED
+
+
+class CampaignRunner:
+    """Runs experiments over units, fleets and the whole study."""
+
+    def __init__(self, config: Optional[CampaignConfig] = None) -> None:
+        self.config = config if config is not None else CampaignConfig()
+        self._protocol = Accubench(self.config.accubench)
+
+    def monsoon_voltage_for(self, spec: DeviceSpec) -> float:
+        """The supply voltage the methodology uses for a device model."""
+        if self.config.monsoon_voltage is not None:
+            return self.config.monsoon_voltage
+        if spec.voltage_throttle is not None:
+            return spec.battery.max_v
+        return spec.battery.nominal_v
+
+    def run_device(
+        self,
+        device: Device,
+        experiment: ExperimentSpec,
+        ambient_c: Optional[float] = None,
+        iterations: Optional[int] = None,
+        supply_voltage: Optional[float] = None,
+    ) -> DeviceResult:
+        """Run one experiment (≥5 iterations) on one unit.
+
+        ``supply_voltage`` overrides the methodology's voltage choice for
+        this unit only — the knob behind the paper's Figure 10 experiment.
+        """
+        count = iterations if iterations is not None else self.config.accubench.iterations
+        if count < 1:
+            raise ConfigurationError("iterations must be at least 1")
+        volts = (
+            supply_voltage
+            if supply_voltage is not None
+            else self.monsoon_voltage_for(device.spec)
+        )
+        monsoon = MonsoonPowerMonitor(volts)
+        device.connect_supply(monsoon)
+        room, chamber = self._environment(ambient_c)
+        if chamber is not None:
+            chamber.wait_until_stable(self.config.room_temp_c)
+        results = tuple(
+            self._protocol.run_iteration(device, experiment, room=room, chamber=chamber)
+            for _ in range(count)
+        )
+        return DeviceResult(
+            model=device.spec.name,
+            serial=device.serial,
+            workload=experiment.name,
+            iterations=results,
+        )
+
+    def run_fleet(
+        self,
+        model: str,
+        experiment: ExperimentSpec,
+        devices: Optional[Sequence[Device]] = None,
+        ambient_c: Optional[float] = None,
+        iterations: Optional[int] = None,
+    ) -> ExperimentResult:
+        """Run one experiment across a fleet (the paper's units by default)."""
+        fleet = (
+            list(devices)
+            if devices is not None
+            else paper_fleet(
+                model,
+                root_seed=self.config.root_seed,
+                initial_temp_c=ambient_c if ambient_c is not None else self.config.ambient_c,
+            )
+        )
+        return ExperimentResult(
+            model=model,
+            workload=experiment.name,
+            devices=tuple(
+                self.run_device(device, experiment, ambient_c, iterations)
+                for device in fleet
+            ),
+        )
+
+    def run_model(
+        self, model: str, spec: Optional[DeviceSpec] = None
+    ) -> Tuple[ExperimentResult, ExperimentResult]:
+        """Both workloads on one model's paper fleet:
+        (UNCONSTRAINED, FIXED-FREQUENCY)."""
+        from repro.device.catalog import device_spec as lookup
+
+        device = spec if spec is not None else lookup(model)
+        performance = self.run_fleet(model, unconstrained())
+        energy = self.run_fleet(model, fixed_frequency(device))
+        return performance, energy
+
+    def run_study(
+        self, models: Optional[Sequence[str]] = None
+    ) -> Dict[str, Tuple[ExperimentResult, ExperimentResult]]:
+        """The whole Table II study: every model, both workloads."""
+        from repro.device.catalog import DEVICE_NAMES
+
+        chosen = list(models) if models is not None else list(DEVICE_NAMES)
+        return {model: self.run_model(model) for model in chosen}
+
+    # -- internals --------------------------------------------------------
+
+    def _environment(
+        self, ambient_c: Optional[float]
+    ) -> Tuple[AmbientProfile, Optional[Thermabox]]:
+        target = ambient_c if ambient_c is not None else self.config.ambient_c
+        if not self.config.use_thermabox:
+            return ConstantAmbient(target), None
+        chamber = Thermabox(
+            ThermaboxConfig(target_c=target), initial_temp_c=target
+        )
+        return ConstantAmbient(self.config.room_temp_c), chamber

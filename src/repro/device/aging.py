@@ -1,0 +1,129 @@
+"""Battery aging and its throttling consequences (paper Section IV-C).
+
+The paper's LG G5 finding — the OS throttles on input voltage — is, as the
+authors note, "reminiscent of recent reports of old iPhones being
+throttled": *the voltage that a battery is able to supply decreases over
+time*, so an input-voltage policy silently slows the phone as its battery
+wears.  This module models that wear so the effect can be studied:
+
+* **capacity fade** — less charge per full cycle as cycles accumulate;
+* **internal-resistance growth** — more sag under load, the dominant term
+  for voltage-based throttling;
+* **OCV depression** — the whole open-circuit curve sits slightly lower.
+
+The wear laws are the standard empirical linear-in-cycles forms used in
+battery state-of-health literature; coefficients give roughly 20% capacity
+fade and doubled resistance around 500 cycles, typical for the era's
+lithium-polymer packs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.battery import Battery, BatterySpec
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BatteryAge:
+    """Wear state of one battery.
+
+    Attributes
+    ----------
+    cycles:
+        Equivalent full charge/discharge cycles accumulated.
+    capacity_fade_per_cycle:
+        Fraction of rated capacity lost per cycle.
+    resistance_growth_per_cycle:
+        Fractional internal-resistance increase per cycle.
+    ocv_depression_v_per_cycle:
+        Volts the open-circuit curve drops per cycle.
+    """
+
+    cycles: float
+    capacity_fade_per_cycle: float = 4.0e-4
+    resistance_growth_per_cycle: float = 2.0e-3
+    ocv_depression_v_per_cycle: float = 1.0e-4
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ConfigurationError("cycles must be non-negative")
+        for field_name in (
+            "capacity_fade_per_cycle",
+            "resistance_growth_per_cycle",
+            "ocv_depression_v_per_cycle",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ConfigurationError(f"{field_name} must be non-negative")
+        if self.capacity_fraction() <= 0.2:
+            raise ConfigurationError(
+                f"{self.cycles} cycles leaves under 20% capacity; a pack "
+                "this worn would have been replaced (or died)"
+            )
+
+    @classmethod
+    def new(cls) -> "BatteryAge":
+        """A fresh pack."""
+        return cls(cycles=0.0)
+
+    def capacity_fraction(self) -> float:
+        """Remaining fraction of rated capacity."""
+        return max(0.0, 1.0 - self.capacity_fade_per_cycle * self.cycles)
+
+    def resistance_multiplier(self) -> float:
+        """Internal-resistance growth factor."""
+        return 1.0 + self.resistance_growth_per_cycle * self.cycles
+
+    def ocv_depression_v(self) -> float:
+        """How far the OCV curve has sunk, volts."""
+        return self.ocv_depression_v_per_cycle * self.cycles
+
+    def applied_to(self, spec: BatterySpec) -> BatterySpec:
+        """The worn battery's effective spec."""
+        depressed = self.ocv_depression_v()
+        return BatterySpec(
+            capacity_mah=spec.capacity_mah * self.capacity_fraction(),
+            nominal_v=spec.nominal_v,
+            max_v=spec.max_v,
+            internal_resistance_ohm=(
+                spec.internal_resistance_ohm * self.resistance_multiplier()
+            ),
+            ocv_curve=tuple(
+                (soc, voltage - depressed) for soc, voltage in spec.ocv_curve
+            ),
+        )
+
+
+def aged_battery(
+    spec: BatterySpec, age: BatteryAge, state_of_charge: float = 1.0
+) -> Battery:
+    """A :class:`Battery` instance wearing the given age."""
+    return Battery(age.applied_to(spec), state_of_charge=state_of_charge)
+
+
+def throttle_onset_soc(
+    spec: BatterySpec,
+    age: BatteryAge,
+    threshold_v: float,
+    load_w: float,
+    resolution: float = 0.01,
+) -> float:
+    """State of charge at which an input-voltage throttle engages.
+
+    Sweeps SoC downward and returns the highest value at which the
+    terminal voltage under ``load_w`` is at or below ``threshold_v`` —
+    i.e. the charge level where your phone starts feeling slow.  Returns
+    1.0 if it is *always* throttled, 0.0 if never.
+    """
+    if not 0 < resolution <= 0.25:
+        raise ConfigurationError("resolution must be within (0, 0.25]")
+    worn = age.applied_to(spec)
+    soc = 1.0
+    while soc > 0.0:
+        battery = Battery(worn, state_of_charge=max(soc, resolution))
+        battery.draw(load_w, 1e-6)  # establish the load point
+        if battery.output_voltage_v <= threshold_v:
+            return round(soc, 10)
+        soc = round(soc - resolution, 10)
+    return 0.0

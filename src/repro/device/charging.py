@@ -1,0 +1,158 @@
+"""Battery charging (CC/CV) model.
+
+The crowd-study simulator samples users at arbitrary charge levels; this
+module supplies the other half of a phone's day — how charge is restored.
+Lithium cells charge in two phases: **constant current** until the
+terminal voltage hits the cell maximum, then **constant voltage** with the
+current tapering exponentially.  Wear (``repro.device.aging``) slows
+charging too: a worn pack's higher internal resistance reaches the CV
+point earlier, so more of the charge happens in the slow tail — the
+"my old phone charges slower *and* dies faster" experience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.device.battery import Battery
+from repro.errors import ConfigurationError, SimulationError
+
+
+@dataclass(frozen=True)
+class ChargerSpec:
+    """Wall charger characteristics.
+
+    Attributes
+    ----------
+    max_current_a:
+        Constant-current phase limit (a 2013-era 1.8 A brick through a
+        2016 3 A quick charger).
+    cv_voltage_v:
+        Constant-voltage setpoint — the cell's max voltage.
+    taper_cutoff_a:
+        CV-phase current below which charging terminates.
+    efficiency:
+        Charge acceptance efficiency (coulombic × converter).
+    """
+
+    max_current_a: float = 2.0
+    cv_voltage_v: float = 4.35
+    taper_cutoff_a: float = 0.08
+    efficiency: float = 0.92
+
+    def __post_init__(self) -> None:
+        if self.max_current_a <= 0:
+            raise ConfigurationError("max_current_a must be positive")
+        if self.cv_voltage_v <= 0:
+            raise ConfigurationError("cv_voltage_v must be positive")
+        if not 0 < self.taper_cutoff_a < self.max_current_a:
+            raise ConfigurationError(
+                "taper_cutoff_a must be within (0, max_current_a)"
+            )
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ConfigurationError("efficiency must be within (0, 1]")
+
+
+@dataclass(frozen=True)
+class ChargeStep:
+    """One recorded charging sample.
+
+    Attributes
+    ----------
+    time_s:
+        Seconds since charging began.
+    state_of_charge:
+        Battery SoC at the sample.
+    current_a:
+        Charge current flowing into the cell.
+    phase:
+        ``"cc"`` or ``"cv"``.
+    """
+
+    time_s: float
+    state_of_charge: float
+    current_a: float
+    phase: str
+
+
+def charge(
+    battery: Battery,
+    charger: ChargerSpec,
+    dt: float = 10.0,
+    timeout_s: float = 6 * 3600.0,
+    record_every_s: float = 60.0,
+) -> List[ChargeStep]:
+    """Charge a battery to termination; returns the recorded curve.
+
+    The battery object's state of charge is mutated in place (it is, after
+    all, being charged).
+    """
+    if dt <= 0:
+        raise SimulationError("dt must be positive")
+    if timeout_s <= 0:
+        raise SimulationError("timeout_s must be positive")
+    spec = battery.spec
+    capacity_j = spec.energy_capacity_j
+    resistance = spec.internal_resistance_ohm
+
+    samples: List[ChargeStep] = []
+    elapsed = 0.0
+    next_record = 0.0
+    while elapsed < timeout_s:
+        soc = battery.state_of_charge
+        ocv = spec.ocv_v(soc)
+        # CC phase: full current unless it would push the terminal voltage
+        # (ocv + I·R) past the CV setpoint; then CV: I = (V_cv − ocv)/R.
+        cv_limited_a = (
+            (charger.cv_voltage_v - ocv) / resistance if resistance > 0 else float("inf")
+        )
+        if cv_limited_a >= charger.max_current_a:
+            current = charger.max_current_a
+            phase = "cc"
+        else:
+            current = max(0.0, cv_limited_a)
+            phase = "cv"
+        if phase == "cv" and current <= charger.taper_cutoff_a:
+            break
+        if soc >= 1.0:
+            break
+
+        if elapsed >= next_record:
+            samples.append(
+                ChargeStep(
+                    time_s=elapsed, state_of_charge=soc,
+                    current_a=current, phase=phase,
+                )
+            )
+            next_record += record_every_s
+
+        energy_in = current * ocv * dt * charger.efficiency
+        new_soc = min(1.0, soc + energy_in / capacity_j)
+        battery._soc = new_soc  # charging is the battery's own business
+        elapsed += dt
+    else:
+        raise SimulationError(f"charging did not terminate within {timeout_s} s")
+
+    samples.append(
+        ChargeStep(
+            time_s=elapsed, state_of_charge=battery.state_of_charge,
+            current_a=0.0, phase="done",
+        )
+    )
+    return samples
+
+
+def time_to_charge_s(
+    battery: Battery, charger: ChargerSpec, target_soc: float = 1.0, dt: float = 10.0
+) -> float:
+    """Seconds to charge the battery to a target state of charge."""
+    if not 0.0 < target_soc <= 1.0:
+        raise ConfigurationError("target_soc must be within (0, 1]")
+    if battery.state_of_charge >= target_soc:
+        return 0.0
+    curve = charge(battery, charger, dt=dt, record_every_s=dt)
+    for sample in curve:
+        if sample.state_of_charge >= target_soc:
+            return sample.time_s
+    return curve[-1].time_s

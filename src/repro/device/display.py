@@ -1,0 +1,91 @@
+"""Display power model.
+
+The methodology locks the phone so "the display was off during an
+experiment" (paper Section III).  This model makes that design choice
+testable: a lit panel adds watts and heat (into the case side, where the
+panel sits), polluting both the energy integral and the thermal budget.
+
+Panel power follows the standard affine-in-brightness form measured on
+LCD panels of the era (AMOLED would add content dependence; the study's
+devices span both, and the affine model bounds either).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DisplaySpec:
+    """Panel power characteristics.
+
+    Attributes
+    ----------
+    base_power_w:
+        Power at minimum brightness, screen on, watts.
+    full_brightness_power_w:
+        Power at maximum brightness, watts.
+    """
+
+    base_power_w: float = 0.35
+    full_brightness_power_w: float = 1.6
+
+    def __post_init__(self) -> None:
+        if self.base_power_w < 0:
+            raise ConfigurationError("base_power_w must be non-negative")
+        if self.full_brightness_power_w < self.base_power_w:
+            raise ConfigurationError(
+                "full_brightness_power_w must be at least base_power_w"
+            )
+
+    def power_w(self, brightness: float) -> float:
+        """Panel power at a brightness in [0, 1] (screen on)."""
+        if not 0.0 <= brightness <= 1.0:
+            raise ConfigurationError("brightness must be within [0, 1]")
+        return self.base_power_w + brightness * (
+            self.full_brightness_power_w - self.base_power_w
+        )
+
+
+@dataclass
+class Display:
+    """Runtime display state.
+
+    Attributes
+    ----------
+    spec:
+        Panel characteristics.
+    """
+
+    spec: DisplaySpec = field(default_factory=DisplaySpec)
+    _on: bool = field(default=False, init=False)
+    _brightness: float = field(default=0.6, init=False)
+
+    @property
+    def is_on(self) -> bool:
+        """Whether the panel is lit."""
+        return self._on
+
+    @property
+    def brightness(self) -> float:
+        """Current brightness setting, [0, 1]."""
+        return self._brightness
+
+    def turn_on(self, brightness: float = 0.6) -> None:
+        """Light the panel at a brightness."""
+        if not 0.0 <= brightness <= 1.0:
+            raise ConfigurationError("brightness must be within [0, 1]")
+        self._on = True
+        self._brightness = brightness
+
+    def turn_off(self) -> None:
+        """Blank the panel (the methodology's state)."""
+        self._on = False
+
+    def power_w(self) -> float:
+        """Current panel power draw, watts."""
+        if not self._on:
+            return 0.0
+        return self.spec.power_w(self._brightness)

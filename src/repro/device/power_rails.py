@@ -1,0 +1,63 @@
+"""Power-supply interface and rail accounting.
+
+A device draws from *some* supply — its battery in the field, a Monsoon in
+the lab.  Both present the same small interface: a terminal voltage and a
+``draw`` call that accounts for energy leaving the supply.
+
+The OS reads the terminal voltage; on the LG G5 that reading feeds a
+throttling policy, which is how powering the phone from a Monsoon set to
+the battery's *nominal* 3.85 V produced the paper's Figure 10 anomaly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+
+@runtime_checkable
+class PowerSupply(Protocol):
+    """Anything a device can be powered from."""
+
+    @property
+    def output_voltage_v(self) -> float:
+        """Terminal voltage seen by the device, volts."""
+        ...  # pragma: no cover - protocol
+
+    def draw(self, power_w: float, dt: float) -> float:
+        """Account for drawing ``power_w`` for ``dt`` s; returns current, A."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class RailBudget:
+    """Fixed platform power levels outside the CPU rails.
+
+    Attributes
+    ----------
+    awake_idle_w:
+        Platform power with wakelock held, screen off, CPUs idle (SoC
+        uncore, memory, rails) — watts.
+    asleep_w:
+        Suspended platform power during the cooldown phase, watts.
+    regulator_efficiency:
+        PMIC conversion efficiency; supply-side power = load / efficiency.
+    """
+
+    awake_idle_w: float
+    asleep_w: float
+    regulator_efficiency: float = 0.90
+
+    def __post_init__(self) -> None:
+        if self.awake_idle_w < 0 or self.asleep_w < 0:
+            raise ConfigurationError("rail powers must be non-negative")
+        if not 0.0 < self.regulator_efficiency <= 1.0:
+            raise ConfigurationError("regulator_efficiency must be within (0, 1]")
+
+    def supply_power_w(self, load_w: float) -> float:
+        """Power drawn from the supply to deliver ``load_w`` to the rails."""
+        if load_w < 0:
+            raise ConfigurationError("load_w must be non-negative")
+        return load_w / self.regulator_efficiency

@@ -1,0 +1,110 @@
+"""Experiment logging (the benchmark app's record-keeping).
+
+The paper's app "uses APIs exposed by the app to perform restricted
+operations such as reading the CPU temperature, acquiring wakelocks,
+logging and storing experimental logs" (Section III).  This logger is that
+storage backend: an append-only JSONL file, one document per record, with
+typed helpers for iterations and free-form events plus a loader for
+analysis sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.core.results import IterationResult
+from repro.core.serialize import iteration_from_dict, iteration_to_dict
+from repro.errors import InstrumentError
+
+#: Format marker written into every record.
+LOG_FORMAT = "repro-log-v1"
+
+
+class ExperimentLogger:
+    """Append-only JSONL experiment log."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def path(self) -> Path:
+        """Where records are stored."""
+        return self._path
+
+    def log_iteration(self, result: IterationResult) -> None:
+        """Append one protocol iteration."""
+        self._append({"kind": "iteration", "data": iteration_to_dict(result)})
+
+    def log_event(self, event: str, **detail: Any) -> None:
+        """Append a free-form event (phase markers, chamber status...)."""
+        if not event:
+            raise InstrumentError("event name must be non-empty")
+        self._append({"kind": "event", "event": event, "detail": detail})
+
+    def log_note(self, text: str) -> None:
+        """Append an operator note."""
+        self._append({"kind": "note", "text": text})
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        record = {"format": LOG_FORMAT, **record}
+        with self._path.open("a") as fp:
+            fp.write(json.dumps(record, sort_keys=True) + "\n")
+
+    # -- reading ---------------------------------------------------------
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """Yield every record, oldest first."""
+        if not self._path.exists():
+            return
+        with self._path.open() as fp:
+            for line_number, line in enumerate(fp, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise InstrumentError(
+                        f"{self._path}:{line_number}: corrupt log line ({error})"
+                    ) from None
+                if record.get("format") != LOG_FORMAT:
+                    raise InstrumentError(
+                        f"{self._path}:{line_number}: unknown log format "
+                        f"{record.get('format')!r}"
+                    )
+                yield record
+
+    def iterations(
+        self, serial: Optional[str] = None, workload: Optional[str] = None
+    ) -> List[IterationResult]:
+        """Load logged iterations, optionally filtered."""
+        results = []
+        for record in self.records():
+            if record["kind"] != "iteration":
+                continue
+            result = iteration_from_dict(record["data"])
+            if serial is not None and result.serial != serial:
+                continue
+            if workload is not None and result.workload != workload:
+                continue
+            results.append(result)
+        return results
+
+    def events(self, event: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Load logged events, optionally filtered by name."""
+        return [
+            record
+            for record in self.records()
+            if record["kind"] == "event"
+            and (event is None or record["event"] == event)
+        ]
+
+    def summary(self) -> Dict[str, int]:
+        """Counts per record kind."""
+        counts: Dict[str, int] = {}
+        for record in self.records():
+            counts[record["kind"]] = counts.get(record["kind"], 0) + 1
+        return counts

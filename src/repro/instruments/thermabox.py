@@ -1,0 +1,198 @@
+"""THERMABOX: the paper's controlled thermal environment (Figure 3).
+
+A RaspberryPi polls a thermistor probe and power-cycles a compressor (cool)
+and a 250 W halogen lamp (heat) to hold the chamber air at the target
+temperature within ±0.5 °C.  The chamber is modelled as a single air/wall
+thermal mass leaking to the room, with the device under test's waste heat
+injected as an extra load.
+
+Actuation realism that matters for regulation quality: the controller is a
+bang-bang loop with a deadband *inside* the reported tolerance, and the
+compressor has a minimum off-time (short-cycling a refrigeration compressor
+destroys it, so every real build rate-limits it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InstrumentError
+from repro.instruments.probe import ThermistorProbe
+from repro.units import PAPER_AMBIENT_C, PAPER_AMBIENT_TOLERANCE_C
+
+
+@dataclass(frozen=True)
+class ThermaboxConfig:
+    """THERMABOX build parameters.
+
+    Attributes
+    ----------
+    target_c:
+        Setpoint, °C (the paper runs everything at 26 °C).
+    tolerance_c:
+        Guaranteed regulation band half-width, °C.
+    heater_w:
+        Halogen-lamp heat input when on, watts.
+    cooler_w:
+        Heat removed by the compressor when on, watts (positive number).
+    air_heat_capacity:
+        Chamber air + inner-wall thermal mass, J/K.
+    wall_resistance:
+        Chamber-to-room thermal resistance, K/W.
+    controller_period_s:
+        RaspberryPi control-loop period, seconds.
+    deadband_c:
+        Bang-bang deadband half-width (must be inside ``tolerance_c``).
+    compressor_min_off_s:
+        Minimum compressor off-time between runs, seconds.
+    """
+
+    target_c: float = PAPER_AMBIENT_C
+    tolerance_c: float = PAPER_AMBIENT_TOLERANCE_C
+    heater_w: float = 250.0
+    cooler_w: float = 220.0
+    air_heat_capacity: float = 6000.0
+    wall_resistance: float = 0.22
+    controller_period_s: float = 1.0
+    deadband_c: float = 0.2
+    compressor_min_off_s: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.tolerance_c <= 0:
+            raise ConfigurationError("tolerance_c must be positive")
+        if self.deadband_c <= 0 or self.deadband_c >= self.tolerance_c:
+            raise ConfigurationError("deadband_c must be within (0, tolerance_c)")
+        if self.heater_w <= 0 or self.cooler_w <= 0:
+            raise ConfigurationError("actuator powers must be positive")
+        if self.air_heat_capacity <= 0 or self.wall_resistance <= 0:
+            raise ConfigurationError("chamber plant constants must be positive")
+        if self.controller_period_s <= 0:
+            raise ConfigurationError("controller_period_s must be positive")
+        if self.compressor_min_off_s < 0:
+            raise ConfigurationError("compressor_min_off_s must be non-negative")
+
+
+class Thermabox:
+    """The chamber plant plus its bang-bang controller."""
+
+    def __init__(
+        self,
+        config: ThermaboxConfig = ThermaboxConfig(),
+        initial_temp_c: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.config = config
+        self._air_c = config.target_c if initial_temp_c is None else initial_temp_c
+        self._probe = ThermistorProbe(
+            noise_sigma_c=0.05 if rng is not None else 0.0,
+            initial_temp_c=self._air_c,
+            rng=rng,
+        )
+        self._heater_on = False
+        self._cooler_on = False
+        self._time_s = 0.0
+        self._next_control_s = 0.0
+        self._cooler_off_since_s = -config.compressor_min_off_s
+        self._heater_seconds = 0.0
+        self._cooler_seconds = 0.0
+
+    @property
+    def air_temp_c(self) -> float:
+        """True chamber air temperature, °C."""
+        return self._air_c
+
+    @property
+    def heater_on(self) -> bool:
+        """Whether the halogen lamp is currently powered."""
+        return self._heater_on
+
+    @property
+    def cooler_on(self) -> bool:
+        """Whether the compressor is currently powered."""
+        return self._cooler_on
+
+    @property
+    def heater_duty_seconds(self) -> float:
+        """Total heater on-time so far, seconds."""
+        return self._heater_seconds
+
+    @property
+    def cooler_duty_seconds(self) -> float:
+        """Total compressor on-time so far, seconds."""
+        return self._cooler_seconds
+
+    def probe_reading_c(self) -> float:
+        """What the controller's thermistor currently reads, °C."""
+        return self._probe.read()
+
+    def is_within_band(self) -> bool:
+        """True if the true air temperature is inside target ± tolerance."""
+        return abs(self._air_c - self.config.target_c) <= self.config.tolerance_c
+
+    def wait_until_stable(
+        self, room_temp_c: float, dt: float = 1.0, timeout_s: float = 3600.0
+    ) -> float:
+        """Run the chamber until it holds the band for 60 s; returns the time
+        spent settling.  The benchmarking app performs exactly this check
+        before starting iterations (Section III).
+        """
+        settled_for = 0.0
+        waited = 0.0
+        while settled_for < 60.0:
+            if waited >= timeout_s:
+                raise InstrumentError(
+                    f"THERMABOX failed to stabilize within {timeout_s} s"
+                )
+            self.step(room_temp_c, dt)
+            waited += dt
+            settled_for = settled_for + dt if self.is_within_band() else 0.0
+        return waited
+
+    def step(self, room_temp_c: float, dt: float, load_w: float = 0.0) -> None:
+        """Advance the chamber by ``dt`` seconds.
+
+        ``load_w`` is heat dumped into the chamber by the device under test.
+        """
+        if dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        self._probe.advance(self._air_c, dt)
+        self._time_s += dt
+        while self._time_s >= self._next_control_s:
+            self._next_control_s += self.config.controller_period_s
+            self._control()
+        power = load_w
+        if self._heater_on:
+            power += self.config.heater_w
+            self._heater_seconds += dt
+        if self._cooler_on:
+            power -= self.config.cooler_w
+            self._cooler_seconds += dt
+        leak = (self._air_c - room_temp_c) / self.config.wall_resistance
+        self._air_c += dt * (power - leak) / self.config.air_heat_capacity
+
+    def _control(self) -> None:
+        """One RaspberryPi control decision from the probe reading."""
+        reading = self._probe.read()
+        low = self.config.target_c - self.config.deadband_c
+        high = self.config.target_c + self.config.deadband_c
+        if reading < low:
+            self._heater_on = True
+            if self._cooler_on:
+                self._cooler_on = False
+                self._cooler_off_since_s = self._time_s
+        elif reading > high:
+            self._heater_on = False
+            can_start = (
+                self._time_s - self._cooler_off_since_s
+                >= self.config.compressor_min_off_s
+            )
+            if not self._cooler_on and can_start:
+                self._cooler_on = True
+        else:
+            self._heater_on = False
+            if self._cooler_on:
+                self._cooler_on = False
+                self._cooler_off_since_s = self._time_s

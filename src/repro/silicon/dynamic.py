@@ -1,0 +1,61 @@
+"""Dynamic (switching) power model.
+
+Dynamic power follows the textbook ``P = C_eff · V² · f · activity`` form.
+Voltage binning (paper Table I) means two chips running the same frequency
+switch at *different voltages*, so their dynamic power differs by the square
+of the voltage ratio — the effect that makes bin-0's energy win
+counter-intuitive (Section IV-A1): its higher voltage costs dynamic power,
+but its low leakage more than pays that back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import mhz_to_hz
+
+
+@dataclass(frozen=True)
+class DynamicPowerModel:
+    """Switching power of one CPU core.
+
+    Attributes
+    ----------
+    c_eff_f:
+        Effective switched capacitance in farads (typically a fraction of a
+        nanofarad for a smartphone core).
+    """
+
+    c_eff_f: float
+
+    def __post_init__(self) -> None:
+        if self.c_eff_f <= 0:
+            raise ConfigurationError("c_eff_f must be positive")
+
+    def power(self, voltage: float, freq_mhz: float, activity: float = 1.0) -> float:
+        """Dynamic power in watts.
+
+        Parameters
+        ----------
+        voltage:
+            Core supply voltage, volts.
+        freq_mhz:
+            Clock frequency, MHz.
+        activity:
+            Fraction of cycles doing useful switching, in [0, 1].  The
+            paper's π workload keeps all cores at full activity.
+        """
+        if voltage < 0:
+            raise ConfigurationError("voltage must be non-negative")
+        if freq_mhz < 0:
+            raise ConfigurationError("freq_mhz must be non-negative")
+        if not 0.0 <= activity <= 1.0:
+            raise ConfigurationError("activity must be within [0, 1]")
+        return self.c_eff_f * voltage * voltage * mhz_to_hz(freq_mhz) * activity
+
+    def energy_per_cycle(self, voltage: float) -> float:
+        """Switching energy per clock cycle in joules (``C·V²``)."""
+        if voltage < 0:
+            raise ConfigurationError("voltage must be non-negative")
+        return self.c_eff_f * voltage * voltage

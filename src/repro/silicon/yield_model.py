@@ -1,0 +1,137 @@
+"""Bin distributions and the economics of the silicon lottery.
+
+Paper §VI: crowdsourced data "can also be used to understand how the
+manufacturers are binning their CPUs and the distribution of various
+bins."  This module computes that distribution from the variation model —
+the fraction of production landing in each voltage bin, how rare the
+golden bin-0 chips of Figure 6 actually are, and the odds a buyer draws a
+chip at least as good as a given bin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import NormalDist
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.silicon.binning import assign_bin_index
+from repro.silicon.process import ProcessNode
+from repro.silicon.variation import VariationSampler
+
+
+@dataclass(frozen=True)
+class BinShare:
+    """One bin's slice of production.
+
+    Attributes
+    ----------
+    bin_index:
+        Voltage bin (0 = slowest/least leaky silicon).
+    fraction:
+        Fraction of shipped dies landing in the bin.
+    """
+
+    bin_index: int
+    fraction: float
+
+
+def bin_distribution(
+    process: ProcessNode, bin_count: int, span_sigma: float = 2.5
+) -> List[BinShare]:
+    """Analytic production share per bin.
+
+    V_th shifts are normal; bins slice ±``span_sigma``·σ into equal widths
+    with out-of-span dies clamped into the end bins (as
+    :func:`~repro.silicon.binning.assign_bin_index` does).  The middle
+    bins therefore dominate and the end bins collect their tails.
+    """
+    if bin_count < 1:
+        raise ConfigurationError("bin_count must be at least 1")
+    if span_sigma <= 0:
+        raise ConfigurationError("span_sigma must be positive")
+    normal = NormalDist()
+    # Work in sigma units; bin 0 covers the highest vth_delta (slowest).
+    step = 2.0 * span_sigma / bin_count
+    shares = []
+    for bin_index in range(bin_count):
+        hi_sigma = span_sigma - bin_index * step
+        lo_sigma = hi_sigma - step
+        share = normal.cdf(hi_sigma) - normal.cdf(lo_sigma)
+        if bin_index == 0:
+            share += 1.0 - normal.cdf(span_sigma)  # slow tail clamps in
+        if bin_index == bin_count - 1:
+            share += normal.cdf(-span_sigma)  # fast tail clamps in
+        shares.append(BinShare(bin_index=bin_index, fraction=share))
+    return shares
+
+
+def empirical_bin_distribution(
+    process: ProcessNode,
+    bin_count: int,
+    sample_count: int = 10_000,
+    span_sigma: float = 2.5,
+    seed: int = 0,
+) -> List[BinShare]:
+    """Monte-Carlo cross-check of :func:`bin_distribution` using the same
+    sampler the fleets use (including its ±3σ test-reject clamp)."""
+    if sample_count < 1:
+        raise ConfigurationError("sample_count must be at least 1")
+    sampler = VariationSampler(process=process, root_seed=seed)
+    counts = [0] * bin_count
+    for index in range(sample_count):
+        profile = sampler.sample("yield-lot", f"die-{index}")
+        counts[assign_bin_index(process, bin_count, profile, span_sigma)] += 1
+    return [
+        BinShare(bin_index=i, fraction=count / sample_count)
+        for i, count in enumerate(counts)
+    ]
+
+
+def probability_at_least_bin(
+    shares: Sequence[BinShare], bin_index: int
+) -> float:
+    """Chance a random buyer draws a chip in bin ≤ ``bin_index``.
+
+    Lower bins are the low-leakage winners (paper Figure 6), so "at least
+    as good as bin-2" means bins 0, 1 and 2.
+    """
+    if not shares:
+        raise AnalysisError("no bin shares supplied")
+    known = {share.bin_index for share in shares}
+    if bin_index not in known:
+        raise AnalysisError(f"bin {bin_index} not in distribution")
+    return sum(share.fraction for share in shares if share.bin_index <= bin_index)
+
+
+def expected_leak_factor(
+    process: ProcessNode, bin_count: int, span_sigma: float = 2.5
+) -> Dict[int, float]:
+    """Representative (slice-midpoint) leakage multiplier per bin —
+    the physical meaning behind each price-identical SKU."""
+    from repro.silicon.binning import bin_profile
+
+    return {
+        bin_index: bin_profile(process, bin_count, bin_index, 0.5, span_sigma).leak_factor
+        for bin_index in range(bin_count)
+    }
+
+
+def lottery_odds_table(
+    process: ProcessNode, bin_count: int = 7, span_sigma: float = 2.5
+) -> List[Tuple[int, float, float, float]]:
+    """The consumer's view: per bin (index, share, cumulative, leak factor).
+
+    Ready for rendering: "X% of units are this bin, Y% are at least this
+    good, and such a chip leaks Z× nominal."
+    """
+    shares = bin_distribution(process, bin_count, span_sigma)
+    leaks = expected_leak_factor(process, bin_count, span_sigma)
+    rows = []
+    cumulative = 0.0
+    for share in shares:
+        cumulative += share.fraction
+        rows.append(
+            (share.bin_index, share.fraction, cumulative, leaks[share.bin_index])
+        )
+    return rows

@@ -1,0 +1,14 @@
+"""Simulation engine: clock, traces, events and the world stepper.
+
+The engine advances a :class:`~repro.device.phone.Device` (and optionally a
+THERMABOX chamber and Monsoon monitor) in fixed time steps, recording the
+time series the paper's figures are drawn from — temperature, frequency,
+power and phase markers over time.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.engine import World
+from repro.sim.events import Event, EventLog
+from repro.sim.trace import PhaseSpan, Trace
+
+__all__ = ["Event", "EventLog", "PhaseSpan", "SimClock", "Trace", "World"]

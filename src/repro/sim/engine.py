@@ -1,0 +1,184 @@
+"""The world stepper: device + chamber + room, on one clock.
+
+:class:`World` advances everything coherently each step:
+
+1. the room's ambient profile sets the outside temperature;
+2. the THERMABOX (if present) regulates its air against the room, absorbing
+   the device's waste heat;
+3. the device sees the chamber air (or the bare room) as its ambient and
+   steps its SoC/thermal/OS state;
+4. the trace records the channels the paper's figures plot.
+
+Callers (the ACCUBENCH protocol) use :meth:`run_for` and :meth:`run_until`
+to express phases, and :meth:`set_phase` to annotate the trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.device.phone import Device, StepReport
+from repro.errors import SimulationError
+from repro.instruments.thermabox import Thermabox
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLog
+from repro.sim.trace import Trace
+from repro.thermal.ambient import AmbientProfile, ConstantAmbient
+from repro.units import PAPER_AMBIENT_C
+
+#: Channels every world trace records.
+TRACE_CHANNELS = (
+    "cpu_temp",
+    "case_temp",
+    "ambient",
+    "power",
+    "soc_power",
+    "freq",
+    "online_cores",
+    "throttle_steps",
+    "asleep",
+)
+
+
+class World:
+    """One experiment's physical world."""
+
+    def __init__(
+        self,
+        device: Device,
+        room: Optional[AmbientProfile] = None,
+        chamber: Optional[Thermabox] = None,
+        dt: float = 0.1,
+        trace_decimation: int = 5,
+    ) -> None:
+        if trace_decimation < 1:
+            raise SimulationError("trace_decimation must be at least 1")
+        self.device = device
+        self.room: AmbientProfile = room if room is not None else ConstantAmbient(
+            PAPER_AMBIENT_C
+        )
+        self.chamber = chamber
+        self.clock = SimClock(dt)
+        self.trace = Trace(TRACE_CHANNELS)
+        self.events = EventLog()
+        self._decimation = trace_decimation
+        #: Total work retired since world creation, ops.
+        self.ops_total = 0.0
+        self._last_report: Optional[StepReport] = None
+        self._last_mitigation_steps = 0
+        self._last_online = device.soc.online_cores()
+        self._phase_name: Optional[str] = None
+
+    @property
+    def now(self) -> float:
+        """Current world time, seconds."""
+        return self.clock.now
+
+    @property
+    def ambient_c(self) -> float:
+        """The ambient the device currently sees, °C."""
+        if self.chamber is not None:
+            return self.chamber.air_temp_c
+        return self.room.temperature(self.now)
+
+    @property
+    def last_report(self) -> Optional[StepReport]:
+        """The most recent device step report."""
+        return self._last_report
+
+    def set_phase(self, name: Optional[str]) -> None:
+        """Annotate the trace with a protocol phase from now on."""
+        if self._phase_name is not None:
+            self.trace.end_phase(self.now)
+        self._phase_name = name
+        if name is not None:
+            self.trace.begin_phase(name, self.now)
+            self.events.log(self.now, "phase", name=name)
+
+    def close(self) -> None:
+        """End any open phase annotation (end of experiment)."""
+        self.set_phase(None)
+
+    def step(self) -> StepReport:
+        """Advance the world one clock step."""
+        dt = self.clock.dt
+        room_temp = self.room.temperature(self.now)
+        if self.chamber is not None:
+            waste_heat = (
+                self._last_report.supply_power_w if self._last_report else 0.0
+            )
+            self.chamber.step(room_temp, dt, load_w=waste_heat)
+            ambient = self.chamber.air_temp_c
+        else:
+            ambient = room_temp
+        report = self.device.step(ambient, dt)
+        self.ops_total += report.ops
+        self._record_events(report)
+        self._last_report = report
+        if self.clock.steps % self._decimation == 0:
+            self._record_trace(report, ambient)
+        self.clock.tick()
+        return report
+
+    def run_for(self, duration_s: float) -> None:
+        """Advance the world for a fixed duration."""
+        if duration_s <= 0:
+            raise SimulationError("duration_s must be positive")
+        steps = round(duration_s / self.clock.dt)
+        if steps < 1:
+            raise SimulationError("duration shorter than one clock step")
+        for _ in range(steps):
+            self.step()
+
+    def run_until(
+        self,
+        predicate: Callable[["World"], bool],
+        check_every_s: float,
+        timeout_s: float,
+    ) -> float:
+        """Advance until ``predicate(world)`` holds, checking periodically.
+
+        Returns the elapsed time.  Raises :class:`SimulationError` on
+        timeout — a stuck cooldown is an experiment failure, not a hang.
+        """
+        if check_every_s < self.clock.dt:
+            raise SimulationError("check_every_s must be at least one clock step")
+        started = self.now
+        while True:
+            if predicate(self):
+                return self.now - started
+            if self.now - started >= timeout_s:
+                raise SimulationError(
+                    f"run_until timed out after {timeout_s} s"
+                )
+            self.run_for(check_every_s)
+
+    # -- internals --------------------------------------------------------
+
+    def _record_trace(self, report: StepReport, ambient: float) -> None:
+        # The big cluster's frequency is the figure-relevant one.
+        big_freq = next(iter(report.frequencies_mhz.values()))
+        self.trace.record(
+            self.now,
+            cpu_temp=report.cpu_temp_c,
+            case_temp=report.case_temp_c,
+            ambient=ambient,
+            power=report.supply_power_w,
+            soc_power=report.soc_power_w,
+            freq=big_freq,
+            online_cores=report.online_cores,
+            throttle_steps=self.device.soc.mitigation.ceiling_steps,
+            asleep=1.0 if report.asleep else 0.0,
+        )
+
+    def _record_events(self, report: StepReport) -> None:
+        steps = self.device.soc.mitigation.ceiling_steps
+        if steps != self._last_mitigation_steps:
+            kind = "throttle-step" if steps > self._last_mitigation_steps else "throttle-clear"
+            self.events.log(self.now, kind, steps=steps)
+            self._last_mitigation_steps = steps
+        online = report.online_cores
+        if online != self._last_online:
+            kind = "core-offline" if online < self._last_online else "core-online"
+            self.events.log(self.now, kind, online=online)
+            self._last_online = online

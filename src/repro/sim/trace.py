@@ -1,0 +1,178 @@
+"""Time-series trace recording.
+
+A :class:`Trace` is a set of synchronized named channels sampled on the
+engine grid, plus labelled phase spans.  The paper's time-domain figures
+(4, 5, 11, 12) are direct plots of such traces; its distribution analyses
+(Section IV-B) are histograms over trace windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class PhaseSpan:
+    """A labelled time interval within a trace."""
+
+    name: str
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise ConfigurationError("phase end must not precede its start")
+
+    @property
+    def duration_s(self) -> float:
+        """Span length, seconds."""
+        return self.end_s - self.start_s
+
+    def contains(self, time_s: float) -> bool:
+        """Whether a time falls inside the span (start-inclusive)."""
+        return self.start_s <= time_s < self.end_s
+
+
+class Trace:
+    """Synchronized named channels plus phase annotations."""
+
+    def __init__(self, channels: Sequence[str]) -> None:
+        if not channels:
+            raise ConfigurationError("a trace needs at least one channel")
+        if len(set(channels)) != len(channels):
+            raise ConfigurationError("channel names must be unique")
+        if "time" in channels:
+            raise ConfigurationError("'time' is implicit; do not declare it")
+        self._channels: Tuple[str, ...] = tuple(channels)
+        self._times: List[float] = []
+        self._data: Dict[str, List[float]] = {name: [] for name in channels}
+        self._phases: List[PhaseSpan] = []
+        self._open_phase: Optional[Tuple[str, float]] = None
+
+    @property
+    def channels(self) -> Tuple[str, ...]:
+        """Declared channel names."""
+        return self._channels
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def record(self, time_s: float, **values: float) -> None:
+        """Append one sample; every declared channel must be provided."""
+        missing = set(self._channels) - set(values)
+        extra = set(values) - set(self._channels)
+        if missing or extra:
+            raise ConfigurationError(
+                f"record() mismatch; missing={sorted(missing)} extra={sorted(extra)}"
+            )
+        if self._times and time_s < self._times[-1]:
+            raise ConfigurationError("samples must be appended in time order")
+        self._times.append(time_s)
+        for name, value in values.items():
+            self._data[name].append(float(value))
+
+    def times(self) -> np.ndarray:
+        """Sample times, seconds."""
+        return np.asarray(self._times)
+
+    def column(self, name: str) -> np.ndarray:
+        """One channel as an array."""
+        if name == "time":
+            return self.times()
+        try:
+            return np.asarray(self._data[name])
+        except KeyError:
+            raise AnalysisError(
+                f"unknown channel {name!r}; channels: {', '.join(self._channels)}"
+            ) from None
+
+    # -- phases ---------------------------------------------------------
+
+    def begin_phase(self, name: str, time_s: float) -> None:
+        """Open a phase span (closing any span still open)."""
+        if self._open_phase is not None:
+            self.end_phase(time_s)
+        self._open_phase = (name, time_s)
+
+    def end_phase(self, time_s: float) -> None:
+        """Close the currently open phase span."""
+        if self._open_phase is None:
+            raise AnalysisError("no phase is open")
+        name, start = self._open_phase
+        self._phases.append(PhaseSpan(name=name, start_s=start, end_s=time_s))
+        self._open_phase = None
+
+    @property
+    def phases(self) -> Tuple[PhaseSpan, ...]:
+        """All closed phase spans, in order."""
+        return tuple(self._phases)
+
+    def phase(self, name: str, occurrence: int = 0) -> PhaseSpan:
+        """The n-th span with a given label."""
+        matches = [span for span in self._phases if span.name == name]
+        if occurrence >= len(matches):
+            raise AnalysisError(
+                f"phase {name!r} occurrence {occurrence} not found "
+                f"({len(matches)} present)"
+            )
+        return matches[occurrence]
+
+    def window(self, start_s: float, end_s: float, channel: str) -> np.ndarray:
+        """Channel samples with ``start_s <= t < end_s``."""
+        times = self.times()
+        mask = (times >= start_s) & (times < end_s)
+        return self.column(channel)[mask]
+
+    def phase_column(self, phase_name: str, channel: str, occurrence: int = 0) -> np.ndarray:
+        """Channel samples within one phase span."""
+        span = self.phase(phase_name, occurrence)
+        return self.window(span.start_s, span.end_s, channel)
+
+    # -- summaries ------------------------------------------------------
+
+    def mean(self, channel: str) -> float:
+        """Mean of a channel over the whole trace."""
+        column = self.column(channel)
+        if column.size == 0:
+            raise AnalysisError("trace is empty")
+        return float(column.mean())
+
+    def max(self, channel: str) -> float:
+        """Maximum of a channel over the whole trace."""
+        column = self.column(channel)
+        if column.size == 0:
+            raise AnalysisError("trace is empty")
+        return float(column.max())
+
+    def min(self, channel: str) -> float:
+        """Minimum of a channel over the whole trace."""
+        column = self.column(channel)
+        if column.size == 0:
+            raise AnalysisError("trace is empty")
+        return float(column.min())
+
+    def time_above(self, channel: str, threshold: float) -> float:
+        """Total time a channel spends at or above a threshold, seconds.
+
+        Section IV-B's "time spent at temperature" metric.  Assumes the
+        uniform engine sampling grid.
+        """
+        times = self.times()
+        if times.size < 2:
+            return 0.0
+        dt = float(times[1] - times[0])
+        return float((self.column(channel) >= threshold).sum()) * dt
+
+    def histogram(
+        self, channel: str, bins: int = 20
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Histogram of a channel (counts, bin edges) — Figures 11/12."""
+        column = self.column(channel)
+        if column.size == 0:
+            raise AnalysisError("trace is empty")
+        return np.histogram(column, bins=bins)

@@ -1,0 +1,175 @@
+"""CPU idle states (cpuidle) and idle-state selection.
+
+The ACCUBENCH cooldown phase works because idle silicon stops burning
+power: cores drop into WFI, retention, or full power collapse, trading
+wake latency for leakage savings.  This module models that ladder and the
+menu-governor selection logic — including the energy break-even point that
+makes deep states *lose* energy on short idles (the entry/exit work costs
+more than the leakage saved).
+
+Leakage fractions are relative to the core's active-idle leakage: WFI
+clock-gates (leakage continues), retention drops the rail to a
+data-holding voltage, power collapse removes it entirely (the device
+model's suspended state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IdleState:
+    """One rung of the cpuidle ladder.
+
+    Attributes
+    ----------
+    name:
+        State name, e.g. ``"wfi"`` or ``"power-collapse"``.
+    leak_fraction:
+        Residual leakage relative to an idle-but-powered core, in [0, 1].
+    entry_exit_latency_us:
+        Round-trip latency to use the state once, microseconds.
+    entry_energy_uj:
+        Energy burned entering + exiting (cache flush, state save),
+        microjoules.
+    """
+
+    name: str
+    leak_fraction: float
+    entry_exit_latency_us: float
+    entry_energy_uj: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("idle-state name must be non-empty")
+        if not 0.0 <= self.leak_fraction <= 1.0:
+            raise ConfigurationError("leak_fraction must be within [0, 1]")
+        if self.entry_exit_latency_us < 0 or self.entry_energy_uj < 0:
+            raise ConfigurationError("latency and energy must be non-negative")
+
+    def break_even_us(self, idle_leak_w: float) -> float:
+        """Idle duration above which the state saves energy, microseconds.
+
+        Saved power while resident is ``idle_leak_w · (1 − leak_fraction)``;
+        the state pays for itself once that integral covers the entry
+        energy.  A state that saves nothing never breaks even (``inf``).
+        """
+        if idle_leak_w < 0:
+            raise ConfigurationError("idle_leak_w must be non-negative")
+        saved_w = idle_leak_w * (1.0 - self.leak_fraction)
+        if saved_w <= 0.0:
+            return float("inf")
+        return self.entry_energy_uj / saved_w  # µJ / W = µs
+
+
+def qcom_idle_ladder() -> Tuple[IdleState, ...]:
+    """A Qualcomm-era idle ladder: WFI → retention → power collapse."""
+    return (
+        IdleState(
+            name="wfi",
+            leak_fraction=1.0,  # clock-gated: dynamic stops, leakage stays
+            entry_exit_latency_us=2.0,
+            entry_energy_uj=0.2,
+        ),
+        IdleState(
+            name="retention",
+            leak_fraction=0.35,
+            entry_exit_latency_us=80.0,
+            entry_energy_uj=35.0,
+        ),
+        IdleState(
+            name="power-collapse",
+            leak_fraction=0.03,
+            entry_exit_latency_us=900.0,
+            entry_energy_uj=350.0,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class MenuGovernor:
+    """Idle-state selection à la Linux's menu governor.
+
+    Picks the deepest state whose round-trip latency fits the latency
+    budget *and* whose energy break-even fits the predicted idle duration.
+
+    Attributes
+    ----------
+    ladder:
+        Available states, shallow to deep.
+    latency_budget_us:
+        QoS bound on wakeup latency (interactive systems keep this small).
+    """
+
+    ladder: Tuple[IdleState, ...]
+    latency_budget_us: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if not self.ladder:
+            raise ConfigurationError("the idle ladder must not be empty")
+        if self.latency_budget_us <= 0:
+            raise ConfigurationError("latency_budget_us must be positive")
+        depths = [state.leak_fraction for state in self.ladder]
+        if depths != sorted(depths, reverse=True):
+            raise ConfigurationError(
+                "ladder must be ordered shallow (leaky) to deep"
+            )
+
+    def select(
+        self, predicted_idle_us: float, idle_leak_w: float
+    ) -> IdleState:
+        """The deepest admissible state for a predicted idle period."""
+        if predicted_idle_us < 0:
+            raise ConfigurationError("predicted_idle_us must be non-negative")
+        choice = self.ladder[0]
+        for state in self.ladder:
+            if state.entry_exit_latency_us > self.latency_budget_us:
+                continue
+            if state.entry_exit_latency_us > predicted_idle_us:
+                continue
+            if state.break_even_us(idle_leak_w) > predicted_idle_us:
+                continue
+            choice = state
+        return choice
+
+    def idle_energy_uj(
+        self, state: IdleState, idle_us: float, idle_leak_w: float
+    ) -> float:
+        """Energy spent across one idle period in a given state, µJ."""
+        if idle_us < 0:
+            raise ConfigurationError("idle_us must be non-negative")
+        resident_uj = idle_leak_w * state.leak_fraction * idle_us
+        return state.entry_energy_uj + resident_uj
+
+
+def best_state_by_energy(
+    ladder: Sequence[IdleState], idle_us: float, idle_leak_w: float
+) -> IdleState:
+    """Oracle choice: the state minimizing energy for a known idle length."""
+    if not ladder:
+        raise ConfigurationError("the idle ladder must not be empty")
+    governor = MenuGovernor(ladder=tuple(ladder))
+    return min(
+        ladder, key=lambda s: governor.idle_energy_uj(s, idle_us, idle_leak_w)
+    )
+
+
+def sleep_residency_fraction(
+    poll_interval_s: float, wake_duration_s: float
+) -> float:
+    """Fraction of the cooldown phase actually spent power-collapsed.
+
+    The app wakes every ``poll_interval_s`` (the paper's 5 s) for
+    ``wake_duration_s`` to read the sensor; the rest is deep sleep.
+    """
+    if poll_interval_s <= 0:
+        raise ConfigurationError("poll_interval_s must be positive")
+    if not 0.0 <= wake_duration_s < poll_interval_s:
+        raise ConfigurationError(
+            "wake_duration_s must be within [0, poll_interval_s)"
+        )
+    return 1.0 - wake_duration_s / poll_interval_s

@@ -1,0 +1,146 @@
+"""A running SoC: one physical die's CPU subsystem.
+
+:class:`Soc` binds a :class:`~repro.soc.catalog.SocSpec` to one sampled
+:class:`~repro.silicon.transistor.SiliconProfile` and evolves the runtime
+state — governor decisions, thermal mitigation, RBCPR voltage — one
+simulation step at a time.  The paper's causal chain lives here:
+
+    silicon profile → leakage → die temperature → mitigation → frequency
+    → performance (and, integrated over time, energy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.silicon.transistor import SiliconProfile
+from repro.soc.catalog import SocSpec, VoltageMode
+from repro.soc.cluster import ClusterState
+from repro.soc.dvfs import Governor, PerformanceGovernor
+from repro.soc.rbcpr import RbcprBlock
+from repro.soc.throttling import MitigationState, ThrottlePolicy
+
+
+class Soc:
+    """Runtime state of one SoC instance (one physical chip)."""
+
+    def __init__(
+        self,
+        spec: SocSpec,
+        profile: SiliconProfile,
+        throttle: ThrottlePolicy,
+        bin_index: int = 0,
+        rbcpr: Optional[RbcprBlock] = None,
+    ) -> None:
+        if spec.voltage_mode is VoltageMode.ADAPTIVE and rbcpr is None:
+            rbcpr = RbcprBlock(process=spec.process)
+        if spec.voltage_mode is VoltageMode.BINNED and rbcpr is not None:
+            raise ConfigurationError("binned-voltage SoCs have no RBCPR block")
+        effective_bin = bin_index if spec.voltage_mode is VoltageMode.BINNED else 0
+        self.spec = spec
+        self.profile = profile
+        self.bin_index = effective_bin
+        self.throttle = throttle
+        self.rbcpr = rbcpr
+        self.clusters: Tuple[ClusterState, ...] = tuple(
+            ClusterState(cluster_spec, spec.process, profile, effective_bin)
+            for cluster_spec in spec.clusters
+        )
+        self._governors: Dict[str, Governor] = {
+            cluster.spec.name: PerformanceGovernor() for cluster in self.clusters
+        }
+        self.mitigation = MitigationState()
+        #: Ceiling imposed from outside the thermal stack (the LG G5's
+        #: input-voltage throttle, paper Figure 10), MHz; ``None`` = none.
+        self.external_ceiling_mhz: Optional[float] = None
+        #: Extra ladder steps shaved off the ceiling by device-level
+        #: policies that watch other sensors (skin-temperature throttles).
+        self.external_ceiling_steps: int = 0
+
+    def set_governor(self, governor: Governor, cluster: Optional[str] = None) -> None:
+        """Install a governor on one cluster or (default) all clusters."""
+        if cluster is None:
+            for state in self.clusters:
+                self._governors[state.spec.name] = governor
+            return
+        if cluster not in self._governors:
+            known = ", ".join(self._governors)
+            raise ConfigurationError(f"unknown cluster {cluster!r}; known: {known}")
+        self._governors[cluster] = governor
+
+    def set_utilization(self, utilization: float) -> None:
+        """Load (or idle) every core on every cluster."""
+        for cluster in self.clusters:
+            cluster.set_utilization(utilization)
+
+    def set_memory_boundedness(self, fraction: float) -> None:
+        """Set the running workload's memory-stall fraction on all clusters."""
+        for cluster in self.clusters:
+            cluster.set_memory_boundedness(fraction)
+
+    def reset(self) -> None:
+        """Return to a just-booted state (between experiment iterations the
+        app does not reboot, so callers reset only at experiment start)."""
+        self.throttle.reset()
+        self.mitigation = MitigationState()
+        for cluster in self.clusters:
+            cluster.set_frequency(cluster.spec.min_freq_mhz)
+            cluster.set_utilization(0.0)
+            cluster.set_online_count(cluster.spec.core_count)
+            cluster.voltage_adjust_v = 0.0
+
+    def step(self, die_temp_c: float, now_s: float, dt: float) -> Tuple[float, float]:
+        """Advance one simulation step.
+
+        Runs the mitigation loop, lets governors pick frequencies under the
+        mitigated ceiling, applies RBCPR voltage, and returns
+        ``(power_w, ops_done)`` for the step.
+        """
+        if dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        self.mitigation = self.throttle.update(die_temp_c, now_s)
+
+        for cluster in self.clusters:
+            ladder = cluster.spec.freq_table_mhz
+            total_steps = self.mitigation.ceiling_steps + self.external_ceiling_steps
+            ceiling_index = max(0, len(ladder) - 1 - total_steps)
+            ceiling_mhz = ladder[ceiling_index]
+            if self.external_ceiling_mhz is not None:
+                ceiling_mhz = min(ceiling_mhz, self.external_ceiling_mhz)
+            governor = self._governors[cluster.spec.name]
+            mean_util = sum(c.utilization for c in cluster.cores) / len(cluster.cores)
+            cluster.set_frequency(
+                governor.target_frequency(cluster.spec, mean_util, ceiling_mhz)
+            )
+            if self.rbcpr is not None:
+                cluster.voltage_adjust_v = self.rbcpr.voltage_adjust_v(
+                    self.profile, die_temp_c
+                )
+
+        # Hard-limit hotplug applies to the big (first) cluster, matching
+        # the Nexus 5 behaviour of dropping one Krait core at 80 °C.
+        big = self.clusters[0]
+        big.set_online_count(
+            max(0, big.spec.core_count - self.mitigation.offline_cores)
+        )
+
+        power_w = sum(cluster.power_w(die_temp_c) for cluster in self.clusters)
+        ops = sum(cluster.ops_per_second() for cluster in self.clusters) * dt
+        return power_w, ops
+
+    def leakage_w(self, die_temp_c: float) -> float:
+        """Leakage power at the current operating point, watts."""
+        return sum(cluster.leakage_w(die_temp_c) for cluster in self.clusters)
+
+    def frequencies_mhz(self) -> Dict[str, float]:
+        """Current frequency per cluster, MHz."""
+        return {cluster.spec.name: cluster.freq_mhz for cluster in self.clusters}
+
+    def voltages_v(self) -> Dict[str, float]:
+        """Current rail voltage per cluster, volts."""
+        return {cluster.spec.name: cluster.voltage_v() for cluster in self.clusters}
+
+    def online_cores(self) -> int:
+        """Total online cores across clusters."""
+        return sum(cluster.online_count for cluster in self.clusters)

@@ -1,0 +1,109 @@
+"""Thread placement across clusters (HMP-style scheduling).
+
+The paper's workload deliberately saturates every core, but studying
+partial loads — one busy thread, a game using two cores — needs a
+placement policy.  big.LITTLE kernels of the era used HMP: demanding
+threads go to the big cluster first; power-saving placements fill the
+LITTLE cluster first.  This module assigns N fully-busy threads to a
+:class:`~repro.soc.instance.Soc` under either policy.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.soc.instance import Soc
+
+
+class Placement(enum.Enum):
+    """Which cluster soaks up threads first."""
+
+    #: Performance-first: the big cluster fills before the LITTLE one
+    #: (HMP's behaviour for heavy threads).
+    BIG_FIRST = "big-first"
+
+    #: Efficiency-first: the LITTLE cluster fills before the big one.
+    LITTLE_FIRST = "little-first"
+
+
+def place_threads(
+    soc: Soc, thread_count: int, placement: Placement = Placement.BIG_FIRST
+) -> Dict[str, int]:
+    """Assign ``thread_count`` fully-busy threads to the SoC's cores.
+
+    Each thread pins one core at utilization 1.0; remaining cores idle.
+    Returns ``{cluster_name: threads_placed}``.  More threads than online
+    cores is rejected — this models bound, CPU-pinned benchmark threads,
+    not an oversubscribed run queue.
+    """
+    if thread_count < 0:
+        raise ConfigurationError("thread_count must be non-negative")
+    clusters = list(soc.clusters)
+    if placement is Placement.LITTLE_FIRST:
+        clusters = list(reversed(clusters))
+    capacity = sum(c.online_count for c in clusters)
+    if thread_count > capacity:
+        raise ConfigurationError(
+            f"{thread_count} threads exceed {capacity} online cores"
+        )
+
+    assignment: Dict[str, int] = {}
+    remaining = thread_count
+    for cluster in clusters:
+        take = min(remaining, cluster.online_count)
+        assignment[cluster.spec.name] = take
+        online_seen = 0
+        for core in cluster.cores:
+            if not core.online:
+                core.set_utilization(0.0)
+                continue
+            core.set_utilization(1.0 if online_seen < take else 0.0)
+            online_seen += 1
+        remaining -= take
+    return assignment
+
+
+def busy_core_count(soc: Soc) -> int:
+    """How many online cores currently carry a thread."""
+    return sum(
+        1
+        for cluster in soc.clusters
+        for core in cluster.cores
+        if core.online and core.utilization > 0.0
+    )
+
+
+def idle_all(soc: Soc) -> None:
+    """Remove every thread (all cores to zero utilization)."""
+    soc.set_utilization(0.0)
+
+
+def sweep_thread_counts(
+    soc: Soc,
+    die_temp_c: float,
+    placement: Placement = Placement.BIG_FIRST,
+    dt: float = 0.1,
+) -> List[Dict[str, float]]:
+    """Power/throughput at every thread count (a little scaling study).
+
+    Returns one record per thread count from 0 to the total core count:
+    ``{"threads", "power_w", "ops_per_s"}``.  The SoC's mitigation state
+    advances trivially (one step per point at the given temperature);
+    callers wanting thermal realism should drive a full simulation.
+    """
+    records = []
+    total = sum(c.spec.core_count for c in soc.clusters)
+    for threads in range(total + 1):
+        place_threads(soc, threads, placement)
+        power, ops = soc.step(die_temp_c, now_s=0.0, dt=dt)
+        records.append(
+            {
+                "threads": float(threads),
+                "power_w": power,
+                "ops_per_s": ops / dt,
+            }
+        )
+    idle_all(soc)
+    return records

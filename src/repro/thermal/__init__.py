@@ -1,0 +1,48 @@
+"""Lumped-parameter thermal modelling.
+
+Smartphones are passively cooled: all heat leaves through the case.  A small
+RC network (die → package → battery/case → ambient) captures the dynamics
+that drive thermal throttling — seconds-scale die heating, minutes-scale case
+soak — which is exactly the behaviour the ACCUBENCH warmup and cooldown
+phases exist to normalize.
+"""
+
+from repro.thermal.ambient import (
+    AmbientProfile,
+    ConstantAmbient,
+    DiurnalAmbient,
+    RampAmbient,
+    StepAmbient,
+    sweep,
+)
+from repro.thermal.floorplan import (
+    Block,
+    Floorplan,
+    GridThermalModel,
+    sd800_floorplan,
+)
+from repro.thermal.integrator import StableEuler
+from repro.thermal.network import ThermalLink, ThermalNetwork, ThermalNode
+from repro.thermal.sensors import TemperatureSensor
+from repro.thermal.skin import SkinModel, SkinThrottle, SkinThrottleSpec
+
+__all__ = [
+    "AmbientProfile",
+    "Block",
+    "Floorplan",
+    "GridThermalModel",
+    "ConstantAmbient",
+    "DiurnalAmbient",
+    "RampAmbient",
+    "SkinModel",
+    "SkinThrottle",
+    "SkinThrottleSpec",
+    "StableEuler",
+    "StepAmbient",
+    "TemperatureSensor",
+    "ThermalLink",
+    "ThermalNetwork",
+    "ThermalNode",
+    "sd800_floorplan",
+    "sweep",
+]

@@ -1,0 +1,268 @@
+"""Die floorplan thermal model (Therminator-lite).
+
+The paper's related work includes Therminator [25], a full-device thermal
+simulator producing chip temperature maps.  The campaign simulator uses a
+lumped "cpu" hotspot node for speed; this module provides the detailed
+view that justifies it: a 2-D conduction grid over the die floorplan,
+resolving per-core hotspots, lateral spreading and the gradient between a
+busy core and the die average.
+
+Physics: thin-die conduction.  Each grid cell stores heat
+(``ρ·c_p·p²·t``), conducts laterally to its four neighbours
+(``G = k·t`` for square cells), and sinks vertically into the package
+through an effective heat-transfer coefficient.  Silicon constants are
+standard (k = 120 W/m·K for a thinned die, ρ = 2330 kg/m³,
+c_p = 700 J/kg·K).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+
+#: Thermal conductivity of thinned silicon, W/(m·K).
+SILICON_K = 120.0
+
+#: Density × specific heat of silicon, J/(m³·K).
+SILICON_RHO_CP = 2330.0 * 700.0
+
+#: Default die thickness, metres (a thinned mobile die).
+DEFAULT_THICKNESS_M = 0.3e-3
+
+#: Default die-to-package effective heat-transfer coefficient, W/(m²·K).
+DEFAULT_H_PACKAGE = 18_000.0
+
+
+@dataclass(frozen=True)
+class Block:
+    """One floorplan block in normalized die coordinates.
+
+    Attributes
+    ----------
+    name:
+        Block name, e.g. ``"core0"`` or ``"l2"``.
+    x, y:
+        Lower-left corner, as fractions of die width/height in [0, 1].
+    width, height:
+        Extent, as fractions of die width/height.
+    """
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("block name must be non-empty")
+        for value in (self.x, self.y):
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(f"{self.name}: corner must be in [0, 1)")
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError(f"{self.name}: extent must be positive")
+        if self.x + self.width > 1.0 + 1e-9 or self.y + self.height > 1.0 + 1e-9:
+            raise ConfigurationError(f"{self.name}: block exceeds the die")
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A die outline with named blocks.
+
+    Attributes
+    ----------
+    die_width_m / die_height_m:
+        Physical die size, metres.
+    blocks:
+        The named power-dissipating regions.
+    """
+
+    die_width_m: float
+    die_height_m: float
+    blocks: Tuple[Block, ...]
+
+    def __post_init__(self) -> None:
+        if self.die_width_m <= 0 or self.die_height_m <= 0:
+            raise ConfigurationError("die dimensions must be positive")
+        if not self.blocks:
+            raise ConfigurationError("a floorplan needs at least one block")
+        names = [block.name for block in self.blocks]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("block names must be unique")
+
+    def block(self, name: str) -> Block:
+        """Look up a block by name."""
+        for candidate in self.blocks:
+            if candidate.name == name:
+                return candidate
+        known = ", ".join(b.name for b in self.blocks)
+        raise ConfigurationError(f"unknown block {name!r}; blocks: {known}")
+
+
+def sd800_floorplan() -> Floorplan:
+    """A plausible SD-800-class floorplan: four cores in a row over a
+    shared L2, with the uncore (memory controller, modem glue) beside."""
+    core_w = 0.17
+    cores = tuple(
+        Block(name=f"core{i}", x=0.04 + i * (core_w + 0.02), y=0.62,
+              width=core_w, height=0.33)
+        for i in range(4)
+    )
+    return Floorplan(
+        die_width_m=9.0e-3,
+        die_height_m=9.0e-3,
+        blocks=cores + (
+            Block(name="l2", x=0.04, y=0.40, width=0.72, height=0.18),
+            Block(name="uncore", x=0.04, y=0.04, width=0.92, height=0.32),
+        ),
+    )
+
+
+class GridThermalModel:
+    """Explicit 2-D conduction over the die, sinking into the package."""
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        grid: Tuple[int, int] = (24, 24),
+        thickness_m: float = DEFAULT_THICKNESS_M,
+        h_package: float = DEFAULT_H_PACKAGE,
+        initial_temp_c: float = 25.0,
+    ) -> None:
+        nx, ny = grid
+        if nx < 2 or ny < 2:
+            raise ConfigurationError("grid must be at least 2x2")
+        if thickness_m <= 0:
+            raise ConfigurationError("thickness_m must be positive")
+        if h_package <= 0:
+            raise ConfigurationError("h_package must be positive")
+        self.floorplan = floorplan
+        self._nx, self._ny = nx, ny
+        self._dx = floorplan.die_width_m / nx
+        self._dy = floorplan.die_height_m / ny
+        self._thickness = thickness_m
+        cell_area = self._dx * self._dy
+        self._cell_capacity = SILICON_RHO_CP * cell_area * thickness_m
+        # Lateral conductances (uniform grid): G = k · t · (span / pitch).
+        self._gx = SILICON_K * thickness_m * self._dy / self._dx
+        self._gy = SILICON_K * thickness_m * self._dx / self._dy
+        self._gv = h_package * cell_area
+        self._temps = np.full((ny, nx), float(initial_temp_c))
+        self._masks = {
+            block.name: self._block_mask(block) for block in floorplan.blocks
+        }
+        # Explicit stability: dt < C / (sum of conductances per cell).
+        worst = 2.0 * self._gx + 2.0 * self._gy + self._gv
+        self._max_step = 0.5 * self._cell_capacity / worst
+
+    def _block_mask(self, block: Block) -> np.ndarray:
+        xs = (np.arange(self._nx) + 0.5) / self._nx
+        ys = (np.arange(self._ny) + 0.5) / self._ny
+        in_x = (xs >= block.x) & (xs < block.x + block.width)
+        in_y = (ys >= block.y) & (ys < block.y + block.height)
+        mask = np.outer(in_y, in_x)
+        if not mask.any():
+            raise ConfigurationError(
+                f"block {block.name!r} covers no grid cells; refine the grid"
+            )
+        return mask
+
+    @property
+    def max_stable_step_s(self) -> float:
+        """Largest explicit sub-step the solver will take, seconds."""
+        return self._max_step
+
+    def step(
+        self,
+        block_powers_w: Mapping[str, float],
+        package_temp_c: float,
+        dt: float,
+    ) -> None:
+        """Advance the die by ``dt`` seconds.
+
+        Block power spreads uniformly over the block's cells; the package
+        under the die is held at ``package_temp_c`` for the step.
+        """
+        if dt <= 0:
+            raise SimulationError("dt must be positive")
+        power = np.zeros_like(self._temps)
+        for name, watts in block_powers_w.items():
+            if name not in self._masks:
+                raise ConfigurationError(f"unknown block {name!r}")
+            mask = self._masks[name]
+            power[mask] += watts / mask.sum()
+
+        substeps = max(1, int(np.ceil(dt / self._max_step)))
+        h = dt / substeps
+        for _ in range(substeps):
+            temps = self._temps
+            flux = np.zeros_like(temps)
+            flux[:, :-1] += self._gx * (temps[:, 1:] - temps[:, :-1])
+            flux[:, 1:] += self._gx * (temps[:, :-1] - temps[:, 1:])
+            flux[:-1, :] += self._gy * (temps[1:, :] - temps[:-1, :])
+            flux[1:, :] += self._gy * (temps[:-1, :] - temps[1:, :])
+            flux += self._gv * (package_temp_c - temps)
+            self._temps = temps + h * (power + flux) / self._cell_capacity
+
+    # -- readouts ----------------------------------------------------------
+
+    def block_temp_c(self, name: str) -> float:
+        """Mean temperature of one block, °C."""
+        if name not in self._masks:
+            raise ConfigurationError(f"unknown block {name!r}")
+        return float(self._temps[self._masks[name]].mean())
+
+    def block_peak_c(self, name: str) -> float:
+        """Peak temperature within one block, °C."""
+        if name not in self._masks:
+            raise ConfigurationError(f"unknown block {name!r}")
+        return float(self._temps[self._masks[name]].max())
+
+    def die_mean_c(self) -> float:
+        """Area-mean die temperature, °C (the lumped model's 'cpu' node)."""
+        return float(self._temps.mean())
+
+    def hotspot_c(self) -> float:
+        """Hottest cell on the die, °C."""
+        return float(self._temps.max())
+
+    def temperature_map(self) -> np.ndarray:
+        """A copy of the (ny, nx) cell-temperature array, °C."""
+        return self._temps.copy()
+
+    def settle(
+        self,
+        block_powers_w: Mapping[str, float],
+        package_temp_c: float,
+        duration_s: float = 5.0,
+        dt: float = 0.05,
+    ) -> None:
+        """Run to (near) steady state under constant power."""
+        steps = max(1, int(duration_s / dt))
+        for _ in range(steps):
+            self.step(block_powers_w, package_temp_c, dt)
+
+    def hotspot_resistance_k_per_w(
+        self, block: str, watts: float = 1.0, package_temp_c: float = 45.0
+    ) -> float:
+        """Steady-state hotspot rise per watt for one busy block, K/W.
+
+        This is the quantity the lumped simulator abstracts as its
+        ``r_cpu_pkg`` hotspot resistance; comparing the two grounds the
+        calibrated values (see docs/calibration.md).
+        """
+        if watts <= 0:
+            raise ConfigurationError("watts must be positive")
+        probe = GridThermalModel(
+            self.floorplan,
+            grid=(self._nx, self._ny),
+            thickness_m=self._thickness,
+            h_package=self._gv / (self._dx * self._dy),
+            initial_temp_c=package_temp_c,
+        )
+        probe.settle({block: watts}, package_temp_c, duration_s=8.0)
+        return (probe.block_peak_c(block) - package_temp_c) / watts

@@ -1,0 +1,214 @@
+"""Lumped-parameter (RC) thermal networks.
+
+A :class:`ThermalNetwork` is a set of nodes with heat capacities joined by
+thermal resistances.  Boundary nodes (infinite capacity) hold a forced
+temperature — the ambient, or a thermal chamber's air.  Heat flows follow
+
+    C_i · dT_i/dt = P_i + Σ_j (T_j − T_i) / R_ij
+
+integrated explicitly with automatic sub-stepping for stability
+(:mod:`repro.thermal.integrator`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.thermal.integrator import StableEuler
+
+
+@dataclass(frozen=True)
+class ThermalNode:
+    """One thermal mass.
+
+    Attributes
+    ----------
+    name:
+        Unique node name, e.g. ``"cpu"`` or ``"case"``.
+    heat_capacity:
+        Heat capacity in J/K.  ``math.inf`` marks a boundary node whose
+        temperature is externally forced (ambient air, chamber air).
+    """
+
+    name: str
+    heat_capacity: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("node name must be non-empty")
+        if not (self.heat_capacity > 0):
+            raise ConfigurationError(
+                f"node {self.name!r}: heat_capacity must be positive (or inf)"
+            )
+
+    @property
+    def is_boundary(self) -> bool:
+        """True if this node's temperature is externally forced."""
+        return math.isinf(self.heat_capacity)
+
+
+@dataclass(frozen=True)
+class ThermalLink:
+    """A thermal resistance between two nodes.
+
+    Attributes
+    ----------
+    node_a, node_b:
+        Names of the joined nodes.
+    resistance:
+        Thermal resistance in K/W, strictly positive.
+    """
+
+    node_a: str
+    node_b: str
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if self.node_a == self.node_b:
+            raise ConfigurationError("a link cannot join a node to itself")
+        if self.resistance <= 0:
+            raise ConfigurationError("link resistance must be positive")
+
+    @property
+    def conductance(self) -> float:
+        """Thermal conductance in W/K."""
+        return 1.0 / self.resistance
+
+
+class ThermalNetwork:
+    """A mutable thermal state over a fixed node/link topology."""
+
+    def __init__(
+        self,
+        nodes: Iterable[ThermalNode],
+        links: Iterable[ThermalLink],
+        initial_temp_c: float = 25.0,
+        initial_temps_c: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self._nodes: Tuple[ThermalNode, ...] = tuple(nodes)
+        if not self._nodes:
+            raise ConfigurationError("a network needs at least one node")
+        names = [node.name for node in self._nodes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("node names must be unique")
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(names)}
+
+        size = len(self._nodes)
+        conductance = np.zeros((size, size))
+        self._links: Tuple[ThermalLink, ...] = tuple(links)
+        for link in self._links:
+            for endpoint in (link.node_a, link.node_b):
+                if endpoint not in self._index:
+                    raise ConfigurationError(
+                        f"link references unknown node {endpoint!r}"
+                    )
+            a, b = self._index[link.node_a], self._index[link.node_b]
+            conductance[a, b] += link.conductance
+            conductance[b, a] += link.conductance
+        self._conductance = conductance
+        self._row_conductance = conductance.sum(axis=1)
+
+        self._capacity = np.array([node.heat_capacity for node in self._nodes])
+        self._boundary = np.array([node.is_boundary for node in self._nodes])
+        if not self._boundary.any():
+            raise ConfigurationError(
+                "a network needs at least one boundary (infinite-capacity) node"
+            )
+
+        self._temps = np.full(size, float(initial_temp_c))
+        if initial_temps_c:
+            for name, temp in initial_temps_c.items():
+                self.set_temperature(name, temp)
+
+        finite = ~self._boundary
+        with np.errstate(divide="ignore"):
+            rates = np.where(
+                finite & (self._row_conductance > 0),
+                self._row_conductance / self._capacity,
+                0.0,
+            )
+        self._integrator = StableEuler(max_rate=float(rates.max()))
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        """Node names in index order."""
+        return tuple(node.name for node in self._nodes)
+
+    @property
+    def links(self) -> Tuple[ThermalLink, ...]:
+        """The network's links."""
+        return self._links
+
+    def temperature(self, name: str) -> float:
+        """Current temperature of a node, °C."""
+        return float(self._temps[self._node_index(name)])
+
+    def temperatures(self) -> Dict[str, float]:
+        """Snapshot of all node temperatures, °C."""
+        return {node.name: float(t) for node, t in zip(self._nodes, self._temps)}
+
+    def set_temperature(self, name: str, temp_c: float) -> None:
+        """Force a node's temperature (used for boundary nodes and resets)."""
+        self._temps[self._node_index(name)] = float(temp_c)
+
+    def settle_to(self, temp_c: float) -> None:
+        """Force every node to one temperature (long idle soak shortcut)."""
+        self._temps[:] = float(temp_c)
+
+    def step(self, powers_w: Mapping[str, float], dt: float) -> None:
+        """Advance the network by ``dt`` seconds with the given heat inputs.
+
+        ``powers_w`` maps node names to injected power in watts; omitted
+        nodes receive none.  Boundary node temperatures are left untouched.
+        """
+        if dt <= 0:
+            raise SimulationError("dt must be positive")
+        power = np.zeros(len(self._nodes))
+        for name, watts in powers_w.items():
+            index = self._node_index(name)
+            if self._boundary[index]:
+                raise SimulationError(
+                    f"cannot inject power into boundary node {name!r}"
+                )
+            power[index] = watts
+        self._integrator.advance(self._derivative, self._temps, power, dt)
+
+    def _derivative(self, temps: np.ndarray, power: np.ndarray) -> np.ndarray:
+        inflow = self._conductance @ temps - self._row_conductance * temps
+        rate = (power + inflow) / self._capacity
+        rate[self._boundary] = 0.0
+        return rate
+
+    def steady_state_rise(self, node: str, watts: float, into: str) -> float:
+        """Steady-state temperature rise of ``node`` above boundary ``into``
+        for a constant ``watts`` injected at ``node``, °C.
+
+        Computed from the DC solution of the network; useful for calibration
+        and for sanity checks in tests.
+        """
+        index = self._node_index(node)
+        boundary_index = self._node_index(into)
+        if not self._boundary[boundary_index]:
+            raise ConfigurationError(f"{into!r} is not a boundary node")
+        finite = np.flatnonzero(~self._boundary)
+        if index not in finite:
+            raise ConfigurationError(f"{node!r} is a boundary node")
+        laplacian = np.diag(self._row_conductance) - self._conductance
+        reduced = laplacian[np.ix_(finite, finite)]
+        rhs = np.zeros(len(finite))
+        rhs[list(finite).index(index)] = watts
+        rise = np.linalg.solve(reduced, rhs)
+        return float(rise[list(finite).index(index)])
+
+    def _node_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown node {name!r}; nodes: {', '.join(self._index)}"
+            ) from None

@@ -1,0 +1,61 @@
+"""Temperature sensors.
+
+The ACCUBENCH cooldown phase polls the CPU temperature sensor every five
+seconds; throttling governors poll it continuously.  Real sensors quantize,
+drift and jitter, so the model includes those error terms — they are part of
+why back-to-back benchmark runs differ, which the paper's methodology is
+designed to control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.thermal.network import ThermalNetwork
+
+
+@dataclass
+class TemperatureSensor:
+    """A noisy, quantized reading of one thermal node.
+
+    Attributes
+    ----------
+    node:
+        Name of the thermal node the sensor is attached to.
+    quantization_c:
+        Reading granularity, °C (Qualcomm tsens reports ~0.1 °C steps).
+    noise_sigma_c:
+        Gaussian read noise standard deviation, °C.
+    offset_c:
+        Fixed calibration offset, °C.
+    rng:
+        Random generator for the noise; ``None`` disables noise entirely
+        (used by deterministic tests).
+    """
+
+    node: str
+    quantization_c: float = 0.1
+    noise_sigma_c: float = 0.0
+    offset_c: float = 0.0
+    rng: Optional[np.random.Generator] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.quantization_c < 0:
+            raise ConfigurationError("quantization_c must be non-negative")
+        if self.noise_sigma_c < 0:
+            raise ConfigurationError("noise_sigma_c must be non-negative")
+        if self.noise_sigma_c > 0 and self.rng is None:
+            raise ConfigurationError("noise_sigma_c > 0 requires an rng")
+
+    def read(self, network: ThermalNetwork) -> float:
+        """Return the sensed temperature of the node, °C."""
+        value = network.temperature(self.node) + self.offset_c
+        if self.noise_sigma_c > 0 and self.rng is not None:
+            value += float(self.rng.normal(0.0, self.noise_sigma_c))
+        if self.quantization_c > 0:
+            value = round(value / self.quantization_c) * self.quantization_c
+        return value

@@ -1,0 +1,76 @@
+"""Unit conventions and conversion helpers.
+
+The library uses a single unit convention everywhere:
+
+========================  =======================================
+Quantity                  Unit
+========================  =======================================
+temperature               degrees Celsius (``float``)
+frequency                 megahertz (``float`` or ``int``)
+voltage                   volts (``float``)
+current                   amperes (``float``)
+power                     watts (``float``)
+energy                    joules (``float``)
+time                      seconds (``float``)
+heat capacity             joules per kelvin
+thermal resistance        kelvin per watt
+========================  =======================================
+
+Voltage tables extracted from kernel sources (the paper's Table I) are in
+millivolts; :func:`mv_to_v` converts them at the boundary.
+"""
+
+from __future__ import annotations
+
+ZERO_CELSIUS_IN_KELVIN = 273.15
+
+#: Ambient target used throughout the paper's experiments (Section III).
+PAPER_AMBIENT_C = 26.0
+
+#: THERMABOX regulation band around the target (Section III).
+PAPER_AMBIENT_TOLERANCE_C = 0.5
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from Celsius to Kelvin."""
+    return temp_c + ZERO_CELSIUS_IN_KELVIN
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from Kelvin to Celsius."""
+    return temp_k - ZERO_CELSIUS_IN_KELVIN
+
+
+def mv_to_v(millivolts: float) -> float:
+    """Convert millivolts (kernel voltage-table units) to volts."""
+    return millivolts / 1000.0
+
+
+def v_to_mv(volts: float) -> float:
+    """Convert volts to millivolts."""
+    return volts * 1000.0
+
+
+def mhz_to_hz(mhz: float) -> float:
+    """Convert megahertz to hertz."""
+    return mhz * 1e6
+
+
+def hz_to_mhz(hz: float) -> float:
+    """Convert hertz to megahertz."""
+    return hz / 1e6
+
+
+def joules_to_mwh(joules: float) -> float:
+    """Convert joules to milliwatt-hours (a common battery-capacity unit)."""
+    return joules / 3.6
+
+
+def mwh_to_joules(mwh: float) -> float:
+    """Convert milliwatt-hours to joules."""
+    return mwh * 3.6
+
+
+def minutes(count: float) -> float:
+    """Return ``count`` minutes expressed in seconds."""
+    return count * 60.0

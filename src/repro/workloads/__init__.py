@@ -1,0 +1,37 @@
+"""Benchmark workloads.
+
+The paper's workload is "compute the first 4,285 digits of π in a loop on
+all cores".  :mod:`repro.workloads.pi_digits` really computes those digits
+(a spigot algorithm) for the examples and as the work-unit anchor;
+:mod:`repro.workloads.cpu_task` gives the simulator's abstract view of the
+same task (fixed-duration or fixed-work, fully CPU-bound).
+"""
+
+from repro.workloads.cpu_task import FixedDurationTask, FixedWorkTask
+from repro.workloads.kernels import (
+    KERNELS,
+    Kernel,
+    KernelProfile,
+    characterize,
+    kernel,
+)
+from repro.workloads.pi_digits import (
+    PI_FIRST_50_DIGITS,
+    pi_digit_stream,
+    pi_digits,
+    pi_iteration,
+)
+
+__all__ = [
+    "FixedDurationTask",
+    "FixedWorkTask",
+    "KERNELS",
+    "Kernel",
+    "KernelProfile",
+    "PI_FIRST_50_DIGITS",
+    "characterize",
+    "kernel",
+    "pi_digit_stream",
+    "pi_digits",
+    "pi_iteration",
+]

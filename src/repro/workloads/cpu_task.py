@@ -1,0 +1,66 @@
+"""Abstract CPU-bound task specifications.
+
+The simulator does not execute real π iterations; it accounts for them
+(:mod:`repro.soc.perf`).  These specs say *how long* or *how much* to run:
+
+* :class:`FixedDurationTask` — run flat out for T seconds and count
+  completed iterations: the paper's main performance metric
+  (T_workload = 5 minutes).
+* :class:`FixedWorkTask` — run until N iterations complete and integrate
+  energy: the paper's Figure 1 / Figure 2 energy-for-fixed-work metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FixedDurationTask:
+    """Run all cores at ``utilization`` for ``duration_s`` seconds.
+
+    Attributes
+    ----------
+    duration_s:
+        Wall-clock run time, seconds (the paper uses 300 s).
+    utilization:
+        Per-core utilization, in (0, 1].
+    """
+
+    duration_s: float
+    utilization: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        if not 0.0 < self.utilization <= 1.0:
+            raise ConfigurationError("utilization must be within (0, 1]")
+
+
+@dataclass(frozen=True)
+class FixedWorkTask:
+    """Run all cores until ``iterations`` π iterations complete.
+
+    Attributes
+    ----------
+    iterations:
+        Work target, in π-workload iterations.
+    utilization:
+        Per-core utilization, in (0, 1].
+    timeout_s:
+        Abort bound — a heavily-throttled device must still terminate.
+    """
+
+    iterations: float
+    utilization: float = 1.0
+    timeout_s: float = 7200.0
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ConfigurationError("iterations must be positive")
+        if not 0.0 < self.utilization <= 1.0:
+            raise ConfigurationError("utilization must be within (0, 1]")
+        if self.timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")

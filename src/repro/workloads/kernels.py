@@ -1,0 +1,156 @@
+"""Real micro-kernels with known compute/memory character.
+
+The simulator abstracts workloads by a memory-boundedness fraction β; this
+module grounds that abstraction in runnable code.  Each kernel is a small,
+deterministic Python routine with a known character:
+
+* ``pi_spigot`` — integer arithmetic on a tiny state: fully CPU-bound, the
+  paper's actual benchmark (β ≈ 0);
+* ``alu_mix`` — arithmetic over registers/immediates: CPU-bound;
+* ``stream_walk`` — strided traversal of a large buffer: memory-bound on
+  real hardware (β high);
+* ``pointer_chase`` — dependent random loads: latency-bound, the extreme
+  memory case.
+
+``characterize`` times a kernel at two problem sizes to expose whether its
+cost scales with compute or with touched bytes, and suggests a β for the
+simulator.  (Python timings are not silicon timings; the *classification*
+is what transfers.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+from repro.rng import derive_stream
+from repro.workloads.pi_digits import pi_digits
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One runnable micro-kernel.
+
+    Attributes
+    ----------
+    name:
+        Kernel name.
+    run:
+        Callable taking a problem size and returning a checksum (so the
+        work cannot be optimized away and tests can verify determinism).
+    suggested_beta:
+        The memory-boundedness the kernel maps to in the simulator.
+    """
+
+    name: str
+    run: Callable[[int], int]
+    suggested_beta: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.suggested_beta < 1.0:
+            raise ConfigurationError("suggested_beta must be within [0, 1)")
+
+
+def _pi_spigot(size: int) -> int:
+    digits = pi_digits(max(1, size))
+    return sum(int(d) for d in digits)
+
+
+def _alu_mix(size: int) -> int:
+    acc = 0x9E3779B9
+    for i in range(size):
+        acc = (acc * 6364136223846793005 + 1442695040888963407) & (2**64 - 1)
+        acc ^= acc >> 33
+        acc = (acc + i) & (2**64 - 1)
+    return acc & 0xFFFFFFFF
+
+
+def _stream_walk(size: int) -> int:
+    buffer = list(range(size))
+    total = 0
+    stride = 16
+    for start in range(stride):
+        total += sum(buffer[start::stride])
+    return total & 0xFFFFFFFF
+
+
+def _pointer_chase(size: int) -> int:
+    rng = derive_stream(size, "pointer-chase")
+    permutation = rng.permutation(size)
+    index = 0
+    for _ in range(size):
+        index = int(permutation[index])
+    return index
+
+
+#: The kernel suite, keyed by name.
+KERNELS: Dict[str, Kernel] = {
+    "pi_spigot": Kernel(name="pi_spigot", run=_pi_spigot, suggested_beta=0.0),
+    "alu_mix": Kernel(name="alu_mix", run=_alu_mix, suggested_beta=0.05),
+    "stream_walk": Kernel(
+        name="stream_walk", run=_stream_walk, suggested_beta=0.45
+    ),
+    "pointer_chase": Kernel(
+        name="pointer_chase", run=_pointer_chase, suggested_beta=0.75
+    ),
+}
+
+
+def kernel(name: str) -> Kernel:
+    """Look up a kernel by name."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown kernel {name!r}; kernels: {', '.join(KERNELS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Timing characterization of one kernel.
+
+    Attributes
+    ----------
+    name:
+        Kernel name.
+    seconds_per_unit:
+        Wall time per problem-size unit at the large size.
+    scaling_exponent:
+        log-log slope of time vs size between the two probe sizes
+        (1.0 = linear; the π spigot is superlinear in digit count).
+    suggested_beta:
+        The simulator boundedness to use for this kernel.
+    """
+
+    name: str
+    seconds_per_unit: float
+    scaling_exponent: float
+    suggested_beta: float
+
+
+def characterize(
+    name: str, small: int = 400, large: int = 1600
+) -> KernelProfile:
+    """Time one kernel at two sizes and summarize its scaling."""
+    if not 0 < small < large:
+        raise ConfigurationError("need 0 < small < large problem sizes")
+    chosen = kernel(name)
+    import math
+
+    def timed(size: int) -> float:
+        start = time.perf_counter()
+        chosen.run(size)
+        return max(time.perf_counter() - start, 1e-9)
+
+    t_small = timed(small)
+    t_large = timed(large)
+    exponent = math.log(t_large / t_small) / math.log(large / small)
+    return KernelProfile(
+        name=chosen.name,
+        seconds_per_unit=t_large / large,
+        scaling_exponent=exponent,
+        suggested_beta=chosen.suggested_beta,
+    )

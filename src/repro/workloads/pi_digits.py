@@ -1,0 +1,63 @@
+"""Computing the digits of π (the paper's actual benchmark payload).
+
+The benchmark app computed the first 4,285 digits of π per iteration — a
+number chosen to take about one second at the Nexus 6's top frequency
+(Section III).  We implement the unbounded Rabinowitz–Wagon spigot
+algorithm, which streams decimal digits using only integer arithmetic —
+fully CPU-bound with a tiny working set, exactly the properties that make
+performance linear in clock frequency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+from repro.soc.perf import PI_DIGITS_PER_ITERATION
+
+#: Ground truth for validation: the first 50 decimal digits of π.
+PI_FIRST_50_DIGITS = "31415926535897932384626433832795028841971693993751"
+
+
+def pi_digit_stream() -> Iterator[int]:
+    """Yield decimal digits of π indefinitely (3, 1, 4, 1, 5, ...).
+
+    Unbounded spigot after Gibbons' streaming formulation of
+    Rabinowitz–Wagon: maintain a linear fractional transformation
+    ``(q, r, t, k)`` and emit a digit whenever the integer part of the
+    interval is pinned down.
+    """
+    q, r, t, k, digit, n = 1, 0, 1, 1, 3, 3
+    while True:
+        if 4 * q + r - t < digit * t:
+            yield digit
+            q, r, digit = 10 * q, 10 * (r - digit * t), (10 * (3 * q + r)) // t - 10 * digit
+        else:
+            q, r, t, digit, k, n = (
+                q * k,
+                (2 * q + r) * n,
+                t * n,
+                (q * (7 * k + 2) + r * n) // (t * n),
+                k + 1,
+                n + 2,
+            )
+
+
+def pi_digits(count: int) -> str:
+    """Return the first ``count`` decimal digits of π as a string ("314…")."""
+    if count < 1:
+        raise ConfigurationError("count must be at least 1")
+    stream = pi_digit_stream()
+    return "".join(str(next(stream)) for _ in range(count))
+
+
+def pi_iteration(digit_count: int = PI_DIGITS_PER_ITERATION) -> str:
+    """Run one benchmark iteration and return a digest of the digits.
+
+    This is the real computation a device under test performs; the examples
+    use it to demonstrate the workload, and the digest lets tests verify
+    the computation was not optimized away.
+    """
+    digits = pi_digits(digit_count)
+    return hashlib.sha256(digits.encode("ascii")).hexdigest()

@@ -1,0 +1,59 @@
+"""Shared fixtures: fast protocol configs and prebuilt devices.
+
+Tests scale the paper's durations down hard (seconds, not minutes): the
+physics is qualitatively identical, and the full-length campaign lives in
+the benchmark suite, not here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AccubenchConfig
+from repro.core.runner import CampaignConfig, CampaignRunner
+from repro.device.fleet import PAPER_FLEETS, build_device
+from repro.instruments.monsoon import MonsoonPowerMonitor
+
+
+@pytest.fixture
+def fast_config() -> AccubenchConfig:
+    """A seconds-scale protocol config for unit/integration tests."""
+    return AccubenchConfig(
+        warmup_s=20.0,
+        workload_s=30.0,
+        cooldown_target_c=40.0,
+        cooldown_poll_s=5.0,
+        cooldown_timeout_s=2400.0,
+        iterations=2,
+        dt=0.2,
+        trace_decimation=2,
+    )
+
+
+@pytest.fixture
+def fast_campaign(fast_config: AccubenchConfig) -> CampaignConfig:
+    """Campaign config wrapping the fast protocol, chamber disabled for
+    speed (chamber-specific tests opt back in)."""
+    return CampaignConfig(accubench=fast_config, use_thermabox=False)
+
+
+@pytest.fixture
+def fast_runner(fast_campaign: CampaignConfig) -> CampaignRunner:
+    """A runner over the fast campaign config."""
+    return CampaignRunner(fast_campaign)
+
+
+@pytest.fixture
+def nexus5_bin0():
+    """A Nexus 5 bin-0 unit powered from a Monsoon at nominal voltage."""
+    device = build_device(PAPER_FLEETS["Nexus 5"][0])
+    device.connect_supply(MonsoonPowerMonitor(device.spec.battery.nominal_v))
+    return device
+
+
+@pytest.fixture
+def nexus5_bin3():
+    """A Nexus 5 bin-3 unit powered from a Monsoon at nominal voltage."""
+    device = build_device(PAPER_FLEETS["Nexus 5"][3])
+    device.connect_supply(MonsoonPowerMonitor(device.spec.battery.nominal_v))
+    return device

@@ -1,0 +1,118 @@
+"""Statistical primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.analysis import (
+    energy_variation,
+    normalize,
+    performance_variation,
+    relative_standard_deviation,
+)
+from repro.errors import AnalysisError
+
+positive_floats = st.floats(min_value=0.1, max_value=1e6)
+
+
+class TestRsd:
+    def test_identical_values_zero(self):
+        assert relative_standard_deviation([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_value(self):
+        # Values 9, 10, 11: mean 10, sample std 1 -> RSD 0.1.
+        assert relative_standard_deviation([9.0, 10.0, 11.0]) == pytest.approx(0.1)
+
+    def test_single_value_zero(self):
+        assert relative_standard_deviation([42.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            relative_standard_deviation([])
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(AnalysisError):
+            relative_standard_deviation([-1.0, 1.0])
+
+    def test_absolute_value_of_cv(self):
+        # Negative-mean data still yields a positive RSD (paper: "the
+        # absolute value of the coefficient of variation").
+        assert relative_standard_deviation([-9.0, -10.0, -11.0]) == pytest.approx(0.1)
+
+    @given(st.lists(positive_floats, min_size=2, max_size=20))
+    def test_never_negative(self, values):
+        assert relative_standard_deviation(values) >= 0.0
+
+    @given(st.lists(positive_floats, min_size=2, max_size=20), positive_floats)
+    def test_scale_invariant(self, values, scale):
+        original = relative_standard_deviation(values)
+        scaled = relative_standard_deviation([v * scale for v in values])
+        assert scaled == pytest.approx(original, rel=1e-6, abs=1e-9)
+
+
+class TestNormalize:
+    def test_max_reference(self):
+        assert normalize([2.0, 4.0], reference="max") == [0.5, 1.0]
+
+    def test_min_reference(self):
+        assert normalize([2.0, 4.0], reference="min") == [1.0, 2.0]
+
+    def test_first_reference(self):
+        assert normalize([2.0, 4.0], reference="first") == [1.0, 2.0]
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(AnalysisError):
+            normalize([1.0], reference="median")
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            normalize([])
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(AnalysisError):
+            normalize([0.0, 1.0], reference="min")
+
+    @given(st.lists(positive_floats, min_size=1, max_size=20))
+    def test_max_normalization_bounded(self, values):
+        normalized = normalize(values, reference="max")
+        assert all(0.0 < v <= 1.0 + 1e-12 for v in normalized)
+        assert max(normalized) == pytest.approx(1.0)
+
+
+class TestVariationMetrics:
+    def test_performance_variation_matches_paper_phrasing(self):
+        # "bin-0 ... being 14% faster than bin-3": best/worst - 1.
+        assert performance_variation([114.0, 100.0]) == pytest.approx(0.14)
+
+    def test_energy_variation_matches_paper_phrasing(self):
+        # "consumes 19% less energy than bin-3": 1 - best/worst.
+        assert energy_variation([81.0, 100.0]) == pytest.approx(0.19)
+
+    def test_identical_units_no_variation(self):
+        assert performance_variation([5.0, 5.0]) == 0.0
+        assert energy_variation([5.0, 5.0]) == 0.0
+
+    def test_single_unit_rejected(self):
+        with pytest.raises(AnalysisError):
+            performance_variation([5.0])
+        with pytest.raises(AnalysisError):
+            energy_variation([5.0])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(AnalysisError):
+            performance_variation([0.0, 5.0])
+        with pytest.raises(AnalysisError):
+            energy_variation([-1.0, -5.0])
+
+    @given(st.lists(positive_floats, min_size=2, max_size=10))
+    def test_performance_variation_non_negative(self, values):
+        assert performance_variation(values) >= 0.0
+
+    @given(st.lists(positive_floats, min_size=2, max_size=10))
+    def test_energy_variation_bounded(self, values):
+        assert 0.0 <= energy_variation(values) < 1.0
+
+    @given(st.lists(positive_floats, min_size=2, max_size=10))
+    def test_order_invariant(self, values):
+        assert performance_variation(values) == performance_variation(
+            list(reversed(values))
+        )

@@ -1,0 +1,108 @@
+"""Bootstrap confidence intervals."""
+
+import pytest
+
+from repro.core.bootstrap import (
+    ConfidenceInterval,
+    energy_variation_ci,
+    performance_variation_ci,
+    variation_is_significant,
+)
+from repro.core.results import DeviceResult, ExperimentResult, IterationResult
+from repro.errors import AnalysisError
+
+
+def experiment(unit_scores):
+    """unit_scores: {serial: [per-iteration perf]} with energy = 1000 - perf/2."""
+    devices = []
+    for serial, scores in unit_scores.items():
+        iterations = tuple(
+            IterationResult(
+                model="Nexus 5", serial=serial, workload="UNCONSTRAINED",
+                iterations_completed=score, energy_j=1000.0 - score / 2.0,
+                mean_power_w=1.0, mean_freq_mhz=2000.0, max_cpu_temp_c=75.0,
+                cooldown_s=0.0, time_throttled_s=0.0,
+            )
+            for score in scores
+        )
+        devices.append(
+            DeviceResult(
+                model="Nexus 5", serial=serial, workload="UNCONSTRAINED",
+                iterations=iterations,
+            )
+        )
+    return ExperimentResult(
+        model="Nexus 5", workload="UNCONSTRAINED", devices=tuple(devices)
+    )
+
+
+WELL_SEPARATED = experiment(
+    {
+        "bin-0": [900.0, 905.0, 898.0, 902.0],
+        "bin-3": [780.0, 778.0, 784.0, 781.0],
+    }
+)
+
+OVERLAPPING = experiment(
+    {
+        "a": [850.0, 900.0, 820.0, 880.0],
+        "b": [860.0, 830.0, 890.0, 845.0],
+    }
+)
+
+
+class TestPerformanceCi:
+    def test_point_matches_metric(self):
+        ci = performance_variation_ci(WELL_SEPARATED, resamples=300)
+        assert ci.point == pytest.approx((901.25 - 780.75) / 780.75)
+
+    def test_interval_brackets_point(self):
+        ci = performance_variation_ci(WELL_SEPARATED, resamples=300)
+        assert ci.low <= ci.point <= ci.high
+
+    def test_tight_data_tight_interval(self):
+        tight = performance_variation_ci(WELL_SEPARATED, resamples=300)
+        loose = performance_variation_ci(OVERLAPPING, resamples=300)
+        assert tight.width < loose.width
+
+    def test_deterministic_for_seed(self):
+        a = performance_variation_ci(WELL_SEPARATED, resamples=300, seed=4)
+        b = performance_variation_ci(WELL_SEPARATED, resamples=300, seed=4)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_resample_floor(self):
+        with pytest.raises(AnalysisError):
+            performance_variation_ci(WELL_SEPARATED, resamples=10)
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(AnalysisError):
+            performance_variation_ci(WELL_SEPARATED, confidence=1.0, resamples=300)
+
+
+class TestEnergyCi:
+    def test_energy_interval(self):
+        ci = energy_variation_ci(WELL_SEPARATED, resamples=300)
+        assert 0.0 < ci.low <= ci.point <= ci.high
+
+
+class TestSignificance:
+    def test_separated_fleet_is_significant(self):
+        ci = performance_variation_ci(WELL_SEPARATED, resamples=500)
+        assert variation_is_significant(ci)
+
+    def test_identical_units_are_not(self):
+        same = experiment(
+            {
+                "a": [850.0, 853.0, 848.0, 851.0],
+                "b": [851.0, 849.0, 852.0, 850.0],
+            }
+        )
+        ci = performance_variation_ci(same, resamples=500)
+        assert not variation_is_significant(ci, noise_floor=0.01)
+
+    def test_contains(self):
+        interval = ConfidenceInterval(
+            point=0.15, low=0.10, high=0.20, confidence=0.95, resamples=100
+        )
+        assert interval.contains(0.12)
+        assert not interval.contains(0.25)

@@ -1,0 +1,105 @@
+"""Unsupervised bin discovery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.clustering import choose_k, kmeans, silhouette_score
+from repro.errors import AnalysisError
+
+WELL_SEPARATED = [
+    [1.0, 1.0], [1.1, 0.9], [0.9, 1.05],
+    [5.0, 5.0], [5.1, 4.9], [4.9, 5.2],
+    [9.0, 9.0], [9.2, 8.9], [8.8, 9.1],
+]
+
+
+class TestKmeans:
+    def test_recovers_obvious_clusters(self):
+        result = kmeans(WELL_SEPARATED, k=3, seed=1)
+        groups = [
+            {result.assignments[i] for i in range(0, 3)},
+            {result.assignments[i] for i in range(3, 6)},
+            {result.assignments[i] for i in range(6, 9)},
+        ]
+        assert all(len(group) == 1 for group in groups)
+        assert len(set.union(*groups)) == 3
+
+    def test_deterministic(self):
+        a = kmeans(WELL_SEPARATED, k=3, seed=7)
+        b = kmeans(WELL_SEPARATED, k=3, seed=7)
+        assert a.assignments == b.assignments
+
+    def test_k1_groups_everything(self):
+        result = kmeans(WELL_SEPARATED, k=1, seed=0)
+        assert set(result.assignments) == {0}
+
+    def test_k_equals_n(self):
+        result = kmeans(WELL_SEPARATED[:4], k=4, seed=0)
+        assert len(set(result.assignments)) == 4
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_inertia_decreases_with_k(self):
+        inertias = [kmeans(WELL_SEPARATED, k=k, seed=2).inertia for k in (1, 3)]
+        assert inertias[1] < inertias[0]
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(AnalysisError):
+            kmeans(WELL_SEPARATED, k=0)
+        with pytest.raises(AnalysisError):
+            kmeans(WELL_SEPARATED, k=10)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            kmeans([], k=1)
+
+    def test_identical_points_handled(self):
+        result = kmeans([[1.0, 1.0]] * 5, k=2, seed=0)
+        assert len(result.assignments) == 5
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-10, max_value=10),
+                st.floats(min_value=-10, max_value=10),
+            ),
+            min_size=4,
+            max_size=20,
+        )
+    )
+    def test_every_point_assigned_within_k(self, points):
+        result = kmeans([list(p) for p in points], k=2, seed=3)
+        assert len(result.assignments) == len(points)
+        assert all(0 <= a < 2 for a in result.assignments)
+
+
+class TestSilhouette:
+    def test_good_clustering_scores_high(self):
+        result = kmeans(WELL_SEPARATED, k=3, seed=1)
+        assert silhouette_score(WELL_SEPARATED, result) > 0.7
+
+    def test_k1_scores_zero(self):
+        result = kmeans(WELL_SEPARATED, k=1, seed=1)
+        assert silhouette_score(WELL_SEPARATED, result) == 0.0
+
+    def test_wrong_k_scores_lower(self):
+        right = kmeans(WELL_SEPARATED, k=3, seed=1)
+        wrong = kmeans(WELL_SEPARATED, k=2, seed=1)
+        assert silhouette_score(WELL_SEPARATED, right) > silhouette_score(
+            WELL_SEPARATED, wrong
+        )
+
+
+class TestChooseK:
+    def test_finds_three_clusters(self):
+        k, result = choose_k(WELL_SEPARATED, seed=1)
+        assert k == 3
+        assert len(set(result.assignments)) == 3
+
+    def test_explicit_range(self):
+        k, _ = choose_k(WELL_SEPARATED, k_range=[2, 3], seed=1)
+        assert k == 3
+
+    def test_too_few_units_rejected(self):
+        with pytest.raises(AnalysisError):
+            choose_k([[1.0], [2.0]])

@@ -1,0 +1,88 @@
+"""Cross-generation comparison."""
+
+import pytest
+
+from repro.core.comparison import (
+    GenerationComparison,
+    compare_generations,
+    generation_ladder,
+)
+from repro.core.results import DeviceResult, ExperimentResult, IterationResult
+from repro.errors import AnalysisError
+
+
+def experiment(model, perf, energy, workload="UNCONSTRAINED"):
+    it = IterationResult(
+        model=model, serial="u1", workload=workload,
+        iterations_completed=perf, energy_j=energy,
+        mean_power_w=energy / 300.0, mean_freq_mhz=2000.0,
+        max_cpu_temp_c=75.0, cooldown_s=0.0, time_throttled_s=0.0,
+    )
+    device = DeviceResult(
+        model=model, serial="u1", workload=workload, iterations=(it,)
+    )
+    return ExperimentResult(model=model, workload=workload, devices=(device,))
+
+
+NEXUS5 = experiment("Nexus 5", perf=850.0, energy=1250.0)
+# Faster but power-hungrier: the SD-805 pattern.
+NEXUS6 = experiment("Nexus 6", perf=1000.0, energy=1950.0)
+# Faster AND leaner: a FinFET generation.
+PIXEL = experiment("Google Pixel", perf=1050.0, energy=1200.0)
+
+
+class TestCompareGenerations:
+    def test_ratios(self):
+        comparison = compare_generations(NEXUS5, NEXUS6)
+        assert comparison.performance_ratio == pytest.approx(1000.0 / 850.0)
+        assert comparison.power_ratio == pytest.approx(1950.0 / 1250.0)
+        eff_old = 850.0 / 1.250
+        eff_new = 1000.0 / 1.950
+        assert comparison.efficiency_ratio == pytest.approx(eff_new / eff_old)
+
+    def test_sd805_pattern_detected(self):
+        comparison = compare_generations(NEXUS5, NEXUS6)
+        assert comparison.is_faster
+        assert not comparison.is_more_efficient
+        assert comparison.is_marketing_regression
+
+    def test_genuine_improvement(self):
+        comparison = compare_generations(NEXUS5, PIXEL)
+        assert comparison.is_faster
+        assert comparison.is_more_efficient
+        assert not comparison.is_marketing_regression
+
+    def test_summary_text(self):
+        text = compare_generations(NEXUS5, NEXUS6).summary()
+        assert "Nexus 6 vs Nexus 5" in text
+        assert "marketing regression" in text
+        good = compare_generations(NEXUS5, PIXEL).summary()
+        assert "genuine improvement" in good
+
+    def test_mismatched_workloads_rejected(self):
+        fixed = experiment("Nexus 6", 400.0, 600.0, workload="FIXED-FREQUENCY")
+        with pytest.raises(AnalysisError):
+            compare_generations(NEXUS5, fixed)
+
+
+class TestGenerationLadder:
+    def test_adjacent_pairs(self):
+        ladder = generation_ladder([NEXUS5, NEXUS6, PIXEL])
+        assert len(ladder) == 2
+        assert ladder[0].newer_model == "Nexus 6"
+        assert ladder[1].older_model == "Nexus 6"
+
+    def test_single_generation_rejected(self):
+        with pytest.raises(AnalysisError):
+            generation_ladder([NEXUS5])
+
+
+class TestDataclassProperties:
+    def test_mixed_result(self):
+        mixed = GenerationComparison(
+            older_model="a", newer_model="b",
+            performance_ratio=0.95, power_ratio=0.7, efficiency_ratio=1.2,
+        )
+        assert not mixed.is_faster
+        assert mixed.is_more_efficient
+        assert "mixed result" in mixed.summary()

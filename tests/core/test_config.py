@@ -1,0 +1,59 @@
+"""ACCUBENCH configuration."""
+
+import pytest
+
+from repro.core.config import AccubenchConfig
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_durations(self):
+        config = AccubenchConfig()
+        assert config.warmup_s == 180.0  # 3 minutes
+        assert config.workload_s == 300.0  # 5 minutes
+        assert config.cooldown_poll_s == 5.0
+        assert config.iterations == 5
+
+    def test_traces_dropped_by_default(self):
+        assert not AccubenchConfig().keep_traces
+
+
+class TestScaling:
+    def test_scaled_durations(self):
+        scaled = AccubenchConfig().scaled(0.1)
+        assert scaled.warmup_s == pytest.approx(18.0)
+        assert scaled.workload_s == pytest.approx(30.0)
+
+    def test_scaling_preserves_other_fields(self):
+        scaled = AccubenchConfig().scaled(0.5)
+        assert scaled.iterations == 5
+        assert scaled.dt == 0.1
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccubenchConfig().scaled(0.0)
+
+    def test_with_traces(self):
+        assert AccubenchConfig().with_traces().keep_traces
+
+
+class TestValidation:
+    def test_zero_warmup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccubenchConfig(warmup_s=0.0)
+
+    def test_zero_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccubenchConfig(workload_s=0.0)
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccubenchConfig(iterations=0)
+
+    def test_poll_below_dt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccubenchConfig(dt=1.0, cooldown_poll_s=0.5)
+
+    def test_zero_decimation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccubenchConfig(trace_decimation=0)

@@ -1,0 +1,71 @@
+"""Property tests for the crowd-study statistics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.crowd import spearman_rank_correlation
+
+values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=3,
+    max_size=25,
+)
+
+
+class TestSpearmanProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(values)
+    def test_self_correlation_is_one(self, xs):
+        if len(set(xs)) < 2:
+            return  # constant input is rejected by design
+        assert spearman_rank_correlation(xs, xs) == pytest.approx(1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values)
+    def test_reversal_negates(self, xs):
+        if len(set(xs)) < 2:
+            return
+        ys = list(reversed(xs))
+        forward = spearman_rank_correlation(xs, list(range(len(xs))))
+        backward = spearman_rank_correlation(ys, list(range(len(xs))))
+        assert forward == pytest.approx(-backward, abs=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values)
+    def test_bounded(self, xs):
+        if len(set(xs)) < 2:
+            return
+        rho = spearman_rank_correlation(xs, list(range(len(xs))))
+        assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=-10_000, max_value=10_000),
+            min_size=3,
+            max_size=25,
+        ),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_monotone_transform_invariant(self, xs, scale):
+        # Integer inputs so the affine transform cannot collapse distinct
+        # values through float rounding (which would legitimately change
+        # the ranks).
+        if len(set(xs)) < 2:
+            return
+        index = list(range(len(xs)))
+        raw = spearman_rank_correlation([float(x) for x in xs], index)
+        transformed = spearman_rank_correlation(
+            [scale * x + 7.0 for x in xs], index
+        )
+        assert transformed == pytest.approx(raw, abs=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values)
+    def test_symmetry(self, xs):
+        if len(set(xs)) < 2:
+            return
+        index = list(range(len(xs)))
+        assert spearman_rank_correlation(xs, index) == pytest.approx(
+            spearman_rank_correlation(index, xs), abs=1e-9
+        )

@@ -1,0 +1,88 @@
+"""Distribution analysis (Figures 11/12)."""
+
+import pytest
+
+from repro.core.distributions import compare_pair, summarize_workload
+from repro.errors import AnalysisError
+from repro.sim.trace import Trace
+
+
+def make_trace(freqs, temps, dt=1.0):
+    trace = Trace(["freq", "cpu_temp"])
+    trace.begin_phase("workload", 0.0)
+    for i, (f, t) in enumerate(zip(freqs, temps)):
+        trace.record(i * dt, freq=f, cpu_temp=t)
+    trace.end_phase(len(freqs) * dt)
+    return trace
+
+
+class TestSummarize:
+    def test_mean_frequency(self):
+        trace = make_trace([2000.0, 2100.0, 2200.0], [60.0, 65.0, 70.0])
+        summary = summarize_workload(trace, "device-488")
+        assert summary.mean_freq_mhz == pytest.approx(2100.0)
+        assert summary.serial == "device-488"
+
+    def test_temperature_stats(self):
+        trace = make_trace([2000.0] * 4, [60.0, 70.0, 75.0, 71.0])
+        summary = summarize_workload(trace, "x", hot_threshold_c=70.0)
+        assert summary.max_temp_c == 75.0
+        assert summary.mean_temp_c == pytest.approx(69.0)
+        assert summary.time_above_hot_s == pytest.approx(3.0)
+
+    def test_percentiles_ordered(self):
+        trace = make_trace(list(range(1000, 2000, 100)), [60.0] * 10)
+        summary = summarize_workload(trace, "x")
+        assert summary.freq_p10_mhz <= summary.mean_freq_mhz <= summary.freq_p90_mhz
+
+    def test_histograms_returned(self):
+        trace = make_trace([2000.0, 2100.0] * 10, [60.0, 61.0] * 10)
+        summary = summarize_workload(trace, "x", bins=8)
+        counts, edges = summary.freq_histogram
+        assert counts.sum() == 20
+        assert len(edges) == 9
+
+    def test_empty_workload_rejected(self):
+        trace = Trace(["freq", "cpu_temp"])
+        trace.begin_phase("workload", 0.0)
+        trace.end_phase(0.0)
+        with pytest.raises(AnalysisError):
+            summarize_workload(trace, "x")
+
+
+class TestComparePair:
+    def test_orders_by_mean_frequency(self):
+        fast = summarize_workload(
+            make_trace([2200.0] * 5, [70.0] * 5), "device-488"
+        )
+        slow = summarize_workload(
+            make_trace([2000.0] * 5, [65.0] * 5), "device-653"
+        )
+        comparison = compare_pair(slow, fast)
+        assert comparison.faster.serial == "device-488"
+        assert comparison.slower.serial == "device-653"
+
+    def test_mean_freq_delta(self):
+        fast = summarize_workload(make_trace([2140.0] * 5, [70.0] * 5), "a")
+        slow = summarize_workload(make_trace([2000.0] * 5, [65.0] * 5), "b")
+        assert compare_pair(fast, slow).mean_freq_delta == pytest.approx(0.07)
+
+    def test_hotter_is_faster_flag(self):
+        # The paper's counterintuitive Pixel case: the faster unit spent
+        # MORE time at high temperature.
+        fast_hot = summarize_workload(
+            make_trace([2200.0] * 5, [75.0] * 5), "hot-fast", hot_threshold_c=70.0
+        )
+        slow_cool = summarize_workload(
+            make_trace([2000.0] * 5, [60.0] * 5), "cool-slow", hot_threshold_c=70.0
+        )
+        assert compare_pair(fast_hot, slow_cool).hotter_is_faster
+
+    def test_conventional_case_flag_false(self):
+        fast_cool = summarize_workload(
+            make_trace([2200.0] * 5, [60.0] * 5), "a", hot_threshold_c=70.0
+        )
+        slow_hot = summarize_workload(
+            make_trace([2000.0] * 5, [75.0] * 5), "b", hot_threshold_c=70.0
+        )
+        assert not compare_pair(fast_cool, slow_hot).hotter_is_faster

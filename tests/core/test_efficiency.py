@@ -1,0 +1,73 @@
+"""Efficiency analysis (Figure 13)."""
+
+import pytest
+
+from repro.core.efficiency import (
+    EfficiencyPoint,
+    efficiency_point,
+    efficiency_series,
+    relative_to_first,
+    sd805_regression,
+)
+from repro.core.results import DeviceResult, ExperimentResult, IterationResult
+from repro.errors import AnalysisError
+
+
+def experiment(model, perf, energy):
+    it = IterationResult(
+        model=model, serial="u1", workload="UNCONSTRAINED",
+        iterations_completed=perf, energy_j=energy, mean_power_w=1.0,
+        mean_freq_mhz=2000.0, max_cpu_temp_c=75.0, cooldown_s=0.0,
+        time_throttled_s=0.0,
+    )
+    device = DeviceResult(
+        model=model, serial="u1", workload="UNCONSTRAINED", iterations=(it,)
+    )
+    return ExperimentResult(model=model, workload="UNCONSTRAINED", devices=(device,))
+
+
+def point(soc, year, iters_per_kj):
+    return EfficiencyPoint(
+        model=soc, soc=soc, year=year,
+        mean_iters_per_kj=iters_per_kj, per_unit=(("u1", iters_per_kj),),
+    )
+
+
+class TestEfficiencyPoint:
+    def test_from_experiment(self):
+        result = experiment("Nexus 5", perf=800.0, energy=400.0)
+        p = efficiency_point(result, "SD-800", 2013)
+        assert p.mean_iters_per_kj == pytest.approx(2000.0)
+        assert p.soc == "SD-800"
+        assert p.per_unit == (("u1", pytest.approx(2000.0)),)
+
+
+class TestSeries:
+    def test_generation_ordering(self):
+        points = [point("SD-820", 2016, 900.0), point("SD-800", 2013, 650.0)]
+        ordered = efficiency_series(points)
+        assert [p.soc for p in ordered] == ["SD-800", "SD-820"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            efficiency_series([])
+
+    def test_relative_to_first(self):
+        points = [point("SD-800", 2013, 650.0), point("SD-805", 2014, 500.0)]
+        relative = relative_to_first(points)
+        assert relative["SD-800"] == 1.0
+        assert relative["SD-805"] == pytest.approx(500.0 / 650.0)
+
+
+class TestSd805Regression:
+    def test_detects_regression(self):
+        points = [point("SD-800", 2013, 650.0), point("SD-805", 2014, 500.0)]
+        assert sd805_regression(points)
+
+    def test_no_regression(self):
+        points = [point("SD-800", 2013, 650.0), point("SD-805", 2014, 700.0)]
+        assert not sd805_regression(points)
+
+    def test_missing_soc_rejected(self):
+        with pytest.raises(AnalysisError):
+            sd805_regression([point("SD-800", 2013, 650.0)])

@@ -1,0 +1,138 @@
+"""Figure data export."""
+
+import numpy as np
+import pytest
+
+from repro.core.efficiency import EfficiencyPoint
+from repro.core.figure_data import (
+    Series,
+    bar_series,
+    efficiency_figure,
+    export_bundle,
+    histogram_series,
+    trace_series,
+)
+from repro.core.results import DeviceResult, ExperimentResult, IterationResult
+from repro.errors import AnalysisError
+from repro.sim.trace import Trace
+
+
+def experiment():
+    def device(serial, perf, energy):
+        it = IterationResult(
+            model="Nexus 5", serial=serial, workload="UNCONSTRAINED",
+            iterations_completed=perf, energy_j=energy, mean_power_w=1.0,
+            mean_freq_mhz=2000.0, max_cpu_temp_c=75.0, cooldown_s=0.0,
+            time_throttled_s=0.0,
+        )
+        return DeviceResult(
+            model="Nexus 5", serial=serial, workload="UNCONSTRAINED",
+            iterations=(it,),
+        )
+
+    return ExperimentResult(
+        model="Nexus 5", workload="UNCONSTRAINED",
+        devices=(device("bin-0", 900.0, 460.0), device("bin-3", 750.0, 575.0)),
+    )
+
+
+class TestSeries:
+    def test_column_lookup(self):
+        series = Series(
+            name="t", x_label="x", y_label="y",
+            columns=(("x", (1.0, 2.0)), ("y", (3.0, 4.0))),
+        )
+        assert series.column("y") == (3.0, 4.0)
+        assert series.row_count == 2
+
+    def test_unknown_column_rejected(self):
+        series = Series(
+            name="t", x_label="x", y_label="y", columns=(("x", (1.0,)),)
+        )
+        with pytest.raises(AnalysisError):
+            series.column("z")
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(AnalysisError):
+            Series(
+                name="t", x_label="x", y_label="y",
+                columns=(("x", (1.0, 2.0)), ("y", (3.0,))),
+            )
+
+    def test_csv_rendering(self):
+        series = Series(
+            name="t", x_label="x", y_label="y",
+            columns=(("x", (1.0, 2.0)), ("y", (0.5, 0.25))),
+        )
+        lines = series.to_csv().strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,0.5"
+
+
+class TestBarSeries:
+    def test_performance_bars(self):
+        series = bar_series(experiment(), "performance")
+        assert series.column("normalized")[0] == pytest.approx(1.0)
+        assert series.column("raw") == (900.0, 750.0)
+
+    def test_energy_bars_normalized_to_min(self):
+        series = bar_series(experiment(), "energy")
+        assert series.column("normalized")[0] == pytest.approx(1.0)
+        assert series.column("normalized")[1] > 1.0
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(AnalysisError):
+            bar_series(experiment(), "latency")
+
+
+class TestTraceSeries:
+    def test_time_plus_channels(self):
+        trace = Trace(["cpu_temp", "freq"])
+        for i in range(5):
+            trace.record(float(i), cpu_temp=40.0 + i, freq=2000.0)
+        series = trace_series(trace, ["cpu_temp", "freq"], name="fig04")
+        assert series.column("time_s") == (0.0, 1.0, 2.0, 3.0, 4.0)
+        assert series.column("cpu_temp")[-1] == 44.0
+
+    def test_needs_channels(self):
+        with pytest.raises(AnalysisError):
+            trace_series(Trace(["x"]), [])
+
+
+class TestEfficiencyFigure:
+    def test_generation_ordering(self):
+        points = [
+            EfficiencyPoint("b", "SD-820", 2016, 900.0, (("u", 900.0),)),
+            EfficiencyPoint("a", "SD-800", 2013, 650.0, (("u", 650.0),)),
+        ]
+        series = efficiency_figure(points)
+        assert series.column("iters_per_kj") == (650.0, 900.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            efficiency_figure([])
+
+
+class TestHistogramSeries:
+    def test_from_numpy_histogram(self):
+        counts, edges = np.histogram([1.0, 1.2, 3.0, 3.1], bins=2)
+        series = histogram_series(counts, edges, "fig11-freq")
+        assert series.row_count == 2
+        assert sum(series.column("count")) == 4
+
+    def test_mismatched_edges_rejected(self):
+        with pytest.raises(AnalysisError):
+            histogram_series([1.0, 2.0], [0.0, 1.0], "bad")
+
+
+class TestExportBundle:
+    def test_bundle(self):
+        series = bar_series(experiment(), "performance", name="fig06a")
+        bundle = export_bundle([series])
+        assert set(bundle) == {"fig06a"}
+        assert bundle["fig06a"].startswith("unit_index,")
+
+    def test_duplicate_names_rejected(self):
+        series = bar_series(experiment(), "performance", name="dup")
+        with pytest.raises(AnalysisError):
+            export_bundle([series, series])

@@ -1,0 +1,67 @@
+"""Fleet-size lower-bound analysis (§VII)."""
+
+import pytest
+
+from repro.core.lower_bound import (
+    expected_variation,
+    fleet_size_curve,
+    undersampling_factor,
+)
+from repro.errors import AnalysisError
+
+POPULATION = [
+    1000.0, 992.0, 985.0, 978.0, 970.0, 961.0, 955.0, 948.0,
+    940.0, 931.0, 925.0, 918.0, 910.0, 901.0, 895.0, 888.0,
+]
+
+
+class TestExpectedVariation:
+    def test_full_population_is_exact(self):
+        full = expected_variation(POPULATION, len(POPULATION), resamples=50)
+        assert full == pytest.approx((1000.0 - 888.0) / 888.0)
+
+    def test_small_fleets_understate(self):
+        small = expected_variation(POPULATION, 3, resamples=800, seed=2)
+        full = (1000.0 - 888.0) / 888.0
+        assert small < full
+
+    def test_monotone_in_fleet_size(self):
+        curve = fleet_size_curve(POPULATION, sizes=[2, 4, 8, 16], resamples=800)
+        values = [curve[n] for n in (2, 4, 8, 16)]
+        assert values == sorted(values)
+
+    def test_deterministic(self):
+        a = expected_variation(POPULATION, 4, resamples=200, seed=9)
+        b = expected_variation(POPULATION, 4, resamples=200, seed=9)
+        assert a == b
+
+    def test_bad_fleet_size_rejected(self):
+        with pytest.raises(AnalysisError):
+            expected_variation(POPULATION, 1)
+        with pytest.raises(AnalysisError):
+            expected_variation(POPULATION, 17)
+
+    def test_tiny_population_rejected(self):
+        with pytest.raises(AnalysisError):
+            expected_variation([5.0], 2)
+
+
+class TestUndersamplingFactor:
+    def test_factor_at_least_one(self):
+        factor = undersampling_factor(POPULATION, 3, resamples=800)
+        assert factor > 1.0
+
+    def test_factor_shrinks_with_bigger_studies(self):
+        small = undersampling_factor(POPULATION, 3, resamples=800)
+        large = undersampling_factor(POPULATION, 12, resamples=800)
+        assert large < small
+
+    def test_uniform_population_rejected(self):
+        with pytest.raises(AnalysisError):
+            undersampling_factor([5.0] * 8, 3, resamples=50)
+
+
+class TestCurve:
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(AnalysisError):
+            fleet_size_curve(POPULATION, sizes=[])

@@ -1,0 +1,54 @@
+"""Paper targets and acceptance bands."""
+
+from repro.core.paper_targets import (
+    FIG6_ENERGY_SAVING_BIN0,
+    FIG6_PERF_BIN0_OVER_BIN3,
+    FIG10_G5_THROTTLE_FRACTION,
+    FIG11_PIXEL_PERF_DELTA,
+    FIG12_NEXUS5_PERF_DELTA,
+    TABLE2_TARGETS,
+    in_band,
+)
+
+
+class TestTable2Targets:
+    def test_all_five_models_present(self):
+        assert set(TABLE2_TARGETS) == {
+            "Nexus 5", "Nexus 6", "Nexus 6P", "LG G5", "Google Pixel",
+        }
+
+    def test_values_match_paper_table2(self):
+        t = TABLE2_TARGETS
+        assert (t["Nexus 5"].performance, t["Nexus 5"].energy) == (0.14, 0.19)
+        assert (t["Nexus 6"].performance, t["Nexus 6"].energy) == (0.02, 0.02)
+        assert (t["Nexus 6P"].performance, t["Nexus 6P"].energy) == (0.10, 0.12)
+        assert (t["LG G5"].performance, t["LG G5"].energy) == (0.04, 0.10)
+        assert (t["Google Pixel"].performance, t["Google Pixel"].energy) == (
+            0.05, 0.09,
+        )
+
+    def test_device_counts_match_paper(self):
+        counts = {m: t.device_count for m, t in TABLE2_TARGETS.items()}
+        assert counts == {
+            "Nexus 5": 4, "Nexus 6": 3, "Nexus 6P": 3,
+            "LG G5": 5, "Google Pixel": 3,
+        }
+
+    def test_paper_values_inside_their_own_bands(self):
+        for target in TABLE2_TARGETS.values():
+            assert in_band(target.performance, target.performance_band)
+            assert in_band(target.energy, target.energy_band)
+
+
+class TestHeadlineConstants:
+    def test_figure_headlines(self):
+        assert FIG6_PERF_BIN0_OVER_BIN3 == 0.14
+        assert FIG6_ENERGY_SAVING_BIN0 == 0.19
+        assert FIG11_PIXEL_PERF_DELTA == 0.07
+        assert FIG12_NEXUS5_PERF_DELTA == 0.11
+        assert FIG10_G5_THROTTLE_FRACTION == 0.20
+
+    def test_in_band_edges(self):
+        assert in_band(0.1, (0.1, 0.2))
+        assert in_band(0.2, (0.1, 0.2))
+        assert not in_band(0.21, (0.1, 0.2))

@@ -1,0 +1,137 @@
+"""The ACCUBENCH protocol state machine."""
+
+import pytest
+
+from repro.core.experiments import fixed_frequency, unconstrained
+from repro.core.protocol import Accubench
+from repro.device.catalog import device_spec
+from repro.device.fleet import PAPER_FLEETS, build_device
+from repro.errors import ProtocolError
+from repro.instruments.monsoon import MonsoonPowerMonitor
+from repro.instruments.thermabox import Thermabox
+
+
+@pytest.fixture
+def bench(fast_config) -> Accubench:
+    return Accubench(fast_config.with_traces())
+
+
+def monsoon_device(model="Nexus 5", index=0):
+    device = build_device(PAPER_FLEETS[model][index])
+    device.connect_supply(MonsoonPowerMonitor(device.spec.battery.nominal_v))
+    return device
+
+
+class TestRunIteration:
+    def test_unconstrained_iteration(self, bench):
+        device = monsoon_device()
+        result = bench.run_iteration(device, unconstrained())
+        assert result.workload == "UNCONSTRAINED"
+        assert result.iterations_completed > 0
+        assert result.energy_j > 0
+        assert result.mean_power_w > 0.5
+        assert result.serial == "bin-0"
+
+    def test_phases_annotated_in_order(self, bench):
+        device = monsoon_device()
+        result = bench.run_iteration(device, unconstrained())
+        names = [p.name for p in result.trace.phases]
+        assert names == ["warmup", "cooldown", "workload"]
+
+    def test_workload_duration_respected(self, bench):
+        device = monsoon_device()
+        result = bench.run_iteration(device, unconstrained())
+        span = result.trace.phase("workload")
+        assert span.duration_s == pytest.approx(bench.config.workload_s, abs=1.0)
+
+    def test_energy_counts_workload_only(self, bench):
+        # Mean power x workload duration must equal the energy integral:
+        # the counters were reset at workload start.
+        device = monsoon_device()
+        result = bench.run_iteration(device, unconstrained())
+        assert result.energy_j == pytest.approx(
+            result.mean_power_w * bench.config.workload_s, rel=0.01
+        )
+
+    def test_fixed_frequency_iteration_pins_clock(self, bench):
+        device = monsoon_device()
+        spec = fixed_frequency(device_spec("Nexus 5"))
+        result = bench.run_iteration(device, spec)
+        assert result.mean_freq_mhz == pytest.approx(960.0)
+        assert result.time_throttled_s == 0.0
+
+    def test_fixed_frequency_does_less_work(self, bench):
+        device_a = monsoon_device()
+        device_b = monsoon_device()
+        fast = bench.run_iteration(device_a, unconstrained())
+        slow = bench.run_iteration(device_b, fixed_frequency(device_spec("Nexus 5")))
+        assert slow.iterations_completed < fast.iterations_completed
+
+    def test_battery_powered_run_meters_energy(self, bench):
+        # The paper compared battery power against the Monsoon (Fig 10);
+        # any supply with cumulative energy accounting works.
+        device = build_device(PAPER_FLEETS["Nexus 5"][0])  # battery powered
+        result = bench.run_iteration(device, unconstrained())
+        assert result.energy_j > 0
+
+    def test_unmetered_supply_rejected(self, bench):
+        class RawSupply:
+            output_voltage_v = 3.8
+
+            def draw(self, power_w, dt):
+                return power_w / self.output_voltage_v
+
+        device = build_device(PAPER_FLEETS["Nexus 5"][0])
+        device.connect_supply(RawSupply())
+        with pytest.raises(ProtocolError):
+            bench.run_iteration(device, unconstrained())
+
+    def test_cooldown_waits_for_target(self, bench):
+        device = monsoon_device()
+        # Pre-heat the device so the cooldown has real work to do.
+        device.thermal.settle_to(60.0)
+        result = bench.run_iteration(device, unconstrained())
+        assert result.cooldown_s > 0.0
+
+    def test_device_left_idle_after_iteration(self, bench):
+        device = monsoon_device()
+        bench.run_iteration(device, unconstrained())
+        assert device.is_asleep
+
+    def test_runs_inside_chamber(self, bench):
+        device = monsoon_device()
+        chamber = Thermabox(initial_temp_c=26.0)
+        result = bench.run_iteration(device, unconstrained(), chamber=chamber)
+        assert result.iterations_completed > 0
+        assert chamber.is_within_band()
+
+    def test_traces_dropped_when_not_requested(self, fast_config):
+        bench = Accubench(fast_config)  # keep_traces=False
+        result = bench.run_iteration(monsoon_device(), unconstrained())
+        assert result.trace is None
+
+
+class TestRunFixedWork:
+    def test_completes_requested_work(self, bench):
+        device = monsoon_device()
+        result = bench.run_fixed_work(device, work_iterations=30.0)
+        assert result.energy_j > 0
+        # iterations_completed holds the time-to-completion for fixed work.
+        assert result.iterations_completed > 0
+
+    def test_leakier_bin_needs_more_energy(self, bench):
+        bin0 = monsoon_device(index=0)
+        bin3 = monsoon_device(index=3)
+        e0 = bench.run_fixed_work(bin0, 30.0, skip_conditioning=True).energy_j
+        e3 = bench.run_fixed_work(bin3, 30.0, skip_conditioning=True).energy_j
+        assert e3 > e0
+
+    def test_bad_work_rejected(self, bench):
+        with pytest.raises(ProtocolError):
+            bench.run_fixed_work(monsoon_device(), work_iterations=0.0)
+
+    def test_conditioning_runs_by_default(self, bench):
+        device = monsoon_device()
+        result = bench.run_fixed_work(device, 10.0)
+        names = [p.name for p in result.trace.phases]
+        assert names[0] == "warmup"

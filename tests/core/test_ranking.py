@@ -1,0 +1,88 @@
+"""Device ranking."""
+
+import pytest
+
+from repro.core.ranking import place_unit, quality_score, rank_units
+from repro.core.results import DeviceResult, IterationResult
+from repro.errors import AnalysisError
+
+
+def device(serial, perf, energy):
+    it = IterationResult(
+        model="Google Pixel", serial=serial, workload="UNCONSTRAINED",
+        iterations_completed=perf, energy_j=energy, mean_power_w=1.0,
+        mean_freq_mhz=2000.0, max_cpu_temp_c=75.0, cooldown_s=0.0,
+        time_throttled_s=0.0,
+    )
+    return DeviceResult(
+        model="Google Pixel", serial=serial, workload="UNCONSTRAINED",
+        iterations=(it,),
+    )
+
+
+class TestQualityScore:
+    def test_faster_scores_higher(self):
+        assert quality_score(1100.0, 500.0) > quality_score(1000.0, 500.0)
+
+    def test_leaner_scores_higher(self):
+        assert quality_score(1000.0, 450.0) > quality_score(1000.0, 500.0)
+
+    def test_performance_weight_extremes(self):
+        perf_only = quality_score(1100.0, 900.0, performance_weight=1.0)
+        assert perf_only == pytest.approx(1100.0)
+        energy_only = quality_score(1100.0, 900.0, performance_weight=0.0)
+        assert energy_only == pytest.approx(1.0 / 900.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(AnalysisError):
+            quality_score(0.0, 500.0)
+        with pytest.raises(AnalysisError):
+            quality_score(1000.0, -1.0)
+        with pytest.raises(AnalysisError):
+            quality_score(1000.0, 500.0, performance_weight=1.5)
+
+
+class TestRankUnits:
+    @pytest.fixture
+    def population(self):
+        return [
+            device("device-488", 1050.0, 470.0),
+            device("device-520", 1000.0, 485.0),
+            device("device-653", 960.0, 515.0),
+        ]
+
+    def test_best_first(self, population):
+        ranked = rank_units(population)
+        assert [r.serial for r in ranked] == [
+            "device-488", "device-520", "device-653",
+        ]
+
+    def test_ranks_and_percentiles(self, population):
+        ranked = rank_units(population)
+        assert [r.rank for r in ranked] == [1, 2, 3]
+        assert ranked[0].percentile == 100.0
+        assert ranked[-1].percentile == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            rank_units([])
+
+
+class TestPlaceUnit:
+    def test_best_unit_placement(self):
+        population = [device("a", 900.0, 550.0), device("b", 950.0, 520.0)]
+        newcomer = device("mine", 1100.0, 450.0)
+        placed = place_unit(newcomer, population)
+        assert placed.rank == 1
+        assert placed.percentile == 100.0
+
+    def test_worst_unit_placement(self):
+        population = [device("a", 1100.0, 450.0), device("b", 1050.0, 470.0)]
+        newcomer = device("mine", 800.0, 600.0)
+        placed = place_unit(newcomer, population)
+        assert placed.rank == 3
+        assert placed.percentile == 0.0
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(AnalysisError):
+            place_unit(device("mine", 1.0, 1.0), [])

@@ -1,0 +1,98 @@
+"""Text rendering of tables and figures."""
+
+import pytest
+
+from repro.core.efficiency import EfficiencyPoint
+from repro.core.reporting import (
+    render_efficiency,
+    render_experiment,
+    render_normalized_bars,
+    render_table1,
+    render_table2,
+)
+from repro.core.results import DeviceResult, ExperimentResult, IterationResult
+from repro.silicon.vf_tables import nexus5_table
+
+
+def experiment():
+    def device(serial, perf, energy):
+        it = IterationResult(
+            model="Nexus 5", serial=serial, workload="UNCONSTRAINED",
+            iterations_completed=perf, energy_j=energy, mean_power_w=1.0,
+            mean_freq_mhz=2000.0, max_cpu_temp_c=75.0, cooldown_s=0.0,
+            time_throttled_s=0.0,
+        )
+        return DeviceResult(
+            model="Nexus 5", serial=serial, workload="UNCONSTRAINED",
+            iterations=(it,),
+        )
+
+    return ExperimentResult(
+        model="Nexus 5", workload="UNCONSTRAINED",
+        devices=(device("bin-0", 900.0, 460.0), device("bin-3", 790.0, 570.0)),
+    )
+
+
+class TestTable1:
+    def test_contains_all_bins(self):
+        text = render_table1(nexus5_table())
+        for bin_index in range(7):
+            assert f"Bin-{bin_index}" in text
+
+    def test_contains_key_voltages(self):
+        text = render_table1(nexus5_table())
+        assert "1100" in text  # bin-0 @ 2265
+        assert "950" in text  # bin-6 @ 2265
+
+
+class TestTable2:
+    def test_rendering(self):
+        rows = {
+            "Nexus 5": ("SD-800", 4, 0.14, 0.19),
+            "LG G5": ("SD-820", 5, 0.04, 0.10),
+        }
+        text = render_table2(rows)
+        assert "SD-800" in text
+        assert "14%" in text
+        assert "19%" in text
+        assert "LG G5" in text
+
+
+class TestBars:
+    def test_normalized_bars(self):
+        text = render_normalized_bars({"bin-0": 900.0, "bin-3": 790.0}, "performance")
+        assert "bin-0" in text
+        assert "1.000" in text
+
+    def test_render_experiment_performance(self):
+        text = render_experiment(experiment(), metric="performance")
+        assert "UNCONSTRAINED" in text
+        assert "bin-0" in text
+
+    def test_render_experiment_energy(self):
+        text = render_experiment(experiment(), metric="energy")
+        assert "energy" in text
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            render_experiment(experiment(), metric="latency")
+
+
+class TestEfficiencyFigure:
+    def test_rendering(self):
+        points = [
+            EfficiencyPoint(
+                model="Nexus 5", soc="SD-800", year=2013,
+                mean_iters_per_kj=650.0, per_unit=(("bin-0", 650.0),),
+            ),
+            EfficiencyPoint(
+                model="Nexus 6", soc="SD-805", year=2014,
+                mean_iters_per_kj=500.0, per_unit=(("n6-a", 500.0),),
+            ),
+        ]
+        text = render_efficiency(points)
+        assert "SD-800" in text
+        assert "SD-805" in text
+
+    def test_empty(self):
+        assert "no efficiency data" in render_efficiency([])

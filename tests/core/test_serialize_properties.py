@@ -1,0 +1,77 @@
+"""Property tests: serialization round-trips for arbitrary results."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.results import DeviceResult, ExperimentResult, IterationResult
+from repro.core.serialize import (
+    dumps_experiment,
+    experiment_from_dict,
+    experiment_to_dict,
+    load_experiment,
+)
+
+finite = st.floats(
+    min_value=0.001, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+name = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=16
+)
+
+
+@st.composite
+def iterations(draw, serial):
+    return IterationResult(
+        model="Nexus 5",
+        serial=serial,
+        workload="UNCONSTRAINED",
+        iterations_completed=draw(finite),
+        energy_j=draw(finite),
+        mean_power_w=draw(finite),
+        mean_freq_mhz=draw(finite),
+        max_cpu_temp_c=draw(st.floats(min_value=-20.0, max_value=120.0)),
+        cooldown_s=draw(st.floats(min_value=0.0, max_value=1e5)),
+        time_throttled_s=draw(st.floats(min_value=0.0, max_value=1e5)),
+    )
+
+
+@st.composite
+def experiments(draw):
+    serials = draw(st.lists(name, min_size=1, max_size=4, unique=True))
+    devices = []
+    for serial in serials:
+        its = tuple(
+            draw(iterations(serial))
+            for _ in range(draw(st.integers(min_value=1, max_value=3)))
+        )
+        devices.append(
+            DeviceResult(
+                model="Nexus 5", serial=serial,
+                workload="UNCONSTRAINED", iterations=its,
+            )
+        )
+    return ExperimentResult(
+        model="Nexus 5", workload="UNCONSTRAINED", devices=tuple(devices)
+    )
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(experiments())
+    def test_dict_round_trip_exact(self, experiment):
+        assert experiment_from_dict(experiment_to_dict(experiment)) == experiment
+
+    @settings(max_examples=40, deadline=None)
+    @given(experiments())
+    def test_json_round_trip_exact(self, experiment):
+        assert load_experiment(dumps_experiment(experiment)) == experiment
+
+    @settings(max_examples=20, deadline=None)
+    @given(experiments())
+    def test_derived_metrics_survive(self, experiment):
+        restored = load_experiment(dumps_experiment(experiment))
+        assert restored.serials == experiment.serials
+        if len(experiment.devices) >= 2:
+            assert (
+                restored.performance_variation == experiment.performance_variation
+            )
+            assert restored.energy_variation == experiment.energy_variation

@@ -1,0 +1,114 @@
+"""Battery aging."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.device.aging import BatteryAge, aged_battery, throttle_onset_soc
+from repro.device.battery import Battery, BatterySpec
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def g5_spec() -> BatterySpec:
+    return BatterySpec(capacity_mah=2800.0, nominal_v=3.85, max_v=4.4)
+
+
+class TestBatteryAge:
+    def test_new_pack_is_pristine(self):
+        age = BatteryAge.new()
+        assert age.capacity_fraction() == 1.0
+        assert age.resistance_multiplier() == 1.0
+        assert age.ocv_depression_v() == 0.0
+
+    def test_wear_accumulates(self):
+        age = BatteryAge(cycles=500.0)
+        assert age.capacity_fraction() < 0.9
+        assert age.resistance_multiplier() > 1.5
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatteryAge(cycles=-1.0)
+
+    def test_dead_pack_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatteryAge(cycles=2500.0)
+
+    @given(st.floats(min_value=0.0, max_value=1000.0))
+    def test_capacity_monotone_in_cycles(self, cycles):
+        younger = BatteryAge(cycles=cycles)
+        older = BatteryAge(cycles=cycles + 100.0)
+        assert older.capacity_fraction() <= younger.capacity_fraction()
+        assert older.resistance_multiplier() >= younger.resistance_multiplier()
+
+
+class TestAppliedTo:
+    def test_capacity_shrinks(self, g5_spec):
+        worn = BatteryAge(cycles=400.0).applied_to(g5_spec)
+        assert worn.capacity_mah < g5_spec.capacity_mah
+
+    def test_resistance_grows(self, g5_spec):
+        worn = BatteryAge(cycles=400.0).applied_to(g5_spec)
+        assert worn.internal_resistance_ohm > g5_spec.internal_resistance_ohm
+
+    def test_ocv_curve_depressed(self, g5_spec):
+        worn = BatteryAge(cycles=400.0).applied_to(g5_spec)
+        assert worn.ocv_v(1.0) < g5_spec.ocv_v(1.0)
+
+    def test_fresh_age_is_identity(self, g5_spec):
+        assert BatteryAge.new().applied_to(g5_spec) == g5_spec
+
+
+class TestAgedBattery:
+    def test_old_pack_sags_more(self, g5_spec):
+        new = Battery(g5_spec, state_of_charge=0.8)
+        old = aged_battery(g5_spec, BatteryAge(cycles=500.0), state_of_charge=0.8)
+        new.draw(5.0, 1.0)
+        old.draw(5.0, 1.0)
+        assert old.output_voltage_v < new.output_voltage_v
+
+
+class TestThrottleOnset:
+    def test_new_pack_throttles_late(self, g5_spec):
+        onset_new = throttle_onset_soc(
+            g5_spec, BatteryAge.new(), threshold_v=4.0, load_w=4.0
+        )
+        assert 0.0 < onset_new < 1.0
+
+    def test_aging_moves_onset_earlier(self, g5_spec):
+        onset_new = throttle_onset_soc(
+            g5_spec, BatteryAge.new(), threshold_v=4.0, load_w=4.0
+        )
+        onset_old = throttle_onset_soc(
+            g5_spec, BatteryAge(cycles=600.0), threshold_v=4.0, load_w=4.0
+        )
+        # A worn pack crosses the threshold at a HIGHER state of charge:
+        # the phone starts feeling slow earlier in the day.
+        assert onset_old > onset_new
+
+    def test_low_threshold_never_throttles(self, g5_spec):
+        onset = throttle_onset_soc(
+            g5_spec, BatteryAge.new(), threshold_v=2.0, load_w=1.0
+        )
+        assert onset == 0.0
+
+    def test_absurd_threshold_always_throttles(self, g5_spec):
+        onset = throttle_onset_soc(
+            g5_spec, BatteryAge.new(), threshold_v=5.0, load_w=1.0
+        )
+        assert onset == 1.0
+
+    def test_heavier_load_earlier_onset(self, g5_spec):
+        light = throttle_onset_soc(
+            g5_spec, BatteryAge(cycles=300.0), threshold_v=4.0, load_w=1.0
+        )
+        heavy = throttle_onset_soc(
+            g5_spec, BatteryAge(cycles=300.0), threshold_v=4.0, load_w=8.0
+        )
+        assert heavy >= light
+
+    def test_bad_resolution_rejected(self, g5_spec):
+        with pytest.raises(ConfigurationError):
+            throttle_onset_soc(
+                g5_spec, BatteryAge.new(), threshold_v=4.0, load_w=1.0,
+                resolution=0.5,
+            )

@@ -1,0 +1,113 @@
+"""Device catalog."""
+
+import pytest
+
+from repro.device.catalog import (
+    DEVICE_NAMES,
+    ThermalSpec,
+    ThrottleSpec,
+    device_spec,
+    google_pixel,
+    lg_g5,
+    nexus5,
+    nexus6,
+    nexus6p,
+)
+from repro.errors import UnknownModelError
+from repro.soc.catalog import soc_by_name
+
+
+class TestCatalogShape:
+    def test_all_five_handsets(self):
+        assert DEVICE_NAMES == (
+            "Nexus 5", "Nexus 6", "Nexus 6P", "LG G5", "Google Pixel"
+        )
+
+    def test_lookup(self):
+        assert device_spec("Nexus 5").name == "Nexus 5"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(UnknownModelError):
+            device_spec("iPhone X")
+
+    @pytest.mark.parametrize("name", DEVICE_NAMES)
+    def test_every_device_references_valid_soc(self, name):
+        spec = device_spec(name)
+        soc = soc_by_name(spec.soc_name)
+        assert soc.name == spec.soc_name
+
+    @pytest.mark.parametrize("name", DEVICE_NAMES)
+    def test_fixed_frequency_is_on_every_cluster_reachable(self, name):
+        # The FIXED-FREQUENCY setting must map onto each cluster's ladder
+        # (nearest-below is fine, but it must be above the minimum).
+        spec = device_spec(name)
+        soc = soc_by_name(spec.soc_name)
+        for cluster in soc.clusters:
+            nearest = cluster.nearest_freq_mhz(spec.fixed_freq_mhz)
+            assert nearest >= cluster.min_freq_mhz
+
+    @pytest.mark.parametrize("name", DEVICE_NAMES)
+    def test_throttle_band_sane(self, name):
+        throttle = device_spec(name).throttle
+        assert throttle.clear_temp_c < throttle.throttle_temp_c <= 85.0
+
+
+class TestModelSpecifics:
+    def test_nexus5_sheds_a_core_at_80(self):
+        spec = nexus5()
+        assert spec.throttle.critical_temp_c == 80.0
+        assert spec.throttle.max_offline == 1
+
+    def test_only_nexus5_has_core_shutdown(self):
+        others = [nexus6(), nexus6p(), lg_g5(), google_pixel()]
+        assert all(spec.throttle.critical_temp_c is None for spec in others)
+
+    def test_only_g5_throttles_on_input_voltage(self):
+        assert lg_g5().voltage_throttle is not None
+        for spec in (nexus5(), nexus6(), nexus6p(), google_pixel()):
+            assert spec.voltage_throttle is None
+
+    def test_g5_battery_labels_match_paper(self):
+        spec = lg_g5()
+        assert spec.battery.nominal_v == 3.85
+        assert spec.battery.max_v == 4.4
+        assert spec.voltage_throttle.threshold_v > spec.battery.nominal_v
+
+    def test_sd810_most_total_power_capable(self):
+        # The octa-core 6P is the era's hottest part; it gets the best
+        # chassis heat path of the five.
+        specs = [device_spec(n) for n in DEVICE_NAMES]
+        r_totals = {
+            s.name: s.thermal.r_case_ambient for s in specs
+        }
+        assert r_totals["Nexus 6P"] == min(r_totals.values())
+
+
+class TestThermalSpec:
+    def test_build_produces_five_node_network(self):
+        net = nexus5().thermal.build(initial_temp_c=26.0)
+        assert set(net.node_names) == {"cpu", "pkg", "battery", "case", "ambient"}
+        assert net.temperature("cpu") == 26.0
+
+    def test_dc_path_resistance_is_physical(self):
+        # Steady-state die rise per watt should land in the ballpark real
+        # passively-cooled phones exhibit (roughly 10-25 K/W).
+        for name in DEVICE_NAMES:
+            net = device_spec(name).thermal.build()
+            rise = net.steady_state_rise("cpu", 1.0, "ambient")
+            assert 8.0 <= rise <= 25.0, name
+
+
+class TestThrottleSpec:
+    def test_build_fresh_state_each_time(self):
+        spec = ThrottleSpec(throttle_temp_c=76.0, clear_temp_c=73.0)
+        a, b = spec.build(), spec.build()
+        a.update(90.0, 0.0)
+        assert b.update(20.0, 0.0).ceiling_steps == 0
+
+    def test_core_shutdown_built_when_configured(self):
+        spec = ThrottleSpec(
+            throttle_temp_c=76.0, clear_temp_c=73.0,
+            critical_temp_c=80.0, restore_temp_c=75.0,
+        )
+        assert spec.build().shutdown is not None

@@ -1,0 +1,108 @@
+"""Battery charging."""
+
+import pytest
+
+from repro.device.aging import BatteryAge, aged_battery
+from repro.device.battery import Battery, BatterySpec
+from repro.device.charging import ChargerSpec, charge, time_to_charge_s
+from repro.errors import ConfigurationError, SimulationError
+
+
+@pytest.fixture
+def spec() -> BatterySpec:
+    return BatterySpec(capacity_mah=2800.0, nominal_v=3.85, max_v=4.4)
+
+
+@pytest.fixture
+def charger() -> ChargerSpec:
+    return ChargerSpec(max_current_a=2.0, cv_voltage_v=4.35)
+
+
+class TestChargerSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChargerSpec(max_current_a=0.0)
+        with pytest.raises(ConfigurationError):
+            ChargerSpec(taper_cutoff_a=5.0)
+        with pytest.raises(ConfigurationError):
+            ChargerSpec(efficiency=0.0)
+
+
+class TestChargeCurve:
+    def test_charges_to_near_full(self, spec, charger):
+        battery = Battery(spec, state_of_charge=0.2)
+        charge(battery, charger)
+        assert battery.state_of_charge > 0.9
+
+    def test_cc_then_cv(self, spec, charger):
+        battery = Battery(spec, state_of_charge=0.2)
+        curve = charge(battery, charger)
+        phases = [sample.phase for sample in curve]
+        assert phases[0] == "cc"
+        assert "cv" in phases
+        # Once in CV, never back to CC.
+        first_cv = phases.index("cv")
+        assert all(p in ("cv", "done") for p in phases[first_cv:])
+
+    def test_current_tapers_in_cv(self, spec, charger):
+        battery = Battery(spec, state_of_charge=0.2)
+        curve = charge(battery, charger)
+        cv_currents = [s.current_a for s in curve if s.phase == "cv"]
+        assert len(cv_currents) >= 2
+        assert cv_currents == sorted(cv_currents, reverse=True)
+
+    def test_soc_monotone(self, spec, charger):
+        battery = Battery(spec, state_of_charge=0.3)
+        curve = charge(battery, charger)
+        socs = [s.state_of_charge for s in curve]
+        assert socs == sorted(socs)
+
+    def test_nearly_full_battery_charges_fast(self, spec, charger):
+        nearly = Battery(spec, state_of_charge=0.95)
+        empty = Battery(spec, state_of_charge=0.10)
+        fast = time_to_charge_s(nearly, charger)
+        slow = time_to_charge_s(empty, charger)
+        assert fast < slow / 3
+
+    def test_bad_dt_rejected(self, spec, charger):
+        with pytest.raises(SimulationError):
+            charge(Battery(spec, state_of_charge=0.5), charger, dt=0.0)
+
+
+class TestAgingInteraction:
+    def test_worn_pack_charges_slower(self, spec, charger):
+        new = Battery(spec, state_of_charge=0.2)
+        old = aged_battery(spec, BatteryAge(cycles=600.0), state_of_charge=0.2)
+        # Absolute capacity differs; compare time to reach the same SoC.
+        time_new = time_to_charge_s(new, charger, target_soc=0.9)
+        time_old = time_to_charge_s(old, charger, target_soc=0.9)
+        # The worn pack's higher resistance forces an earlier CV handoff;
+        # per unit of (smaller) capacity it still spends longer per SoC
+        # point in the tail region.
+        curve_fraction_old = time_old / (0.7 * old.spec.energy_capacity_j)
+        curve_fraction_new = time_new / (0.7 * new.spec.energy_capacity_j)
+        assert curve_fraction_old > curve_fraction_new
+
+    def test_worn_pack_enters_cv_earlier(self, spec, charger):
+        new = Battery(spec, state_of_charge=0.2)
+        old = aged_battery(spec, BatteryAge(cycles=600.0), state_of_charge=0.2)
+        curve_new = charge(new, charger)
+        curve_old = charge(old, charger)
+
+        def cv_onset_soc(curve):
+            for sample in curve:
+                if sample.phase == "cv":
+                    return sample.state_of_charge
+            return 1.0
+
+        assert cv_onset_soc(curve_old) < cv_onset_soc(curve_new)
+
+
+class TestTimeToCharge:
+    def test_zero_when_already_there(self, spec, charger):
+        battery = Battery(spec, state_of_charge=0.9)
+        assert time_to_charge_s(battery, charger, target_soc=0.8) == 0.0
+
+    def test_bad_target_rejected(self, spec, charger):
+        with pytest.raises(ConfigurationError):
+            time_to_charge_s(Battery(spec), charger, target_soc=0.0)

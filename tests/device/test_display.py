@@ -1,0 +1,88 @@
+"""Display model and its integration."""
+
+import pytest
+
+from repro.device.display import Display, DisplaySpec
+from repro.device.fleet import PAPER_FLEETS, build_device
+from repro.errors import ConfigurationError
+from repro.instruments.monsoon import MonsoonPowerMonitor
+
+
+class TestDisplaySpec:
+    def test_affine_in_brightness(self):
+        spec = DisplaySpec(base_power_w=0.4, full_brightness_power_w=1.4)
+        assert spec.power_w(0.0) == 0.4
+        assert spec.power_w(1.0) == 1.4
+        assert spec.power_w(0.5) == pytest.approx(0.9)
+
+    def test_out_of_range_brightness_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DisplaySpec().power_w(1.5)
+
+    def test_inverted_powers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DisplaySpec(base_power_w=2.0, full_brightness_power_w=1.0)
+
+
+class TestDisplay:
+    def test_off_by_default(self):
+        display = Display()
+        assert not display.is_on
+        assert display.power_w() == 0.0
+
+    def test_turn_on(self):
+        display = Display()
+        display.turn_on(brightness=0.8)
+        assert display.is_on
+        assert display.power_w() > 0.0
+
+    def test_turn_off(self):
+        display = Display()
+        display.turn_on()
+        display.turn_off()
+        assert display.power_w() == 0.0
+
+    def test_bad_brightness_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Display().turn_on(brightness=-0.1)
+
+
+class TestDeviceIntegration:
+    def _device(self):
+        device = build_device(PAPER_FLEETS["Nexus 5"][0])
+        device.connect_supply(MonsoonPowerMonitor(3.8))
+        return device
+
+    def test_screen_off_per_methodology(self):
+        assert not self._device().display.is_on
+
+    def test_screen_on_adds_power(self):
+        lit = self._device()
+        dark = self._device()
+        lit.display.turn_on(brightness=1.0)
+        for device in (lit, dark):
+            device.acquire_wakelock()
+            device.start_load()
+        power_lit = lit.step(26.0, 0.1).supply_power_w
+        power_dark = dark.step(26.0, 0.1).supply_power_w
+        assert power_lit > power_dark + 1.0
+
+    def test_screen_heats_the_case(self):
+        lit = self._device()
+        dark = self._device()
+        lit.display.turn_on(brightness=1.0)
+        for device in (lit, dark):
+            device.acquire_wakelock()
+            for _ in range(1200):
+                device.step(26.0, 0.5)
+        assert (
+            lit.thermal.temperature("case")
+            > dark.thermal.temperature("case") + 1.0
+        )
+
+    def test_asleep_display_draws_nothing(self):
+        device = self._device()
+        device.display.turn_on(brightness=1.0)
+        report = device.step(26.0, 0.1)  # no wakelock, no load -> asleep
+        assert report.asleep
+        assert report.supply_power_w < 0.1

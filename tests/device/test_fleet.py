@@ -1,0 +1,116 @@
+"""Device fleets."""
+
+import pytest
+
+from repro.device.fleet import (
+    PAPER_FLEETS,
+    FleetUnit,
+    build_device,
+    paper_fleet,
+    synthetic_fleet,
+    unit_profile,
+)
+from repro.errors import ConfigurationError, UnknownModelError
+
+
+class TestPaperFleets:
+    def test_fleet_sizes_match_table2(self):
+        sizes = {model: len(units) for model, units in PAPER_FLEETS.items()}
+        assert sizes == {
+            "Nexus 5": 4,
+            "Nexus 6": 3,
+            "Nexus 6P": 3,
+            "LG G5": 5,
+            "Google Pixel": 3,
+        }
+
+    def test_nexus5_covers_bins_0_to_3(self):
+        bins = [u.bin_index for u in PAPER_FLEETS["Nexus 5"]]
+        assert bins == [0, 1, 2, 3]
+
+    def test_paper_named_serials_present(self):
+        serials = {u.serial for units in PAPER_FLEETS.values() for u in units}
+        # Devices the paper names explicitly (Sections IV-A2, IV-B).
+        assert {"device-363", "device-793", "device-488", "device-653"} <= serials
+
+    def test_paper_fleet_builds_devices(self):
+        fleet = paper_fleet("Nexus 5")
+        assert [d.serial for d in fleet] == ["bin-0", "bin-1", "bin-2", "bin-3"]
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(UnknownModelError):
+            paper_fleet("OnePlus 3")
+
+    def test_nexus6_units_nearly_identical(self):
+        profiles = [unit_profile(u) for u in PAPER_FLEETS["Nexus 6"]]
+        leaks = [p.leak_factor for p in profiles]
+        assert max(leaks) / min(leaks) < 1.25
+
+    def test_nexus5_bins_have_distinct_silicon(self):
+        profiles = [unit_profile(u) for u in PAPER_FLEETS["Nexus 5"]]
+        leaks = [p.leak_factor for p in profiles]
+        assert leaks == sorted(leaks)  # bin-0 leaks least
+        assert leaks[-1] / leaks[0] > 1.5
+
+    def test_6p_worst_unit_is_leakiest(self):
+        by_serial = {u.serial: unit_profile(u) for u in PAPER_FLEETS["Nexus 6P"]}
+        assert (
+            by_serial["device-363"].leak_factor
+            > by_serial["device-571"].leak_factor
+            > by_serial["device-793"].leak_factor
+        )
+
+
+class TestFleetUnit:
+    def test_requires_exactly_one_placement(self):
+        with pytest.raises(ConfigurationError):
+            FleetUnit(model="Nexus 5", serial="x")
+        with pytest.raises(ConfigurationError):
+            FleetUnit(model="Nexus 5", serial="x", bin_index=0, percentile=50.0)
+
+    def test_bin_placement(self):
+        unit = FleetUnit(model="Nexus 5", serial="x", bin_index=2)
+        assert unit_profile(unit).leak_factor > 0
+
+
+class TestBuildDevice:
+    def test_device_identity(self):
+        device = build_device(PAPER_FLEETS["Nexus 5"][1])
+        assert device.serial == "bin-1"
+        assert device.spec.name == "Nexus 5"
+        assert device.soc.bin_index == 1
+
+    def test_same_seed_same_silicon(self):
+        unit = PAPER_FLEETS["Google Pixel"][0]
+        a = build_device(unit, root_seed=11)
+        b = build_device(unit, root_seed=11)
+        assert a.profile == b.profile
+
+    def test_initial_temperature_applied(self):
+        device = build_device(PAPER_FLEETS["Nexus 5"][0], initial_temp_c=31.0)
+        assert device.thermal.temperature("case") == 31.0
+
+
+class TestSyntheticFleet:
+    def test_count(self):
+        assert len(synthetic_fleet("Google Pixel", 6)) == 6
+
+    def test_distinct_silicon(self):
+        fleet = synthetic_fleet("Google Pixel", 8)
+        leaks = {d.profile.leak_factor for d in fleet}
+        assert len(leaks) == 8
+
+    def test_deterministic(self):
+        a = synthetic_fleet("Nexus 5", 4, root_seed=5)
+        b = synthetic_fleet("Nexus 5", 4, root_seed=5)
+        assert [d.profile for d in a] == [d.profile for d in b]
+
+    def test_binned_model_gets_bin_assignments(self):
+        fleet = synthetic_fleet("Nexus 5", 20)
+        bins = {d.soc.bin_index for d in fleet}
+        assert len(bins) > 1  # a 20-unit lot spans several bins
+        assert all(0 <= b <= 6 for b in bins)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_fleet("Nexus 5", 0)

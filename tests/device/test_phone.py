@@ -1,0 +1,170 @@
+"""The device under test."""
+
+import pytest
+
+from repro.device.catalog import device_spec, lg_g5
+from repro.device.fleet import PAPER_FLEETS, build_device
+from repro.errors import ConfigurationError
+from repro.instruments.monsoon import MonsoonPowerMonitor
+
+
+def monsoon_device(model_unit=("Nexus 5", 0), voltage=None):
+    model, index = model_unit
+    device = build_device(PAPER_FLEETS[model][index])
+    volts = voltage if voltage is not None else device.spec.battery.nominal_v
+    device.connect_supply(MonsoonPowerMonitor(volts))
+    return device
+
+
+class TestLifecycle:
+    def test_battery_powered_by_default(self):
+        device = build_device(PAPER_FLEETS["Nexus 5"][0])
+        assert device.supply.output_voltage_v > 3.0
+
+    def test_asleep_without_wakelock_or_load(self):
+        device = monsoon_device()
+        assert device.is_asleep
+
+    def test_wakelock_keeps_awake(self):
+        device = monsoon_device()
+        device.acquire_wakelock()
+        assert not device.is_asleep
+
+    def test_load_keeps_awake(self):
+        device = monsoon_device()
+        device.start_load()
+        assert not device.is_asleep
+
+
+class TestStep:
+    def test_asleep_power_is_tiny(self):
+        device = monsoon_device()
+        report = device.step(26.0, 0.1)
+        assert report.asleep
+        assert report.supply_power_w < 0.1
+        assert report.ops == 0.0
+
+    def test_loaded_power_is_watts(self):
+        device = monsoon_device()
+        device.acquire_wakelock()
+        device.start_load()
+        report = device.step(26.0, 0.1)
+        assert not report.asleep
+        assert report.supply_power_w > 1.0
+        assert report.ops > 0.0
+
+    def test_loaded_device_heats_up(self):
+        device = monsoon_device()
+        device.acquire_wakelock()
+        device.start_load()
+        start = device.thermal.temperature("cpu")
+        for _ in range(100):
+            device.step(26.0, 0.1)
+        assert device.thermal.temperature("cpu") > start + 5.0
+
+    def test_ambient_is_forced_each_step(self):
+        device = monsoon_device()
+        device.step(31.5, 0.1)
+        assert device.thermal.temperature("ambient") == 31.5
+
+    def test_time_advances(self):
+        device = monsoon_device()
+        device.step(26.0, 0.1)
+        device.step(26.0, 0.1)
+        assert device.now_s == pytest.approx(0.2)
+
+    def test_bad_dt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            monsoon_device().step(26.0, 0.0)
+
+    def test_report_carries_frequency_and_cores(self):
+        device = monsoon_device()
+        device.acquire_wakelock()
+        device.start_load()
+        report = device.step(26.0, 0.1)
+        assert report.frequencies_mhz["krait400"] == 2265.0
+        assert report.online_cores == 4
+
+
+class TestFrequencyControl:
+    def test_fixed_frequency_pins_clusters(self):
+        device = monsoon_device()
+        device.acquire_wakelock()
+        device.start_load()
+        device.set_fixed_frequency(960.0)
+        report = device.step(26.0, 0.1)
+        assert report.frequencies_mhz["krait400"] == 960.0
+
+    def test_fixed_frequency_rounds_down_per_cluster(self):
+        device = build_device(PAPER_FLEETS["Nexus 6P"][0])
+        device.connect_supply(MonsoonPowerMonitor(3.82))
+        device.acquire_wakelock()
+        device.start_load()
+        device.set_fixed_frequency(960.0)
+        report = device.step(26.0, 0.1)
+        assert report.frequencies_mhz["a57"] == 960.0
+        assert report.frequencies_mhz["a53"] == 960.0
+
+    def test_unconstrain_restores_performance(self):
+        device = monsoon_device()
+        device.acquire_wakelock()
+        device.start_load()
+        device.set_fixed_frequency(960.0)
+        device.step(26.0, 0.1)
+        device.unconstrain_frequency()
+        report = device.step(26.0, 0.1)
+        assert report.frequencies_mhz["krait400"] == 2265.0
+
+    def test_idle_device_parks_at_min_frequency(self):
+        device = monsoon_device()
+        device.acquire_wakelock()
+        report = device.step(26.0, 0.1)
+        assert report.frequencies_mhz["krait400"] == 300.0
+
+    def test_invalid_fixed_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            monsoon_device().set_fixed_frequency(-100.0)
+
+    def test_invalid_utilization_rejected(self):
+        with pytest.raises(ConfigurationError):
+            monsoon_device().start_load(utilization=0.0)
+
+
+class TestG5VoltageThrottle:
+    def test_nominal_voltage_caps_frequency(self):
+        device = build_device(PAPER_FLEETS["LG G5"][0])
+        device.connect_supply(MonsoonPowerMonitor(3.85))
+        device.acquire_wakelock()
+        device.start_load()
+        report = device.step(26.0, 0.1)
+        ceiling = lg_g5().voltage_throttle.ceiling_mhz
+        assert report.frequencies_mhz["kryo-perf"] <= ceiling
+
+    def test_max_voltage_unthrottled(self):
+        device = build_device(PAPER_FLEETS["LG G5"][0])
+        device.connect_supply(MonsoonPowerMonitor(4.4))
+        device.acquire_wakelock()
+        device.start_load()
+        report = device.step(26.0, 0.1)
+        assert report.frequencies_mhz["kryo-perf"] == 2150.0
+
+
+class TestSensor:
+    def test_read_cpu_temp_close_to_truth(self):
+        device = monsoon_device()
+        truth = device.thermal.temperature("cpu")
+        assert device.read_cpu_temp() == pytest.approx(truth, abs=0.5)
+
+
+class TestReboot:
+    def test_reboot_resets_mitigation_and_clock(self):
+        device = monsoon_device()
+        device.acquire_wakelock()
+        device.start_load()
+        for _ in range(600):
+            device.step(26.0, 0.5)
+        device.reboot(soak_temp_c=26.0)
+        assert device.now_s == 0.0
+        assert device.thermal.temperature("cpu") == 26.0
+        assert device.soc.mitigation.ceiling_steps == 0
+        assert device.is_asleep

@@ -1,0 +1,40 @@
+"""Supply interface and rail accounting."""
+
+import pytest
+
+from repro.device.battery import Battery, BatterySpec
+from repro.device.power_rails import PowerSupply, RailBudget
+from repro.errors import ConfigurationError
+from repro.instruments.monsoon import MonsoonPowerMonitor
+
+
+class TestRailBudget:
+    def test_supply_power_accounts_for_regulator(self):
+        rails = RailBudget(awake_idle_w=0.3, asleep_w=0.02, regulator_efficiency=0.9)
+        assert rails.supply_power_w(0.9) == pytest.approx(1.0)
+
+    def test_perfect_regulator(self):
+        rails = RailBudget(awake_idle_w=0.3, asleep_w=0.02, regulator_efficiency=1.0)
+        assert rails.supply_power_w(1.0) == 1.0
+
+    def test_negative_power_rejected(self):
+        rails = RailBudget(awake_idle_w=0.3, asleep_w=0.02)
+        with pytest.raises(ConfigurationError):
+            rails.supply_power_w(-1.0)
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RailBudget(awake_idle_w=0.3, asleep_w=0.02, regulator_efficiency=0.0)
+
+    def test_negative_rail_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RailBudget(awake_idle_w=-0.1, asleep_w=0.02)
+
+
+class TestProtocol:
+    def test_battery_satisfies_protocol(self):
+        battery = Battery(BatterySpec(capacity_mah=1000.0, nominal_v=3.8, max_v=4.3))
+        assert isinstance(battery, PowerSupply)
+
+    def test_monsoon_satisfies_protocol(self):
+        assert isinstance(MonsoonPowerMonitor(3.8), PowerSupply)

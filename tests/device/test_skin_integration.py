@@ -1,0 +1,76 @@
+"""Skin throttling integrated into a running device."""
+
+import dataclasses
+
+import pytest
+
+from repro.device.catalog import device_spec
+from repro.device.fleet import PAPER_FLEETS, build_device
+from repro.instruments.monsoon import MonsoonPowerMonitor
+from repro.thermal.skin import SkinThrottleSpec
+
+
+def skinned_device(throttle_surface_c=38.0, clear_surface_c=36.0):
+    base = device_spec("Nexus 5")
+    spec = dataclasses.replace(
+        base,
+        skin_throttle=SkinThrottleSpec(
+            contact_resistance=0.0,
+            throttle_surface_c=throttle_surface_c,
+            clear_surface_c=clear_surface_c,
+            poll_interval_s=10.0,
+        ),
+    )
+    from repro.device.fleet import unit_profile
+
+    unit = PAPER_FLEETS["Nexus 5"][0]
+    device = build_device(unit, spec=spec)
+    device.connect_supply(MonsoonPowerMonitor(3.8))
+    return device
+
+
+class TestSkinThrottleIntegration:
+    def test_policy_built_per_device(self):
+        a = skinned_device()
+        b = skinned_device()
+        assert a.skin_throttle is not None
+        assert a.skin_throttle is not b.skin_throttle
+
+    def test_stock_devices_have_no_skin_policy(self):
+        device = build_device(PAPER_FLEETS["Nexus 5"][0])
+        assert device.skin_throttle is None
+
+    def test_hot_case_caps_frequency(self):
+        device = skinned_device()
+        device.thermal.settle_to(45.0)  # case well above the surface trip
+        device.acquire_wakelock()
+        device.start_load()
+        report = None
+        for _ in range(300):
+            report = device.step(26.0, 0.2)
+        assert report.frequencies_mhz["krait400"] < 2265.0
+        assert device.soc.external_ceiling_steps > 0
+
+    def test_cool_case_runs_free(self):
+        device = skinned_device()
+        device.acquire_wakelock()
+        device.start_load()
+        report = device.step(26.0, 0.2)
+        assert report.frequencies_mhz["krait400"] == 2265.0
+        assert device.soc.external_ceiling_steps == 0
+
+    def test_skin_cap_limits_sustained_surface_temperature(self):
+        # The whole point of a skin policy: the case stops climbing once
+        # the cap bites, even under sustained full load.
+        capped = skinned_device(throttle_surface_c=38.0)
+        free = build_device(PAPER_FLEETS["Nexus 5"][0])
+        free.connect_supply(MonsoonPowerMonitor(3.8))
+        for device in (capped, free):
+            device.acquire_wakelock()
+            device.start_load()
+            for _ in range(6000):  # 20 minutes
+                device.step(26.0, 0.2)
+        assert (
+            capped.thermal.temperature("case")
+            < free.thermal.temperature("case") - 1.0
+        )

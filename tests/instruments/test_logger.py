@@ -1,0 +1,92 @@
+"""Experiment logging."""
+
+import pytest
+
+from repro.core.results import IterationResult
+from repro.errors import InstrumentError
+from repro.instruments.logger import ExperimentLogger
+
+
+def iteration(serial="bin-0", workload="UNCONSTRAINED", perf=900.0):
+    return IterationResult(
+        model="Nexus 5", serial=serial, workload=workload,
+        iterations_completed=perf, energy_j=470.0, mean_power_w=1.57,
+        mean_freq_mhz=2004.0, max_cpu_temp_c=78.2, cooldown_s=60.0,
+        time_throttled_s=220.0,
+    )
+
+
+@pytest.fixture
+def logger(tmp_path) -> ExperimentLogger:
+    return ExperimentLogger(tmp_path / "run" / "experiment.jsonl")
+
+
+class TestWriting:
+    def test_creates_parent_directories(self, logger):
+        logger.log_note("hello")
+        assert logger.path.exists()
+
+    def test_iteration_round_trip(self, logger):
+        logger.log_iteration(iteration())
+        loaded = logger.iterations()
+        assert loaded == [iteration()]
+
+    def test_append_only(self, logger):
+        logger.log_iteration(iteration(perf=900.0))
+        logger.log_iteration(iteration(perf=910.0))
+        assert [r.iterations_completed for r in logger.iterations()] == [
+            900.0, 910.0,
+        ]
+
+    def test_events_with_detail(self, logger):
+        logger.log_event("thermabox-stable", target_c=26.0, settle_s=183.0)
+        events = logger.events("thermabox-stable")
+        assert len(events) == 1
+        assert events[0]["detail"]["target_c"] == 26.0
+
+    def test_empty_event_name_rejected(self, logger):
+        with pytest.raises(InstrumentError):
+            logger.log_event("")
+
+
+class TestReading:
+    def test_missing_file_yields_nothing(self, logger):
+        assert list(logger.records()) == []
+        assert logger.iterations() == []
+
+    def test_filter_by_serial(self, logger):
+        logger.log_iteration(iteration(serial="bin-0"))
+        logger.log_iteration(iteration(serial="bin-3"))
+        assert [r.serial for r in logger.iterations(serial="bin-3")] == ["bin-3"]
+
+    def test_filter_by_workload(self, logger):
+        logger.log_iteration(iteration(workload="UNCONSTRAINED"))
+        logger.log_iteration(iteration(workload="FIXED-FREQUENCY"))
+        loaded = logger.iterations(workload="FIXED-FREQUENCY")
+        assert len(loaded) == 1
+
+    def test_summary(self, logger):
+        logger.log_iteration(iteration())
+        logger.log_event("phase", name="warmup")
+        logger.log_note("chamber door resealed")
+        assert logger.summary() == {"iteration": 1, "event": 1, "note": 1}
+
+    def test_corrupt_line_raises_with_location(self, logger):
+        logger.log_note("fine")
+        with logger.path.open("a") as fp:
+            fp.write("{not json\n")
+        with pytest.raises(InstrumentError, match=":2"):
+            list(logger.records())
+
+    def test_foreign_format_rejected(self, logger):
+        with logger.path.open("a") as fp:
+            fp.write('{"format": "other-tool", "kind": "note"}\n')
+        with pytest.raises(InstrumentError):
+            list(logger.records())
+
+    def test_mixed_stream_preserved_in_order(self, logger):
+        logger.log_event("phase", name="warmup")
+        logger.log_iteration(iteration())
+        logger.log_event("phase", name="cooldown")
+        kinds = [record["kind"] for record in logger.records()]
+        assert kinds == ["event", "iteration", "event"]

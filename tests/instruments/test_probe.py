@@ -1,0 +1,63 @@
+"""Thermistor probe."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.instruments.probe import ThermistorProbe
+
+
+class TestLag:
+    def test_element_tracks_with_first_order_lag(self):
+        probe = ThermistorProbe(
+            time_constant_s=4.0, noise_sigma_c=0.0, quantization_c=0.0,
+            initial_temp_c=20.0,
+        )
+        probe.advance(30.0, 4.0)  # one time constant
+        expected = 20.0 + (30.0 - 20.0) * (1 - np.exp(-1.0))
+        assert probe.element_temp_c == pytest.approx(expected)
+
+    def test_converges_eventually(self):
+        probe = ThermistorProbe(noise_sigma_c=0.0, initial_temp_c=20.0)
+        for _ in range(100):
+            probe.advance(26.0, 1.0)
+        assert probe.element_temp_c == pytest.approx(26.0, abs=0.01)
+
+    def test_lag_means_reading_trails_step(self):
+        probe = ThermistorProbe(
+            noise_sigma_c=0.0, quantization_c=0.0, initial_temp_c=20.0
+        )
+        probe.advance(30.0, 0.5)
+        assert 20.0 < probe.read() < 30.0
+
+    def test_bad_dt_rejected(self):
+        probe = ThermistorProbe(noise_sigma_c=0.0)
+        with pytest.raises(ConfigurationError):
+            probe.advance(26.0, 0.0)
+
+
+class TestRead:
+    def test_quantization(self):
+        probe = ThermistorProbe(
+            noise_sigma_c=0.0, quantization_c=0.25, initial_temp_c=26.13
+        )
+        assert probe.read() == pytest.approx(26.25)
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            ThermistorProbe(noise_sigma_c=0.1)
+
+    def test_noisy_reads_vary(self):
+        probe = ThermistorProbe(
+            noise_sigma_c=0.1, quantization_c=0.0,
+            rng=np.random.default_rng(4),
+        )
+        assert len({probe.read() for _ in range(20)}) > 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThermistorProbe(time_constant_s=0.0, noise_sigma_c=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermistorProbe(noise_sigma_c=-0.1)
+        with pytest.raises(ConfigurationError):
+            ThermistorProbe(noise_sigma_c=0.0, quantization_c=-0.1)

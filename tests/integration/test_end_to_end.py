@@ -1,0 +1,100 @@
+"""End-to-end behaviour of the full stack at test scale."""
+
+import pytest
+
+from repro.core.experiments import fixed_frequency, unconstrained
+from repro.core.protocol import Accubench
+from repro.device.catalog import device_spec
+from repro.device.fleet import PAPER_FLEETS, build_device
+from repro.instruments.monsoon import MonsoonPowerMonitor
+
+
+def monsoon_device(model="Nexus 5", index=0, soak=None):
+    device = build_device(PAPER_FLEETS[model][index])
+    device.connect_supply(MonsoonPowerMonitor(device.spec.battery.nominal_v))
+    if soak is not None:
+        device.thermal.settle_to(soak)
+    return device
+
+
+class TestThermalCausality:
+    """The paper's causal chain, observed end to end."""
+
+    def test_unconstrained_run_throttles_when_hot(self, fast_config):
+        bench = Accubench(fast_config.with_traces())
+        device = monsoon_device(soak=70.0)
+        result = bench.run_iteration(device, unconstrained())
+        # At test scale the short workload may escape throttling, but the
+        # warmup burn from a 70 C soak must trip the mitigation loop.
+        assert (result.trace.column("throttle_steps") > 0).any()
+
+    def test_fixed_frequency_never_throttles(self, fast_config):
+        bench = Accubench(fast_config.with_traces())
+        device = monsoon_device(soak=40.0)
+        result = bench.run_iteration(
+            device, fixed_frequency(device_spec("Nexus 5"))
+        )
+        assert result.time_throttled_s == 0.0
+
+    def test_leaky_bin_runs_hotter_at_fixed_frequency(self, fast_config):
+        bench = Accubench(fast_config)
+        spec = fixed_frequency(device_spec("Nexus 5"))
+        hot = bench.run_iteration(monsoon_device(index=3), spec)
+        cool = bench.run_iteration(monsoon_device(index=0), spec)
+        assert hot.max_cpu_temp_c > cool.max_cpu_temp_c
+
+    def test_leaky_bin_uses_more_energy_for_same_work(self, fast_config):
+        bench = Accubench(fast_config)
+        spec = fixed_frequency(device_spec("Nexus 5"))
+        bin0 = bench.run_iteration(monsoon_device(index=0), spec)
+        bin3 = bench.run_iteration(monsoon_device(index=3), spec)
+        # Same work (within noise)...
+        assert bin3.iterations_completed == pytest.approx(
+            bin0.iterations_completed, rel=0.05
+        )
+        # ...more energy.
+        assert bin3.energy_j > bin0.energy_j * 1.05
+
+    def test_hot_soak_reduces_performance(self, fast_config):
+        bench = Accubench(fast_config)
+        # Same unit, same protocol; one copy soaked hot.  The cooldown
+        # phase waits for the CPU sensor but the chassis stays warmer, so
+        # the hot-soaked run must not beat the cold run.
+        cold = bench.run_iteration(monsoon_device(soak=26.0), unconstrained())
+        hot = bench.run_iteration(monsoon_device(soak=75.0), unconstrained())
+        assert hot.iterations_completed <= cold.iterations_completed * 1.02
+
+
+class TestEnergyAccounting:
+    def test_energy_consistent_with_mean_power(self, fast_config):
+        bench = Accubench(fast_config)
+        result = bench.run_iteration(monsoon_device(), unconstrained())
+        assert result.energy_j == pytest.approx(
+            result.mean_power_w * fast_config.workload_s, rel=0.01
+        )
+
+    def test_performance_consistent_with_mean_frequency(self, fast_config):
+        # Ops are linear in frequency, so score / mean-frequency should be
+        # nearly constant across two different bins (paper Section IV-B).
+        bench = Accubench(fast_config)
+        results = [
+            bench.run_iteration(monsoon_device(index=i, soak=70.0), unconstrained())
+            for i in (0, 3)
+        ]
+        ratios = [
+            r.iterations_completed / r.mean_freq_mhz for r in results
+        ]
+        assert ratios[0] == pytest.approx(ratios[1], rel=0.06)
+
+
+class TestBigLittle:
+    def test_nexus6p_runs_both_clusters(self, fast_config):
+        bench = Accubench(fast_config.with_traces())
+        device = build_device(PAPER_FLEETS["Nexus 6P"][0])
+        device.connect_supply(MonsoonPowerMonitor(3.82))
+        result = bench.run_iteration(device, unconstrained())
+        assert result.iterations_completed > 0
+        # Both clusters contribute ops: an A57-only run of the same length
+        # would retire fewer ops than observed.
+        a57_only = 4 * 1958e6 * 1.15 * fast_config.workload_s / 2.649e9
+        assert result.iterations_completed > a57_only * 0.9

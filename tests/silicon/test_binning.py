@@ -1,0 +1,179 @@
+"""Speed and voltage binning."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.silicon.binning import (
+    SpeedBinner,
+    VoltageBinner,
+    assign_bin_index,
+    bin_profile,
+    bin_slice_vth,
+    required_voltage,
+    spread_profiles,
+)
+from repro.silicon.process import PROCESS_28NM_LP
+from repro.silicon.transistor import SiliconProfile
+
+
+class TestRequiredVoltage:
+    def test_nominal_die_needs_nominal_voltage(self):
+        assert required_voltage(PROCESS_28NM_LP, 1.0, 0.0) == pytest.approx(1.0)
+
+    def test_slow_die_needs_more(self):
+        assert required_voltage(PROCESS_28NM_LP, 1.0, +0.03) > 1.0
+
+    def test_fast_die_needs_less(self):
+        assert required_voltage(PROCESS_28NM_LP, 1.0, -0.03) < 1.0
+
+    def test_extreme_delta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            required_voltage(PROCESS_28NM_LP, 0.5, -10.0)
+
+
+@pytest.fixture
+def binner() -> VoltageBinner:
+    return VoltageBinner(
+        process=PROCESS_28NM_LP,
+        frequencies_mhz=(300.0, 960.0, 2265.0),
+        nominal_voltages_v=(0.78, 0.85, 1.02),
+        bin_count=7,
+    )
+
+
+class TestVoltageBinner:
+    def test_table_has_requested_bins(self, binner):
+        assert binner.table().bin_count == 7
+
+    def test_table_satisfies_invariants(self, binner):
+        # Construction of VoltageFrequencyTable validates monotonicity in
+        # both axes; reaching here without raising is the assertion.
+        table = binner.table()
+        assert table.frequencies_mhz == (300.0, 960.0, 2265.0)
+
+    def test_bin0_voltages_highest(self, binner):
+        table = binner.table()
+        assert table.row_mv(0)[-1] == max(
+            table.row_mv(b)[-1] for b in range(table.bin_count)
+        )
+
+    def test_voltages_quantized_to_5mv(self, binner):
+        for row in binner.table().voltages_mv:
+            for voltage in row:
+                assert voltage % 5.0 == 0.0
+
+    def test_spread_resembles_table1(self, binner):
+        # Paper Table I: ~150 mV between bin-0 and bin-6 at top frequency.
+        table = binner.table()
+        spread = table.row_mv(0)[-1] - table.row_mv(6)[-1]
+        assert 80.0 <= spread <= 320.0
+
+    def test_assign_nominal_die_to_middle(self, binner):
+        outcome = binner.assign_bin(SiliconProfile.nominal())
+        assert outcome.bin_index == 3
+
+    def test_assign_slow_die_to_bin0(self, binner):
+        slow = SiliconProfile.from_vth_delta(PROCESS_28NM_LP, +0.08)
+        assert binner.assign_bin(slow).bin_index == 0
+
+    def test_assign_fast_die_to_last_bin(self, binner):
+        fast = SiliconProfile.from_vth_delta(PROCESS_28NM_LP, -0.08)
+        assert binner.assign_bin(fast).bin_index == 6
+
+    @given(st.floats(min_value=-0.06, max_value=0.06))
+    def test_assignment_monotone_in_vth(self, delta):
+        binner = VoltageBinner(
+            process=PROCESS_28NM_LP,
+            frequencies_mhz=(300.0, 2265.0),
+            nominal_voltages_v=(0.78, 1.02),
+            bin_count=7,
+        )
+        profile = SiliconProfile.from_vth_delta(PROCESS_28NM_LP, delta)
+        faster = SiliconProfile.from_vth_delta(PROCESS_28NM_LP, delta - 0.01)
+        assert binner.assign_bin(faster).bin_index >= binner.assign_bin(
+            profile
+        ).bin_index
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VoltageBinner(
+                process=PROCESS_28NM_LP,
+                frequencies_mhz=(300.0, 960.0),
+                nominal_voltages_v=(0.78,),
+            )
+
+
+class TestSpeedBinner:
+    @pytest.fixture
+    def speed(self) -> SpeedBinner:
+        return SpeedBinner(
+            frequencies_mhz=(1958.0, 2150.0, 2265.0, 2457.0),
+            nominal_top_mhz=2265.0,
+        )
+
+    def test_nominal_die_gets_nominal_bin(self, speed):
+        assert speed.binned_frequency_mhz(SiliconProfile.nominal()) == 2265.0
+
+    def test_fast_die_promoted(self, speed):
+        fast = SiliconProfile(vth_delta=-0.04, speed_factor=1.10, leak_factor=2.0)
+        assert speed.binned_frequency_mhz(fast) == 2457.0
+
+    def test_slow_die_demoted(self, speed):
+        slow = SiliconProfile(vth_delta=0.04, speed_factor=0.96, leak_factor=0.5)
+        assert speed.binned_frequency_mhz(slow) == 2150.0
+
+    def test_hopeless_die_gets_bottom_bin(self, speed):
+        dud = SiliconProfile(vth_delta=0.1, speed_factor=0.5, leak_factor=0.2)
+        assert speed.binned_frequency_mhz(dud) == 1958.0
+
+    def test_frequencies_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            SpeedBinner(frequencies_mhz=(2265.0, 1958.0), nominal_top_mhz=2265.0)
+
+
+class TestBinSlices:
+    def test_midpoint_of_middle_bin_is_nominal(self):
+        vth = bin_slice_vth(PROCESS_28NM_LP, bin_count=7, bin_index=3, fraction=0.5)
+        assert vth == pytest.approx(0.0, abs=1e-12)
+
+    def test_bin0_is_slowest(self):
+        vth0 = bin_slice_vth(PROCESS_28NM_LP, 7, 0)
+        vth6 = bin_slice_vth(PROCESS_28NM_LP, 7, 6)
+        assert vth0 > 0 > vth6
+
+    def test_fraction_moves_toward_fast_edge(self):
+        slow_edge = bin_slice_vth(PROCESS_28NM_LP, 7, 2, fraction=0.0)
+        fast_edge = bin_slice_vth(PROCESS_28NM_LP, 7, 2, fraction=1.0)
+        assert slow_edge > fast_edge
+
+    def test_bin_profile_round_trip(self):
+        for bin_index in range(7):
+            profile = bin_profile(PROCESS_28NM_LP, 7, bin_index)
+            assert assign_bin_index(PROCESS_28NM_LP, 7, profile) == bin_index
+
+    def test_bad_bin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bin_slice_vth(PROCESS_28NM_LP, 7, 7)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bin_slice_vth(PROCESS_28NM_LP, 7, 0, fraction=1.5)
+
+    def test_spread_profiles(self, binner):
+        profiles = spread_profiles(PROCESS_28NM_LP, (0, 3, 6), binner)
+        assert len(profiles) == 3
+        assert profiles[0].leak_factor < profiles[1].leak_factor < profiles[2].leak_factor
+
+    def test_spread_profiles_bad_bin(self, binner):
+        with pytest.raises(ConfigurationError):
+            spread_profiles(PROCESS_28NM_LP, (9,), binner)
+
+
+class TestAssignBinIndex:
+    def test_out_of_span_clamps(self):
+        very_fast = SiliconProfile.from_vth_delta(PROCESS_28NM_LP, -0.1)
+        assert assign_bin_index(PROCESS_28NM_LP, 7, very_fast) == 6
+
+    def test_single_bin(self):
+        assert assign_bin_index(PROCESS_28NM_LP, 1, SiliconProfile.nominal()) == 0

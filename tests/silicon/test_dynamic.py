@@ -1,0 +1,72 @@
+"""Dynamic (switching) power model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.silicon.dynamic import DynamicPowerModel
+
+
+@pytest.fixture
+def model() -> DynamicPowerModel:
+    return DynamicPowerModel(c_eff_f=0.3e-9)
+
+
+class TestPower:
+    def test_textbook_value(self, model):
+        # P = C V^2 f: 0.3 nF x (1.0 V)^2 x 1 GHz = 0.3 W.
+        assert model.power(1.0, 1000.0) == pytest.approx(0.3)
+
+    def test_voltage_squared(self, model):
+        assert model.power(1.1, 2265.0) / model.power(1.0, 2265.0) == pytest.approx(
+            1.21
+        )
+
+    def test_linear_in_frequency(self, model):
+        assert model.power(1.0, 2000.0) == pytest.approx(2 * model.power(1.0, 1000.0))
+
+    def test_linear_in_activity(self, model):
+        assert model.power(1.0, 1000.0, activity=0.5) == pytest.approx(
+            0.5 * model.power(1.0, 1000.0)
+        )
+
+    def test_idle_core_burns_nothing_dynamic(self, model):
+        assert model.power(1.0, 2265.0, activity=0.0) == 0.0
+
+    @given(
+        st.floats(min_value=0.5, max_value=1.3),
+        st.floats(min_value=100.0, max_value=3000.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_never_negative(self, voltage, freq, activity):
+        model = DynamicPowerModel(c_eff_f=0.3e-9)
+        assert model.power(voltage, freq, activity) >= 0.0
+
+
+class TestEnergyPerCycle:
+    def test_cv_squared(self, model):
+        assert model.energy_per_cycle(1.0) == pytest.approx(0.3e-9)
+
+    def test_binning_energy_penalty(self, model):
+        # Table I: bin-0 switches at 1.100 V where bin-6 needs 0.950 V --
+        # a (1.1/0.95)^2 = 34% dynamic-energy penalty per cycle.
+        penalty = model.energy_per_cycle(1.100) / model.energy_per_cycle(0.950)
+        assert penalty == pytest.approx((1.1 / 0.95) ** 2)
+
+
+class TestValidation:
+    def test_zero_capacitance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DynamicPowerModel(c_eff_f=0.0)
+
+    def test_negative_voltage_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.power(-0.5, 1000.0)
+
+    def test_negative_frequency_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.power(1.0, -100.0)
+
+    def test_activity_out_of_range_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.power(1.0, 1000.0, activity=1.5)

@@ -1,0 +1,83 @@
+"""Leakage-power model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.silicon.leakage import LEAKAGE_REFERENCE_TEMP_C, LeakageModel
+from repro.silicon.process import PROCESS_28NM_LP
+from repro.silicon.transistor import SiliconProfile
+
+
+@pytest.fixture
+def model() -> LeakageModel:
+    return LeakageModel(process=PROCESS_28NM_LP, leak_ref_w=0.2, ref_voltage=0.95)
+
+
+NOMINAL = SiliconProfile.nominal()
+
+
+class TestReferencePoint:
+    def test_reference_conditions_return_reference_power(self, model):
+        power = model.power(NOMINAL, 0.95, LEAKAGE_REFERENCE_TEMP_C)
+        assert power == pytest.approx(0.2)
+
+    def test_leak_factor_scales_linearly(self, model):
+        leaky = SiliconProfile(vth_delta=-0.01, speed_factor=1.02, leak_factor=2.5)
+        power = model.power(leaky, 0.95, LEAKAGE_REFERENCE_TEMP_C)
+        assert power == pytest.approx(0.5)
+
+
+class TestVoltageDependence:
+    def test_powered_off_block_leaks_nothing(self, model):
+        assert model.power(NOMINAL, 0.0, 80.0) == 0.0
+
+    def test_negative_voltage_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.power(NOMINAL, -0.1, 40.0)
+
+    @given(st.floats(min_value=0.5, max_value=1.3))
+    def test_leakage_increases_with_voltage(self, voltage):
+        model = LeakageModel(PROCESS_28NM_LP, leak_ref_w=0.2, ref_voltage=0.95)
+        lower = model.power(NOMINAL, voltage, 40.0)
+        higher = model.power(NOMINAL, voltage + 0.05, 40.0)
+        assert higher > lower
+
+
+class TestTemperatureDependence:
+    @given(st.floats(min_value=-10.0, max_value=90.0))
+    def test_leakage_increases_with_temperature(self, temp):
+        model = LeakageModel(PROCESS_28NM_LP, leak_ref_w=0.2, ref_voltage=0.95)
+        assert model.power(NOMINAL, 0.95, temp + 5.0) > model.power(
+            NOMINAL, 0.95, temp
+        )
+
+    def test_doubling_temperature_delta(self, model):
+        delta = model.doubling_temperature_delta()
+        assert delta == pytest.approx(math.log(2) / PROCESS_28NM_LP.leak_temp_slope)
+        base = model.power(NOMINAL, 0.95, 40.0)
+        doubled = model.power(NOMINAL, 0.95, 40.0 + delta)
+        assert doubled == pytest.approx(2.0 * base, rel=1e-9)
+
+    def test_thermal_runaway_ingredient(self, model):
+        # The paper's feedback loop: at 80 C a 28 nm chip leaks much more
+        # than at 40 C -- at least 1.5x for any plausible calibration.
+        cold = model.power(NOMINAL, 1.0, 40.0)
+        hot = model.power(NOMINAL, 1.0, 80.0)
+        assert hot / cold > 1.5
+
+
+class TestValidation:
+    def test_negative_reference_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LeakageModel(PROCESS_28NM_LP, leak_ref_w=-0.1, ref_voltage=0.95)
+
+    def test_zero_reference_voltage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LeakageModel(PROCESS_28NM_LP, leak_ref_w=0.1, ref_voltage=0.0)
+
+    def test_zero_reference_power_allowed(self):
+        model = LeakageModel(PROCESS_28NM_LP, leak_ref_w=0.0, ref_voltage=0.95)
+        assert model.power(NOMINAL, 1.0, 80.0) == 0.0

@@ -1,0 +1,88 @@
+"""Bin distributions and lottery odds."""
+
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.silicon.process import PROCESS_28NM_LP
+from repro.silicon.yield_model import (
+    bin_distribution,
+    empirical_bin_distribution,
+    expected_leak_factor,
+    lottery_odds_table,
+    probability_at_least_bin,
+)
+
+
+class TestAnalyticDistribution:
+    def test_shares_sum_to_one(self):
+        shares = bin_distribution(PROCESS_28NM_LP, bin_count=7)
+        assert sum(s.fraction for s in shares) == pytest.approx(1.0)
+
+    def test_middle_bins_dominate(self):
+        shares = bin_distribution(PROCESS_28NM_LP, bin_count=7)
+        fractions = [s.fraction for s in shares]
+        assert max(fractions) == fractions[3]  # the nominal-silicon bin
+
+    def test_symmetric_tails(self):
+        shares = bin_distribution(PROCESS_28NM_LP, bin_count=7)
+        assert shares[0].fraction == pytest.approx(shares[6].fraction)
+
+    def test_golden_bins_are_rare(self):
+        # Bin-0 chips -- the Figure 6 winners -- are a small minority.
+        shares = bin_distribution(PROCESS_28NM_LP, bin_count=7)
+        assert shares[0].fraction < 0.12
+
+    def test_single_bin_is_everything(self):
+        shares = bin_distribution(PROCESS_28NM_LP, bin_count=1)
+        assert shares[0].fraction == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bin_distribution(PROCESS_28NM_LP, bin_count=0)
+        with pytest.raises(ConfigurationError):
+            bin_distribution(PROCESS_28NM_LP, bin_count=7, span_sigma=0.0)
+
+
+class TestEmpiricalCrossCheck:
+    def test_matches_analytic_within_sampling_noise(self):
+        analytic = bin_distribution(PROCESS_28NM_LP, bin_count=7)
+        empirical = empirical_bin_distribution(
+            PROCESS_28NM_LP, bin_count=7, sample_count=6000, seed=3
+        )
+        for a, e in zip(analytic, empirical):
+            assert e.fraction == pytest.approx(a.fraction, abs=0.02)
+
+    def test_sample_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            empirical_bin_distribution(PROCESS_28NM_LP, 7, sample_count=0)
+
+
+class TestLotteryOdds:
+    def test_cumulative_probability(self):
+        shares = bin_distribution(PROCESS_28NM_LP, bin_count=7)
+        at_least_2 = probability_at_least_bin(shares, 2)
+        assert at_least_2 == pytest.approx(
+            sum(s.fraction for s in shares[:3])
+        )
+
+    def test_everything_is_at_least_worst_bin(self):
+        shares = bin_distribution(PROCESS_28NM_LP, bin_count=7)
+        assert probability_at_least_bin(shares, 6) == pytest.approx(1.0)
+
+    def test_unknown_bin_rejected(self):
+        shares = bin_distribution(PROCESS_28NM_LP, bin_count=7)
+        with pytest.raises(AnalysisError):
+            probability_at_least_bin(shares, 9)
+
+    def test_leak_factor_grows_with_bin(self):
+        leaks = expected_leak_factor(PROCESS_28NM_LP, 7)
+        ordered = [leaks[i] for i in range(7)]
+        assert ordered == sorted(ordered)
+        assert ordered[0] < 1.0 < ordered[-1]
+
+    def test_table_shape(self):
+        table = lottery_odds_table(PROCESS_28NM_LP, bin_count=7)
+        assert len(table) == 7
+        cumulative = [row[2] for row in table]
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == pytest.approx(1.0)

@@ -1,0 +1,35 @@
+"""Simulation clock."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock(0.1).now == 0.0
+
+    def test_tick_advances(self):
+        clock = SimClock(0.1)
+        assert clock.tick() == pytest.approx(0.1)
+        assert clock.tick() == pytest.approx(0.2)
+
+    def test_no_float_drift_over_an_hour(self):
+        clock = SimClock(0.1)
+        for _ in range(36000):
+            clock.tick()
+        assert clock.now == 3600.0  # exact, not approx
+
+    def test_steps_counted(self):
+        clock = SimClock(0.5)
+        clock.tick()
+        clock.tick()
+        assert clock.steps == 2
+
+    def test_dt_exposed(self):
+        assert SimClock(0.25).dt == 0.25
+
+    def test_non_positive_dt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimClock(0.0)

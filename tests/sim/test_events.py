@@ -1,0 +1,60 @@
+"""Event logging."""
+
+import pytest
+
+from repro.sim.events import Event, EventLog
+
+
+class TestEvent:
+    def test_detail_lookup(self):
+        event = Event(time_s=1.0, kind="phase", detail=(("name", "warmup"),))
+        assert event.get("name") == "warmup"
+
+    def test_detail_default(self):
+        event = Event(time_s=1.0, kind="phase")
+        assert event.get("missing", 42) == 42
+
+
+class TestEventLog:
+    def test_log_and_iterate(self):
+        log = EventLog()
+        log.log(0.0, "phase", name="warmup")
+        log.log(180.0, "phase", name="cooldown")
+        assert len(log) == 2
+        assert [e.kind for e in log] == ["phase", "phase"]
+
+    def test_of_kind(self):
+        log = EventLog()
+        log.log(0.0, "phase", name="warmup")
+        log.log(10.0, "throttle-step", steps=1)
+        log.log(12.0, "throttle-step", steps=2)
+        assert len(log.of_kind("throttle-step")) == 2
+
+    def test_count(self):
+        log = EventLog()
+        log.log(0.0, "core-offline", online=3)
+        assert log.count("core-offline") == 1
+        assert log.count("core-online") == 0
+
+    def test_first(self):
+        log = EventLog()
+        log.log(5.0, "throttle-step", steps=1)
+        log.log(9.0, "throttle-step", steps=2)
+        assert log.first("throttle-step").time_s == 5.0
+
+    def test_first_missing_raises(self):
+        with pytest.raises(IndexError):
+            EventLog().first("nope")
+
+    def test_kinds_histogram(self):
+        log = EventLog()
+        log.log(0.0, "a")
+        log.log(1.0, "a")
+        log.log(2.0, "b")
+        assert log.kinds() == {"a": 2, "b": 1}
+
+    def test_detail_round_trip(self):
+        log = EventLog()
+        event = log.log(3.0, "core-offline", online=3, cluster="krait")
+        assert event.get("online") == 3
+        assert event.get("cluster") == "krait"

@@ -1,0 +1,126 @@
+"""Trace recording."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.sim.trace import PhaseSpan, Trace
+
+
+@pytest.fixture
+def trace() -> Trace:
+    t = Trace(["temp", "freq"])
+    for i in range(10):
+        t.record(float(i), temp=30.0 + i, freq=2265.0 - 10 * i)
+    return t
+
+
+class TestRecording:
+    def test_length(self, trace):
+        assert len(trace) == 10
+
+    def test_columns(self, trace):
+        assert trace.column("temp")[0] == 30.0
+        assert trace.column("freq")[-1] == 2175.0
+
+    def test_time_column(self, trace):
+        assert trace.column("time")[3] == 3.0
+        assert np.array_equal(trace.times(), trace.column("time"))
+
+    def test_missing_channel_on_record_rejected(self):
+        t = Trace(["temp"])
+        with pytest.raises(ConfigurationError):
+            t.record(0.0)
+
+    def test_extra_channel_on_record_rejected(self):
+        t = Trace(["temp"])
+        with pytest.raises(ConfigurationError):
+            t.record(0.0, temp=1.0, other=2.0)
+
+    def test_out_of_order_rejected(self):
+        t = Trace(["temp"])
+        t.record(1.0, temp=1.0)
+        with pytest.raises(ConfigurationError):
+            t.record(0.5, temp=1.0)
+
+    def test_unknown_column_rejected(self, trace):
+        with pytest.raises(AnalysisError):
+            trace.column("power")
+
+    def test_duplicate_channels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Trace(["a", "a"])
+
+    def test_time_channel_reserved(self):
+        with pytest.raises(ConfigurationError):
+            Trace(["time", "x"])
+
+
+class TestPhases:
+    def test_phase_annotation(self):
+        t = Trace(["temp"])
+        t.begin_phase("warmup", 0.0)
+        t.record(0.0, temp=30.0)
+        t.begin_phase("workload", 5.0)  # implicitly closes warmup
+        t.record(5.0, temp=50.0)
+        t.end_phase(10.0)
+        assert [p.name for p in t.phases] == ["warmup", "workload"]
+        assert t.phase("warmup").duration_s == 5.0
+
+    def test_phase_occurrences(self):
+        t = Trace(["temp"])
+        for i in range(3):
+            t.begin_phase("workload", i * 10.0)
+            t.end_phase(i * 10.0 + 5.0)
+        assert t.phase("workload", occurrence=2).start_s == 20.0
+
+    def test_missing_phase_raises(self, trace):
+        with pytest.raises(AnalysisError):
+            trace.phase("workload")
+
+    def test_end_without_open_raises(self):
+        with pytest.raises(AnalysisError):
+            Trace(["temp"]).end_phase(1.0)
+
+    def test_phase_column(self):
+        t = Trace(["temp"])
+        t.begin_phase("workload", 2.0)
+        for i in range(10):
+            t.record(float(i), temp=float(i))
+        t.end_phase(6.0)
+        samples = t.phase_column("workload", "temp")
+        assert list(samples) == [2.0, 3.0, 4.0, 5.0]
+
+    def test_span_contains(self):
+        span = PhaseSpan("x", 1.0, 2.0)
+        assert span.contains(1.0)
+        assert not span.contains(2.0)
+
+    def test_inverted_span_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseSpan("x", 2.0, 1.0)
+
+
+class TestSummaries:
+    def test_mean_min_max(self, trace):
+        assert trace.mean("temp") == pytest.approx(34.5)
+        assert trace.min("temp") == 30.0
+        assert trace.max("temp") == 39.0
+
+    def test_empty_trace_summaries_raise(self):
+        t = Trace(["temp"])
+        with pytest.raises(AnalysisError):
+            t.mean("temp")
+
+    def test_window(self, trace):
+        values = trace.window(2.0, 5.0, "temp")
+        assert list(values) == [32.0, 33.0, 34.0]
+
+    def test_time_above(self, trace):
+        # Samples at 1 s spacing; temps 30..39, threshold 35 -> 5 samples.
+        assert trace.time_above("temp", 35.0) == pytest.approx(5.0)
+
+    def test_histogram(self, trace):
+        counts, edges = trace.histogram("temp", bins=5)
+        assert counts.sum() == 10
+        assert len(edges) == 6

@@ -1,0 +1,154 @@
+"""CPU clusters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.silicon.process import PROCESS_28NM_LP
+from repro.silicon.transistor import SiliconProfile
+from repro.silicon.vf_tables import nexus5_table, single_bin_table
+from repro.soc.cluster import ClusterSpec, ClusterState
+
+
+def krait_spec() -> ClusterSpec:
+    return ClusterSpec(
+        name="krait",
+        core_count=4,
+        freq_table_mhz=(300.0, 960.0, 1574.0, 2265.0),
+        ipc=1.0,
+        c_eff_f=0.3e-9,
+        leak_ref_w=0.2,
+        leak_ref_voltage_v=0.95,
+        vf_table=nexus5_table(),
+    )
+
+
+class TestClusterSpec:
+    def test_properties(self):
+        spec = krait_spec()
+        assert spec.max_freq_mhz == 2265.0
+        assert spec.min_freq_mhz == 300.0
+
+    def test_freq_index(self):
+        assert krait_spec().freq_index(960.0) == 1
+
+    def test_freq_index_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            krait_spec().freq_index(1000.0)
+
+    def test_nearest_freq_floor(self):
+        assert krait_spec().nearest_freq_mhz(1000.0) == 960.0
+
+    def test_nearest_freq_exact(self):
+        assert krait_spec().nearest_freq_mhz(1574.0) == 1574.0
+
+    def test_nearest_freq_below_ladder(self):
+        assert krait_spec().nearest_freq_mhz(100.0) == 300.0
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(
+                name="x", core_count=0, freq_table_mhz=(300.0,), ipc=1.0,
+                c_eff_f=1e-9, leak_ref_w=0.1, leak_ref_voltage_v=0.9,
+                vf_table=single_bin_table((300.0, 400.0), (800.0, 850.0)),
+            )
+
+    def test_unsorted_ladder_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(
+                name="x", core_count=1, freq_table_mhz=(960.0, 300.0), ipc=1.0,
+                c_eff_f=1e-9, leak_ref_w=0.1, leak_ref_voltage_v=0.9,
+                vf_table=single_bin_table((300.0, 960.0), (800.0, 850.0)),
+            )
+
+
+class TestClusterState:
+    @pytest.fixture
+    def state(self) -> ClusterState:
+        return ClusterState(
+            spec=krait_spec(),
+            process=PROCESS_28NM_LP,
+            profile=SiliconProfile.nominal(),
+            bin_index=0,
+        )
+
+    def test_starts_at_min_frequency(self, state):
+        assert state.freq_mhz == 300.0
+
+    def test_set_frequency_validates(self, state):
+        with pytest.raises(ConfigurationError):
+            state.set_frequency(1000.0)
+
+    def test_voltage_follows_bin_row(self, state):
+        state.set_frequency(2265.0)
+        assert state.voltage_v() == pytest.approx(1.1)
+
+    def test_bin3_voltage_lower(self):
+        state = ClusterState(
+            krait_spec(), PROCESS_28NM_LP, SiliconProfile.nominal(), bin_index=3
+        )
+        state.set_frequency(2265.0)
+        assert state.voltage_v() == pytest.approx(1.025)
+
+    def test_invalid_bin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterState(
+                krait_spec(), PROCESS_28NM_LP, SiliconProfile.nominal(), bin_index=9
+            )
+
+    def test_voltage_adjust_applies(self, state):
+        state.set_frequency(960.0)
+        base = state.voltage_v()
+        state.voltage_adjust_v = 0.05
+        assert state.voltage_v() == pytest.approx(base + 0.05)
+
+    def test_voltage_adjust_cannot_go_non_positive(self, state):
+        state.voltage_adjust_v = -5.0
+        with pytest.raises(ConfigurationError):
+            state.voltage_v()
+
+    def test_power_zero_when_idle_except_leakage(self, state):
+        state.set_frequency(2265.0)
+        state.set_utilization(0.0)
+        power = state.power_w(40.0)
+        assert power == pytest.approx(state.leakage_w(40.0))
+        assert power > 0.0
+
+    def test_power_grows_with_utilization(self, state):
+        state.set_frequency(2265.0)
+        state.set_utilization(0.5)
+        half = state.power_w(40.0)
+        state.set_utilization(1.0)
+        full = state.power_w(40.0)
+        assert full > half
+
+    def test_power_grows_with_temperature(self, state):
+        state.set_frequency(2265.0)
+        state.set_utilization(1.0)
+        assert state.power_w(80.0) > state.power_w(40.0)
+
+    def test_offline_cores_drop_power_and_ops(self, state):
+        state.set_frequency(2265.0)
+        state.set_utilization(1.0)
+        full_power = state.power_w(40.0)
+        full_ops = state.ops_per_second()
+        state.set_online_count(3)
+        assert state.power_w(40.0) == pytest.approx(full_power * 3 / 4)
+        assert state.ops_per_second() == pytest.approx(full_ops * 3 / 4)
+
+    def test_hotplug_order_highest_index_first(self, state):
+        state.set_online_count(2)
+        assert [core.online for core in state.cores] == [True, True, False, False]
+
+    def test_hotplug_range_validated(self, state):
+        with pytest.raises(ConfigurationError):
+            state.set_online_count(5)
+
+    def test_ops_rate_formula(self, state):
+        state.set_frequency(2265.0)
+        state.set_utilization(1.0)
+        assert state.ops_per_second() == pytest.approx(4 * 2265e6 * 1.0)
+
+    def test_online_count(self, state):
+        assert state.online_count == 4
+        state.set_online_count(1)
+        assert state.online_count == 1

@@ -1,0 +1,121 @@
+"""CPU idle states and selection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.cpuidle import (
+    IdleState,
+    MenuGovernor,
+    best_state_by_energy,
+    qcom_idle_ladder,
+    sleep_residency_fraction,
+)
+
+LEAK_W = 0.15  # an idle-but-powered core's leakage
+
+
+class TestIdleState:
+    def test_break_even(self):
+        state = IdleState(
+            name="deep", leak_fraction=0.0,
+            entry_exit_latency_us=100.0, entry_energy_uj=300.0,
+        )
+        # Saves LEAK_W while resident: 300 uJ / 0.15 W = 2000 us.
+        assert state.break_even_us(LEAK_W) == pytest.approx(2000.0)
+
+    def test_wfi_never_breaks_even_on_leakage(self):
+        wfi = qcom_idle_ladder()[0]
+        assert wfi.break_even_us(LEAK_W) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IdleState(name="", leak_fraction=0.5,
+                      entry_exit_latency_us=1.0, entry_energy_uj=1.0)
+        with pytest.raises(ConfigurationError):
+            IdleState(name="x", leak_fraction=1.5,
+                      entry_exit_latency_us=1.0, entry_energy_uj=1.0)
+
+
+class TestLadder:
+    def test_three_states(self):
+        ladder = qcom_idle_ladder()
+        assert [s.name for s in ladder] == ["wfi", "retention", "power-collapse"]
+
+    def test_deeper_saves_more_but_costs_more(self):
+        wfi, retention, collapse = qcom_idle_ladder()
+        assert wfi.leak_fraction > retention.leak_fraction > collapse.leak_fraction
+        assert (
+            wfi.entry_exit_latency_us
+            < retention.entry_exit_latency_us
+            < collapse.entry_exit_latency_us
+        )
+
+
+class TestMenuGovernor:
+    @pytest.fixture
+    def governor(self) -> MenuGovernor:
+        return MenuGovernor(ladder=qcom_idle_ladder())
+
+    def test_short_idle_stays_shallow(self, governor):
+        assert governor.select(50.0, LEAK_W).name == "wfi"
+
+    def test_medium_idle_picks_retention(self, governor):
+        # Long enough to amortize retention, too short for collapse.
+        retention = qcom_idle_ladder()[1]
+        idle = retention.break_even_us(LEAK_W) * 1.5
+        assert governor.select(idle, LEAK_W).name == "retention"
+
+    def test_long_idle_collapses(self, governor):
+        # The cooldown's 5-second sleeps dwarf every break-even point.
+        assert governor.select(5_000_000.0, LEAK_W).name == "power-collapse"
+
+    def test_latency_budget_blocks_deep_states(self):
+        governor = MenuGovernor(ladder=qcom_idle_ladder(), latency_budget_us=100.0)
+        assert governor.select(5_000_000.0, LEAK_W).name == "retention"
+
+    def test_unordered_ladder_rejected(self):
+        wfi, retention, collapse = qcom_idle_ladder()
+        with pytest.raises(ConfigurationError):
+            MenuGovernor(ladder=(collapse, wfi, retention))
+
+    def test_idle_energy_accounting(self, governor):
+        collapse = qcom_idle_ladder()[2]
+        energy = governor.idle_energy_uj(collapse, idle_us=1_000_000.0,
+                                         idle_leak_w=LEAK_W)
+        expected = 350.0 + 0.15 * 0.03 * 1_000_000.0
+        assert energy == pytest.approx(expected)
+
+
+class TestOracle:
+    def test_oracle_matches_governor_on_long_idles(self):
+        ladder = qcom_idle_ladder()
+        oracle = best_state_by_energy(ladder, 5_000_000.0, LEAK_W)
+        governor = MenuGovernor(ladder=ladder)
+        assert oracle.name == governor.select(5_000_000.0, LEAK_W).name
+
+    def test_oracle_prefers_shallow_for_short_idle(self):
+        oracle = best_state_by_energy(qcom_idle_ladder(), 100.0, LEAK_W)
+        assert oracle.name == "wfi"
+
+    def test_governor_never_beats_oracle(self):
+        ladder = qcom_idle_ladder()
+        governor = MenuGovernor(ladder=ladder)
+        for idle_us in (10.0, 500.0, 5_000.0, 50_000.0, 5_000_000.0):
+            chosen = governor.select(idle_us, LEAK_W)
+            oracle = best_state_by_energy(ladder, idle_us, LEAK_W)
+            chosen_energy = governor.idle_energy_uj(chosen, idle_us, LEAK_W)
+            oracle_energy = governor.idle_energy_uj(oracle, idle_us, LEAK_W)
+            assert chosen_energy >= oracle_energy - 1e-9
+
+
+class TestCooldownResidency:
+    def test_paper_poll_cycle(self):
+        # 5 s polls with ~50 ms awake to read the sensor: 99% asleep.
+        fraction = sleep_residency_fraction(5.0, 0.05)
+        assert fraction == pytest.approx(0.99)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sleep_residency_fraction(0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            sleep_residency_fraction(5.0, 5.0)

@@ -1,0 +1,87 @@
+"""DVFS governors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.silicon.vf_tables import single_bin_table
+from repro.soc.cluster import ClusterSpec
+from repro.soc.dvfs import OndemandGovernor, PerformanceGovernor, UserspaceGovernor
+
+
+@pytest.fixture
+def spec() -> ClusterSpec:
+    freqs = (300.0, 600.0, 1200.0, 1800.0, 2265.0)
+    return ClusterSpec(
+        name="test",
+        core_count=4,
+        freq_table_mhz=freqs,
+        ipc=1.0,
+        c_eff_f=0.3e-9,
+        leak_ref_w=0.1,
+        leak_ref_voltage_v=0.9,
+        vf_table=single_bin_table(freqs, (750.0, 800.0, 880.0, 980.0, 1080.0)),
+    )
+
+
+class TestPerformanceGovernor:
+    def test_requests_ceiling(self, spec):
+        gov = PerformanceGovernor()
+        assert gov.target_frequency(spec, 1.0, 2265.0) == 2265.0
+
+    def test_honours_lower_ceiling(self, spec):
+        gov = PerformanceGovernor()
+        assert gov.target_frequency(spec, 1.0, 1800.0) == 1800.0
+
+    def test_rounds_ceiling_down_to_ladder(self, spec):
+        gov = PerformanceGovernor()
+        assert gov.target_frequency(spec, 1.0, 1500.0) == 1200.0
+
+    def test_ignores_utilization(self, spec):
+        gov = PerformanceGovernor()
+        assert gov.target_frequency(spec, 0.0, 2265.0) == 2265.0
+
+
+class TestUserspaceGovernor:
+    def test_pins_frequency(self, spec):
+        gov = UserspaceGovernor(fixed_mhz=600.0)
+        assert gov.target_frequency(spec, 1.0, 2265.0) == 600.0
+
+    def test_thermal_ceiling_still_wins(self, spec):
+        gov = UserspaceGovernor(fixed_mhz=1800.0)
+        assert gov.target_frequency(spec, 1.0, 1200.0) == 1200.0
+
+    def test_off_ladder_pin_rejected(self, spec):
+        gov = UserspaceGovernor(fixed_mhz=1000.0)
+        with pytest.raises(ConfigurationError):
+            gov.target_frequency(spec, 1.0, 2265.0)
+
+
+class TestOndemandGovernor:
+    def test_jumps_to_ceiling_when_busy(self, spec):
+        gov = OndemandGovernor()
+        assert gov.target_frequency(spec, 0.95, 2265.0) == 2265.0
+
+    def test_steps_down_when_idle(self, spec):
+        gov = OndemandGovernor()
+        gov.target_frequency(spec, 1.0, 2265.0)
+        for _ in range(10):
+            freq = gov.target_frequency(spec, 0.0, 2265.0)
+        assert freq == 300.0
+
+    def test_respects_ceiling_when_busy(self, spec):
+        gov = OndemandGovernor()
+        assert gov.target_frequency(spec, 1.0, 1250.0) == 1200.0
+
+    def test_moderate_load_finds_middle_frequency(self, spec):
+        gov = OndemandGovernor()
+        gov.target_frequency(spec, 1.0, 2265.0)  # start at top
+        freq = gov.target_frequency(spec, 0.3, 2265.0)
+        assert 300.0 <= freq < 2265.0
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OndemandGovernor(up_threshold=0.0)
+
+    def test_invalid_margin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OndemandGovernor(down_margin=1.0)

@@ -1,0 +1,166 @@
+"""Running SoC instances."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.silicon.transistor import SiliconProfile
+from repro.soc.catalog import sd800, sd810
+from repro.soc.dvfs import UserspaceGovernor
+from repro.soc.instance import Soc
+from repro.soc.rbcpr import RbcprBlock
+from repro.soc.throttling import (
+    CoreShutdownPolicy,
+    StepwiseThrottle,
+    ThrottlePolicy,
+)
+
+
+def make_policy() -> ThrottlePolicy:
+    return ThrottlePolicy(
+        stepwise=StepwiseThrottle(throttle_temp_c=76.0, clear_temp_c=73.0),
+        shutdown=CoreShutdownPolicy(critical_temp_c=80.0, restore_temp_c=75.0),
+    )
+
+
+def make_soc(profile=None, bin_index=0) -> Soc:
+    return Soc(
+        spec=sd800(),
+        profile=profile or SiliconProfile.nominal(),
+        throttle=make_policy(),
+        bin_index=bin_index,
+    )
+
+
+class TestConstruction:
+    def test_binned_soc_refuses_rbcpr(self):
+        with pytest.raises(ConfigurationError):
+            Soc(
+                spec=sd800(),
+                profile=SiliconProfile.nominal(),
+                throttle=make_policy(),
+                rbcpr=RbcprBlock(process=sd800().process),
+            )
+
+    def test_adaptive_soc_gets_default_rbcpr(self):
+        soc = Soc(
+            spec=sd810(),
+            profile=SiliconProfile.nominal(),
+            throttle=make_policy(),
+        )
+        assert soc.rbcpr is not None
+
+    def test_adaptive_soc_ignores_bin_index(self):
+        soc = Soc(
+            spec=sd810(),
+            profile=SiliconProfile.nominal(),
+            throttle=make_policy(),
+            bin_index=5,
+        )
+        assert soc.bin_index == 0
+
+
+class TestStep:
+    def test_cool_die_runs_at_max(self):
+        soc = make_soc()
+        soc.set_utilization(1.0)
+        power, ops = soc.step(die_temp_c=40.0, now_s=0.0, dt=0.1)
+        assert soc.frequencies_mhz()["krait400"] == 2265.0
+        assert power > 1.0
+        assert ops > 0.0
+
+    def test_hot_die_throttles(self):
+        soc = make_soc()
+        soc.set_utilization(1.0)
+        for step in range(5):
+            soc.step(die_temp_c=78.0, now_s=float(step), dt=1.0)
+        assert soc.frequencies_mhz()["krait400"] < 2265.0
+        assert soc.mitigation.ceiling_steps > 0
+
+    def test_critical_die_sheds_core(self):
+        soc = make_soc()
+        soc.set_utilization(1.0)
+        soc.step(die_temp_c=81.0, now_s=0.0, dt=0.1)
+        assert soc.online_cores() == 3
+
+    def test_external_ceiling_caps_frequency(self):
+        soc = make_soc()
+        soc.set_utilization(1.0)
+        soc.external_ceiling_mhz = 1000.0
+        soc.step(die_temp_c=40.0, now_s=0.0, dt=0.1)
+        assert soc.frequencies_mhz()["krait400"] == 960.0
+
+    def test_leaky_die_burns_more(self):
+        leaky = make_soc(
+            SiliconProfile(vth_delta=-0.02, speed_factor=1.05, leak_factor=2.0)
+        )
+        nominal = make_soc()
+        for soc in (leaky, nominal):
+            soc.set_utilization(1.0)
+        p_leaky, _ = leaky.step(60.0, 0.0, 0.1)
+        p_nominal, _ = nominal.step(60.0, 0.0, 0.1)
+        assert p_leaky > p_nominal
+
+    def test_bin_affects_voltage_and_power(self):
+        bin0 = make_soc(bin_index=0)
+        bin6 = make_soc(bin_index=6)
+        for soc in (bin0, bin6):
+            soc.set_utilization(1.0)
+            soc.step(40.0, 0.0, 0.1)
+        assert bin0.voltages_v()["krait400"] > bin6.voltages_v()["krait400"]
+
+    def test_ops_scale_with_dt(self):
+        soc = make_soc()
+        soc.set_utilization(1.0)
+        _, ops_small = soc.step(40.0, 0.0, 0.1)
+        soc2 = make_soc()
+        soc2.set_utilization(1.0)
+        _, ops_big = soc2.step(40.0, 0.0, 0.2)
+        assert ops_big == pytest.approx(2 * ops_small)
+
+    def test_non_positive_dt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_soc().step(40.0, 0.0, 0.0)
+
+
+class TestGovernors:
+    def test_set_governor_single_cluster(self):
+        soc = Soc(
+            spec=sd810(), profile=SiliconProfile.nominal(), throttle=make_policy()
+        )
+        soc.set_utilization(1.0)
+        soc.set_governor(UserspaceGovernor(fixed_mhz=384.0), cluster="a57")
+        soc.step(40.0, 0.0, 0.1)
+        freqs = soc.frequencies_mhz()
+        assert freqs["a57"] == 384.0
+        assert freqs["a53"] == 1555.0  # untouched cluster stays on performance
+
+    def test_unknown_cluster_rejected(self):
+        soc = make_soc()
+        with pytest.raises(ConfigurationError):
+            soc.set_governor(UserspaceGovernor(fixed_mhz=300.0), cluster="gpu")
+
+
+class TestReset:
+    def test_reset_restores_boot_state(self):
+        soc = make_soc()
+        soc.set_utilization(1.0)
+        for step in range(5):
+            soc.step(85.0, float(step), 1.0)
+        assert soc.online_cores() < 4
+        soc.reset()
+        assert soc.online_cores() == 4
+        assert soc.mitigation.ceiling_steps == 0
+        assert soc.frequencies_mhz()["krait400"] == 300.0
+
+
+class TestRbcprIntegration:
+    def test_adaptive_voltage_differs_between_dies(self):
+        fast = SiliconProfile.from_vth_delta(sd810().process, -0.02)
+        slow = SiliconProfile.from_vth_delta(sd810().process, +0.02)
+        results = {}
+        for label, profile in (("fast", fast), ("slow", slow)):
+            soc = Soc(spec=sd810(), profile=profile, throttle=make_policy())
+            soc.set_utilization(1.0)
+            soc.step(40.0, 0.0, 0.1)
+            results[label] = soc.voltages_v()["a57"]
+        assert results["slow"] > results["fast"]

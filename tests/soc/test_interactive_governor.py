@@ -1,0 +1,89 @@
+"""The interactive governor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.silicon.vf_tables import single_bin_table
+from repro.soc.cluster import ClusterSpec
+from repro.soc.dvfs import InteractiveGovernor
+
+
+@pytest.fixture
+def spec() -> ClusterSpec:
+    freqs = (300.0, 600.0, 1200.0, 1800.0, 2265.0)
+    return ClusterSpec(
+        name="test",
+        core_count=4,
+        freq_table_mhz=freqs,
+        ipc=1.0,
+        c_eff_f=0.3e-9,
+        leak_ref_w=0.1,
+        leak_ref_voltage_v=0.9,
+        vf_table=single_bin_table(freqs, (750.0, 800.0, 880.0, 980.0, 1080.0)),
+    )
+
+
+def governor() -> InteractiveGovernor:
+    return InteractiveGovernor(
+        hispeed_freq_mhz=1200.0,
+        go_hispeed_load=0.85,
+        above_hispeed_delay_s=0.2,
+        eval_interval_s=0.1,
+    )
+
+
+class TestJumpBehaviour:
+    def test_jumps_to_hispeed_on_load(self, spec):
+        gov = governor()
+        assert gov.target_frequency(spec, 1.0, 2265.0) == 1200.0
+
+    def test_does_not_go_straight_to_max(self, spec):
+        gov = governor()
+        freq = gov.target_frequency(spec, 1.0, 2265.0)
+        assert freq < 2265.0
+
+    def test_climbs_after_dwell(self, spec):
+        gov = governor()
+        freqs = [gov.target_frequency(spec, 1.0, 2265.0) for _ in range(10)]
+        assert freqs[0] == 1200.0
+        assert freqs[-1] == 2265.0
+        # Monotone climb, one step at a time after the dwell.
+        assert all(b >= a for a, b in zip(freqs, freqs[1:]))
+
+    def test_light_load_stays_low(self, spec):
+        gov = governor()
+        freqs = {gov.target_frequency(spec, 0.2, 2265.0) for _ in range(5)}
+        assert max(freqs) <= 600.0
+
+    def test_load_drop_falls_back(self, spec):
+        gov = governor()
+        for _ in range(10):
+            gov.target_frequency(spec, 1.0, 2265.0)
+        freq = gov.target_frequency(spec, 0.1, 2265.0)
+        assert freq < 1200.0
+
+
+class TestCeiling:
+    def test_thermal_ceiling_caps_jump(self, spec):
+        gov = governor()
+        assert gov.target_frequency(spec, 1.0, 600.0) == 600.0
+
+    def test_ceiling_drop_applies_immediately(self, spec):
+        gov = governor()
+        for _ in range(10):
+            gov.target_frequency(spec, 1.0, 2265.0)
+        assert gov.target_frequency(spec, 1.0, 1200.0) == 1200.0
+
+
+class TestValidation:
+    def test_bad_hispeed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InteractiveGovernor(hispeed_freq_mhz=0.0)
+
+    def test_bad_load_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InteractiveGovernor(hispeed_freq_mhz=1000.0, go_hispeed_load=1.5)
+
+    def test_bad_eval_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InteractiveGovernor(hispeed_freq_mhz=1000.0, eval_interval_s=0.0)

@@ -1,0 +1,96 @@
+"""Memory-bounded workload modelling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.silicon.process import PROCESS_28NM_LP
+from repro.silicon.transistor import SiliconProfile
+from repro.silicon.vf_tables import nexus5_table
+from repro.soc.cluster import ClusterSpec, ClusterState
+
+
+def make_state(beta=0.0) -> ClusterState:
+    spec = ClusterSpec(
+        name="krait",
+        core_count=4,
+        freq_table_mhz=(300.0, 960.0, 1574.0, 2265.0),
+        ipc=1.0,
+        c_eff_f=0.3e-9,
+        leak_ref_w=0.2,
+        leak_ref_voltage_v=0.95,
+        vf_table=nexus5_table(),
+    )
+    state = ClusterState(spec, PROCESS_28NM_LP, SiliconProfile.nominal(), 0)
+    state.set_memory_boundedness(beta)
+    state.set_utilization(1.0)
+    return state
+
+
+class TestOpsRate:
+    def test_cpu_bound_is_linear_in_frequency(self):
+        state = make_state(beta=0.0)
+        state.set_frequency(960.0)
+        low = state.ops_per_second()
+        state.set_frequency(2265.0)
+        high = state.ops_per_second()
+        assert high / low == pytest.approx(2265.0 / 960.0)
+
+    def test_memory_bound_sublinear_in_frequency(self):
+        state = make_state(beta=0.5)
+        state.set_frequency(960.0)
+        low = state.ops_per_second()
+        state.set_frequency(2265.0)
+        high = state.ops_per_second()
+        speedup = high / low
+        assert 1.0 < speedup < 2265.0 / 960.0
+
+    def test_beta_definition_at_top_frequency(self):
+        # At the top frequency, rate = (1 - beta) x the CPU-bound rate.
+        cpu = make_state(beta=0.0)
+        mem = make_state(beta=0.4)
+        for state in (cpu, mem):
+            state.set_frequency(2265.0)
+        assert mem.ops_per_second() == pytest.approx(
+            0.6 * cpu.ops_per_second()
+        )
+
+    def test_extreme_boundedness_nearly_flat(self):
+        state = make_state(beta=0.95)
+        state.set_frequency(960.0)
+        low = state.ops_per_second()
+        state.set_frequency(2265.0)
+        high = state.ops_per_second()
+        assert high / low < 1.15
+
+    def test_validation(self):
+        state = make_state()
+        with pytest.raises(ConfigurationError):
+            state.set_memory_boundedness(1.0)
+        with pytest.raises(ConfigurationError):
+            state.set_memory_boundedness(-0.1)
+
+
+class TestPower:
+    def test_stalls_reduce_dynamic_power(self):
+        cpu = make_state(beta=0.0)
+        mem = make_state(beta=0.5)
+        for state in (cpu, mem):
+            state.set_frequency(2265.0)
+        assert mem.power_w(40.0) < cpu.power_w(40.0)
+
+    def test_leakage_unaffected_by_stalls(self):
+        cpu = make_state(beta=0.0)
+        mem = make_state(beta=0.5)
+        for state in (cpu, mem):
+            state.set_frequency(2265.0)
+        assert mem.leakage_w(40.0) == pytest.approx(cpu.leakage_w(40.0))
+
+    def test_cpu_share_grows_at_lower_clock(self):
+        # Throttling a memory-bound task converges it back toward
+        # CPU-bound behaviour (the stalls stop dominating).
+        state = make_state(beta=0.5)
+        state.set_frequency(2265.0)
+        share_fast = state._cpu_time_share()
+        state.set_frequency(960.0)
+        share_slow = state._cpu_time_share()
+        assert share_slow > share_fast

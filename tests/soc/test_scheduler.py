@@ -1,0 +1,115 @@
+"""Thread placement."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.silicon.transistor import SiliconProfile
+from repro.soc.catalog import sd800, sd810
+from repro.soc.instance import Soc
+from repro.soc.scheduler import (
+    Placement,
+    busy_core_count,
+    idle_all,
+    place_threads,
+    sweep_thread_counts,
+)
+from repro.soc.throttling import StepwiseThrottle, ThrottlePolicy
+
+
+def make_soc(spec=None) -> Soc:
+    return Soc(
+        spec=spec or sd810(),
+        profile=SiliconProfile.nominal(),
+        throttle=ThrottlePolicy(
+            stepwise=StepwiseThrottle(throttle_temp_c=76.0, clear_temp_c=73.0)
+        ),
+    )
+
+
+class TestPlacement:
+    def test_big_first_fills_a57(self):
+        soc = make_soc()
+        assignment = place_threads(soc, 3, Placement.BIG_FIRST)
+        assert assignment == {"a57": 3, "a53": 0}
+
+    def test_big_first_spills_to_little(self):
+        soc = make_soc()
+        assignment = place_threads(soc, 6, Placement.BIG_FIRST)
+        assert assignment == {"a57": 4, "a53": 2}
+
+    def test_little_first(self):
+        soc = make_soc()
+        assignment = place_threads(soc, 3, Placement.LITTLE_FIRST)
+        assert assignment == {"a53": 3, "a57": 0}
+
+    def test_zero_threads_idles(self):
+        soc = make_soc()
+        place_threads(soc, 8)
+        place_threads(soc, 0)
+        assert busy_core_count(soc) == 0
+
+    def test_overcommit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            place_threads(make_soc(), 9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            place_threads(make_soc(), -1)
+
+    def test_respects_offline_cores(self):
+        soc = make_soc()
+        soc.clusters[0].set_online_count(2)  # two A57s hotplugged out
+        assignment = place_threads(soc, 4, Placement.BIG_FIRST)
+        assert assignment == {"a57": 2, "a53": 2}
+
+    def test_busy_core_count(self):
+        soc = make_soc()
+        place_threads(soc, 5)
+        assert busy_core_count(soc) == 5
+
+
+class TestThroughputAndPower:
+    def test_big_first_faster_than_little_first(self):
+        big = make_soc()
+        little = make_soc()
+        place_threads(big, 2, Placement.BIG_FIRST)
+        place_threads(little, 2, Placement.LITTLE_FIRST)
+        _, ops_big = big.step(40.0, 0.0, 0.1)
+        _, ops_little = little.step(40.0, 0.0, 0.1)
+        assert ops_big > ops_little
+
+    def test_little_first_cheaper(self):
+        big = make_soc()
+        little = make_soc()
+        place_threads(big, 2, Placement.BIG_FIRST)
+        place_threads(little, 2, Placement.LITTLE_FIRST)
+        power_big, _ = big.step(40.0, 0.0, 0.1)
+        power_little, _ = little.step(40.0, 0.0, 0.1)
+        assert power_little < power_big
+
+    def test_single_cluster_soc(self):
+        soc = make_soc(sd800())
+        assignment = place_threads(soc, 2)
+        assert assignment == {"krait400": 2}
+
+
+class TestSweep:
+    def test_monotone_scaling(self):
+        soc = make_soc()
+        records = sweep_thread_counts(soc, die_temp_c=40.0)
+        assert len(records) == 9  # 0..8 threads
+        ops = [r["ops_per_s"] for r in records]
+        power = [r["power_w"] for r in records]
+        assert all(b >= a for a, b in zip(ops, ops[1:]))
+        assert all(b >= a for a, b in zip(power, power[1:]))
+
+    def test_sweep_leaves_soc_idle(self):
+        soc = make_soc()
+        sweep_thread_counts(soc, die_temp_c=40.0)
+        assert busy_core_count(soc) == 0
+
+    def test_idle_all(self):
+        soc = make_soc()
+        place_threads(soc, 8)
+        idle_all(soc)
+        assert busy_core_count(soc) == 0

@@ -1,0 +1,137 @@
+"""Thermal throttling policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.throttling import (
+    CoreShutdownPolicy,
+    MitigationState,
+    StepwiseThrottle,
+    ThrottlePolicy,
+)
+
+
+class TestStepwiseThrottle:
+    @pytest.fixture
+    def throttle(self) -> StepwiseThrottle:
+        return StepwiseThrottle(
+            throttle_temp_c=76.0, clear_temp_c=73.0, poll_interval_s=1.0
+        )
+
+    def test_cold_die_never_throttles(self, throttle):
+        for t in range(10):
+            assert throttle.update(50.0, float(t)) == 0
+
+    def test_hot_die_steps_down_each_poll(self, throttle):
+        assert throttle.update(80.0, 0.0) == 1
+        assert throttle.update(80.0, 1.0) == 2
+        assert throttle.update(80.0, 2.0) == 3
+
+    def test_polls_between_intervals_do_nothing(self, throttle):
+        assert throttle.update(80.0, 0.0) == 1
+        assert throttle.update(80.0, 0.5) == 1
+
+    def test_multiple_missed_polls_catch_up(self, throttle):
+        assert throttle.update(80.0, 0.0) == 1
+        assert throttle.update(80.0, 3.0) == 4
+
+    def test_hysteresis_band_holds_state(self, throttle):
+        throttle.update(80.0, 0.0)
+        # 74 C is inside the band (73..76): no change either way.
+        assert throttle.update(74.0, 1.0) == 1
+        assert throttle.update(74.0, 2.0) == 1
+
+    def test_cool_die_steps_back_up(self, throttle):
+        throttle.update(80.0, 0.0)
+        throttle.update(80.0, 1.0)
+        assert throttle.update(70.0, 2.0) == 1
+        assert throttle.update(70.0, 3.0) == 0
+
+    def test_never_below_zero(self, throttle):
+        assert throttle.update(20.0, 0.0) == 0
+        assert throttle.update(20.0, 5.0) == 0
+
+    def test_caps_at_max_steps(self):
+        throttle = StepwiseThrottle(
+            throttle_temp_c=76.0, clear_temp_c=73.0, max_steps=2
+        )
+        for t in range(6):
+            steps = throttle.update(90.0, float(t))
+        assert steps == 2
+
+    def test_reset(self, throttle):
+        throttle.update(80.0, 0.0)
+        throttle.reset()
+        assert throttle.steps == 0
+        assert throttle.update(50.0, 0.0) == 0
+
+    def test_inverted_band_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StepwiseThrottle(throttle_temp_c=70.0, clear_temp_c=75.0)
+
+    def test_zero_poll_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StepwiseThrottle(
+                throttle_temp_c=76.0, clear_temp_c=73.0, poll_interval_s=0.0
+            )
+
+
+class TestCoreShutdownPolicy:
+    @pytest.fixture
+    def policy(self) -> CoreShutdownPolicy:
+        return CoreShutdownPolicy(
+            critical_temp_c=80.0, restore_temp_c=75.0, max_offline=1
+        )
+
+    def test_shuts_one_core_at_critical(self, policy):
+        assert policy.update(81.0, 0.0) == 1
+
+    def test_never_exceeds_max_offline(self, policy):
+        for t in range(5):
+            offline = policy.update(85.0, float(t))
+        assert offline == 1
+
+    def test_restores_after_cooling(self, policy):
+        policy.update(81.0, 0.0)
+        assert policy.update(74.0, 1.0) == 0
+
+    def test_band_holds(self, policy):
+        policy.update(81.0, 0.0)
+        assert policy.update(77.0, 1.0) == 1
+
+    def test_reset(self, policy):
+        policy.update(85.0, 0.0)
+        policy.reset()
+        assert policy.offline == 0
+
+    def test_inverted_band_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreShutdownPolicy(critical_temp_c=70.0, restore_temp_c=75.0)
+
+
+class TestThrottlePolicy:
+    def test_combined_state(self):
+        policy = ThrottlePolicy(
+            stepwise=StepwiseThrottle(throttle_temp_c=76.0, clear_temp_c=73.0),
+            shutdown=CoreShutdownPolicy(critical_temp_c=80.0, restore_temp_c=75.0),
+        )
+        state = policy.update(82.0, 0.0)
+        assert state == MitigationState(ceiling_steps=1, offline_cores=1)
+
+    def test_without_shutdown(self):
+        policy = ThrottlePolicy(
+            stepwise=StepwiseThrottle(throttle_temp_c=76.0, clear_temp_c=73.0)
+        )
+        state = policy.update(90.0, 0.0)
+        assert state.offline_cores == 0
+        assert state.ceiling_steps == 1
+
+    def test_reset_clears_both(self):
+        policy = ThrottlePolicy(
+            stepwise=StepwiseThrottle(throttle_temp_c=76.0, clear_temp_c=73.0),
+            shutdown=CoreShutdownPolicy(critical_temp_c=80.0, restore_temp_c=75.0),
+        )
+        policy.update(90.0, 0.0)
+        policy.reset()
+        state = policy.update(20.0, 0.0)
+        assert state == MitigationState()

@@ -1,0 +1,141 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_fleet_defaults(self):
+        args = build_parser().parse_args(["run-fleet", "Nexus 5"])
+        args.experiment == "both"
+        assert args.scale == 1.0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestListDevices:
+    def test_lists_all_models(self, capsys):
+        assert main(["list-devices"]) == 0
+        out = capsys.readouterr().out
+        for model in ("Nexus 5", "Nexus 6", "Nexus 6P", "LG G5", "Google Pixel"):
+            assert model in out
+
+    def test_shows_soc_and_process(self, capsys):
+        main(["list-devices"])
+        out = capsys.readouterr().out
+        assert "SD-800" in out
+        assert "28nm-LP" in out
+        assert "14nm-FinFET" in out
+
+
+class TestTable1:
+    def test_prints_bins(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Bin-0" in out
+        assert "1100" in out
+
+
+class TestRunFleet:
+    def test_unconstrained_run(self, capsys):
+        code = main([
+            "run-fleet", "Nexus 5",
+            "--experiment", "unconstrained",
+            "--scale", "0.12", "--iterations", "1", "--no-thermabox",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "performance variation" in out
+        assert "bin-0" in out
+
+    def test_json_dump(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        code = main([
+            "run-fleet", "Nexus 5",
+            "--experiment", "fixed",
+            "--scale", "0.12", "--iterations", "1", "--no-thermabox",
+            "--json", str(path),
+        ])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert "fixed-frequency" in payload
+        assert payload["fixed-frequency"]["model"] == "Nexus 5"
+
+    def test_unknown_model_is_clean_error(self, capsys):
+        code = main([
+            "run-fleet", "iPhone 7", "--scale", "0.12", "--no-thermabox",
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTable2:
+    def test_subset_study(self, capsys):
+        code = main([
+            "table2", "--models", "Nexus 6",
+            "--scale", "0.12", "--iterations", "1", "--no-thermabox",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SD-805" in out
+        assert "Nexus 6" in out
+
+
+class TestEstimateAmbient:
+    def test_probe_reports_estimate(self, capsys):
+        code = main([
+            "estimate-ambient", "Nexus 5",
+            "--ambient", "30", "--observe", "420",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimated" in out
+        assert "true ambient 30.0" in out
+
+
+class TestCrowd:
+    def test_small_crowd(self, capsys):
+        code = main([
+            "crowd", "--users", "4", "--scale", "0.3", "--seed", "11",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "submissions from 4 users" in out
+        assert "ranking quality" in out
+
+
+class TestExportFleet:
+    def test_csv_export(self, capsys, tmp_path):
+        code = main([
+            "export-fleet", "Nexus 5",
+            "--out", str(tmp_path),
+            "--scale", "0.12", "--iterations", "1", "--no-thermabox",
+        ])
+        assert code == 0
+        perf_csv = (tmp_path / "nexus-5-performance.csv").read_text()
+        assert perf_csv.startswith("unit_index,raw,normalized")
+        assert len(perf_csv.strip().splitlines()) == 5  # header + 4 units
+        assert (tmp_path / "nexus-5-energy.csv").exists()
+
+
+class TestValidateCommand:
+    def test_single_model_validation(self, capsys):
+        # Nexus 6's fleet has near-identical silicon: its bands hold even
+        # at a heavily shortened protocol, unlike throttling-driven bands.
+        code = main([
+            "validate", "--models", "Nexus 6",
+            "--scale", "0.3", "--iterations", "2", "--no-thermabox",
+        ])
+        out = capsys.readouterr().out
+        assert "checks passed" in out
+        assert code in (0, 1)  # report renders either way
+        assert "Nexus 6 energy variation" in out

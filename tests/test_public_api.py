@@ -1,0 +1,86 @@
+"""Public API surface sanity.
+
+Every name a package advertises in ``__all__`` must resolve, and the
+top-level package must re-export the workhorse entry points.  These tests
+catch the classic refactoring failure — a rename that leaves ``__all__``
+stale — across the whole library at once.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.device",
+    "repro.instruments",
+    "repro.silicon",
+    "repro.sim",
+    "repro.soc",
+    "repro.thermal",
+    "repro.workloads",
+]
+
+
+class TestDunderAll:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_names_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        assert hasattr(package, "__all__"), package_name
+        for name in package.__all__:
+            assert hasattr(package, name), f"{package_name}.{name} is stale"
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_is_sorted_unique(self, package_name):
+        package = importlib.import_module(package_name)
+        names = list(package.__all__)
+        assert len(names) == len(set(names)), f"{package_name} has duplicates"
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        assert package.__doc__, f"{package_name} lacks a module docstring"
+
+
+class TestTopLevelEntryPoints:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_workhorse_classes_exposed(self):
+        import repro
+
+        for name in (
+            "CampaignRunner", "Accubench", "Device", "MonsoonPowerMonitor",
+            "Thermabox", "paper_fleet", "unconstrained", "fixed_frequency",
+        ):
+            assert name in repro.__all__
+
+    def test_cli_importable(self):
+        from repro.cli import build_parser, main
+
+        assert callable(main)
+        assert build_parser().prog == "repro-bench"
+
+    def test_validation_importable(self):
+        from repro.validation import validate_study
+
+        assert callable(validate_study)
+
+
+class TestModuleDocstrings:
+    def test_every_source_module_documented(self):
+        import pathlib
+
+        import repro
+
+        src_root = pathlib.Path(repro.__file__).parent
+        undocumented = []
+        for path in sorted(src_root.rglob("*.py")):
+            text = path.read_text()
+            stripped = text.lstrip()
+            if not stripped.startswith(('"""', "'''", 'r"""')):
+                undocumented.append(str(path.relative_to(src_root)))
+        assert undocumented == []

@@ -1,0 +1,148 @@
+"""Die floorplan thermal model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.thermal.floorplan import (
+    Block,
+    Floorplan,
+    GridThermalModel,
+    sd800_floorplan,
+)
+
+
+def small_plan() -> Floorplan:
+    return Floorplan(
+        die_width_m=8e-3,
+        die_height_m=8e-3,
+        blocks=(
+            Block(name="left", x=0.0, y=0.0, width=0.5, height=1.0),
+            Block(name="right", x=0.5, y=0.0, width=0.5, height=1.0),
+        ),
+    )
+
+
+class TestFloorplanValidation:
+    def test_block_must_fit_die(self):
+        with pytest.raises(ConfigurationError):
+            Block(name="big", x=0.5, y=0.0, width=0.6, height=0.5)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Floorplan(
+                die_width_m=1e-3, die_height_m=1e-3,
+                blocks=(
+                    Block(name="a", x=0.0, y=0.0, width=0.4, height=0.4),
+                    Block(name="a", x=0.5, y=0.5, width=0.4, height=0.4),
+                ),
+            )
+
+    def test_block_lookup(self):
+        plan = small_plan()
+        assert plan.block("left").x == 0.0
+        with pytest.raises(ConfigurationError):
+            plan.block("middle")
+
+    def test_sd800_floorplan_shape(self):
+        plan = sd800_floorplan()
+        names = {block.name for block in plan.blocks}
+        assert {"core0", "core1", "core2", "core3", "l2", "uncore"} <= names
+
+
+class TestGridPhysics:
+    def test_uniform_power_uniform_temperature(self):
+        model = GridThermalModel(small_plan(), grid=(16, 16))
+        model.settle({"left": 1.0, "right": 1.0}, package_temp_c=45.0)
+        temps = model.temperature_map()
+        # Symmetric load on a symmetric die: small spread (edges vs centre).
+        assert float(temps.max() - temps.min()) < 1.0
+
+    def test_busy_block_is_hotter(self):
+        model = GridThermalModel(small_plan(), grid=(16, 16))
+        model.settle({"left": 2.0, "right": 0.0}, package_temp_c=45.0)
+        assert model.block_temp_c("left") > model.block_temp_c("right") + 0.5
+
+    def test_symmetry(self):
+        left_loaded = GridThermalModel(small_plan(), grid=(16, 16))
+        right_loaded = GridThermalModel(small_plan(), grid=(16, 16))
+        left_loaded.settle({"left": 2.0}, 45.0)
+        right_loaded.settle({"right": 2.0}, 45.0)
+        assert left_loaded.block_temp_c("left") == pytest.approx(
+            right_loaded.block_temp_c("right"), abs=1e-6
+        )
+
+    def test_all_heat_sinks_to_package_steady_state(self):
+        # At steady state the package flux equals injected power.
+        model = GridThermalModel(small_plan(), grid=(12, 12))
+        model.settle({"left": 1.5}, package_temp_c=45.0, duration_s=12.0)
+        temps = model.temperature_map()
+        cell_area = (8e-3 / 12) ** 2
+        from repro.thermal.floorplan import DEFAULT_H_PACKAGE
+
+        sunk = DEFAULT_H_PACKAGE * cell_area * float((temps - 45.0).sum())
+        assert sunk == pytest.approx(1.5, rel=0.02)
+
+    def test_no_power_relaxes_to_package(self):
+        model = GridThermalModel(small_plan(), grid=(8, 8), initial_temp_c=80.0)
+        model.settle({}, package_temp_c=40.0, duration_s=10.0)
+        assert model.die_mean_c() == pytest.approx(40.0, abs=0.1)
+
+    def test_hotspot_exceeds_die_mean(self):
+        model = GridThermalModel(sd800_floorplan(), grid=(24, 24))
+        model.settle({"core1": 1.0}, package_temp_c=45.0)
+        assert model.hotspot_c() > model.die_mean_c()
+
+    def test_far_core_barely_heats(self):
+        model = GridThermalModel(sd800_floorplan(), grid=(24, 24))
+        model.settle({"core0": 1.0}, package_temp_c=45.0)
+        near = model.block_temp_c("core1")
+        far = model.block_temp_c("core3")
+        assert near > far
+
+
+class TestLumpedModelJustification:
+    def test_hotspot_resistance_in_calibrated_range(self):
+        # The lumped catalog uses 4.5-9.5 K/W hotspot resistances; the
+        # grid model's per-core value must be the same order of magnitude.
+        model = GridThermalModel(sd800_floorplan())
+        r = model.hotspot_resistance_k_per_w("core0")
+        assert 0.5 <= r <= 20.0
+
+    def test_quad_load_raises_mean_close_to_hotspot(self):
+        # With all cores busy (the paper's workload) the die is nearly
+        # isothermal compared to a single-core hotspot: the lumped 'cpu'
+        # node is a good abstraction for THIS workload.
+        model = GridThermalModel(sd800_floorplan(), grid=(24, 24))
+        model.settle({f"core{i}": 0.9 for i in range(4)}, 45.0)
+        all_core_gap = model.hotspot_c() - model.die_mean_c()
+        single = GridThermalModel(sd800_floorplan(), grid=(24, 24))
+        single.settle({"core0": 3.6}, 45.0)
+        single_gap = single.hotspot_c() - single.die_mean_c()
+        assert all_core_gap < single_gap
+
+
+class TestStability:
+    def test_large_steps_do_not_blow_up(self):
+        model = GridThermalModel(small_plan(), grid=(10, 10))
+        model.step({"left": 3.0}, package_temp_c=45.0, dt=5.0)
+        temps = model.temperature_map()
+        assert np.isfinite(temps).all()
+        assert temps.max() < 200.0
+
+    def test_unknown_block_power_rejected(self):
+        model = GridThermalModel(small_plan())
+        with pytest.raises(ConfigurationError):
+            model.step({"gpu": 1.0}, 45.0, 0.1)
+
+    def test_bad_dt_rejected(self):
+        with pytest.raises(SimulationError):
+            GridThermalModel(small_plan()).step({}, 45.0, 0.0)
+
+    def test_too_coarse_grid_for_block_rejected(self):
+        plan = Floorplan(
+            die_width_m=8e-3, die_height_m=8e-3,
+            blocks=(Block(name="sliver", x=0.49, y=0.49, width=0.01, height=0.01),),
+        )
+        with pytest.raises(ConfigurationError):
+            GridThermalModel(plan, grid=(4, 4))

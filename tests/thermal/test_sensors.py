@@ -1,0 +1,69 @@
+"""Temperature sensors."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal.network import ThermalLink, ThermalNetwork, ThermalNode
+from repro.thermal.sensors import TemperatureSensor
+
+
+@pytest.fixture
+def network() -> ThermalNetwork:
+    net = ThermalNetwork(
+        nodes=[ThermalNode("cpu", 1.0), ThermalNode("ambient", math.inf)],
+        links=[ThermalLink("cpu", "ambient", 1.0)],
+        initial_temp_c=26.0,
+    )
+    net.set_temperature("cpu", 41.37)
+    return net
+
+
+class TestRead:
+    def test_noiseless_quantized_read(self, network):
+        sensor = TemperatureSensor(node="cpu", quantization_c=0.1)
+        assert sensor.read(network) == pytest.approx(41.4)
+
+    def test_coarse_quantization(self, network):
+        sensor = TemperatureSensor(node="cpu", quantization_c=1.0)
+        assert sensor.read(network) == pytest.approx(41.0)
+
+    def test_no_quantization(self, network):
+        sensor = TemperatureSensor(node="cpu", quantization_c=0.0)
+        assert sensor.read(network) == pytest.approx(41.37)
+
+    def test_offset(self, network):
+        sensor = TemperatureSensor(node="cpu", quantization_c=0.0, offset_c=2.0)
+        assert sensor.read(network) == pytest.approx(43.37)
+
+    def test_noise_spreads_readings(self, network):
+        rng = np.random.default_rng(5)
+        sensor = TemperatureSensor(
+            node="cpu", quantization_c=0.0, noise_sigma_c=0.5, rng=rng
+        )
+        readings = {sensor.read(network) for _ in range(20)}
+        assert len(readings) > 1
+
+    def test_noise_is_unbiased(self, network):
+        rng = np.random.default_rng(5)
+        sensor = TemperatureSensor(
+            node="cpu", quantization_c=0.0, noise_sigma_c=0.2, rng=rng
+        )
+        mean = sum(sensor.read(network) for _ in range(500)) / 500
+        assert mean == pytest.approx(41.37, abs=0.05)
+
+
+class TestValidation:
+    def test_noise_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            TemperatureSensor(node="cpu", noise_sigma_c=0.1)
+
+    def test_negative_quantization_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TemperatureSensor(node="cpu", quantization_c=-0.1)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TemperatureSensor(node="cpu", noise_sigma_c=-0.1)

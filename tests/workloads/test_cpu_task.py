@@ -1,0 +1,42 @@
+"""Task specifications."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.cpu_task import FixedDurationTask, FixedWorkTask
+
+
+class TestFixedDuration:
+    def test_paper_workload(self):
+        task = FixedDurationTask(duration_s=300.0)
+        assert task.duration_s == 300.0
+        assert task.utilization == 1.0
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedDurationTask(duration_s=0.0)
+
+    def test_zero_utilization_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedDurationTask(duration_s=10.0, utilization=0.0)
+
+    def test_partial_utilization(self):
+        assert FixedDurationTask(duration_s=10.0, utilization=0.5).utilization == 0.5
+
+
+class TestFixedWork:
+    def test_defaults(self):
+        task = FixedWorkTask(iterations=500.0)
+        assert task.timeout_s == 7200.0
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedWorkTask(iterations=0.0)
+
+    def test_zero_timeout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedWorkTask(iterations=10.0, timeout_s=0.0)
+
+    def test_bad_utilization_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedWorkTask(iterations=10.0, utilization=1.5)

@@ -1,0 +1,70 @@
+"""Micro-kernel suite."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.kernels import KERNELS, characterize, kernel
+
+
+class TestSuite:
+    def test_four_kernels(self):
+        assert set(KERNELS) == {
+            "pi_spigot", "alu_mix", "stream_walk", "pointer_chase",
+        }
+
+    def test_lookup(self):
+        assert kernel("alu_mix").name == "alu_mix"
+        with pytest.raises(ConfigurationError):
+            kernel("matmul")
+
+    def test_betas_ordered_by_memory_character(self):
+        assert (
+            KERNELS["pi_spigot"].suggested_beta
+            <= KERNELS["alu_mix"].suggested_beta
+            < KERNELS["stream_walk"].suggested_beta
+            < KERNELS["pointer_chase"].suggested_beta
+        )
+
+    def test_paper_workload_is_cpu_bound(self):
+        assert KERNELS["pi_spigot"].suggested_beta == 0.0
+
+
+class TestKernelsActuallyCompute:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_deterministic(self, name):
+        run = KERNELS[name].run
+        assert run(200) == run(200)
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_size_changes_result_or_work(self, name):
+        run = KERNELS[name].run
+        # Different problem sizes must not alias to identical checksums
+        # (which would hint the kernel ignores its input).
+        assert run(128) != run(257)
+
+    def test_pi_spigot_checksum_is_digit_sum(self):
+        # First five digits 3,1,4,1,5 sum to 14.
+        assert KERNELS["pi_spigot"].run(5) == 14
+
+    def test_pointer_chase_visits_valid_indices(self):
+        result = KERNELS["pointer_chase"].run(64)
+        assert 0 <= result < 64
+
+
+class TestCharacterize:
+    def test_profile_fields(self):
+        profile = characterize("alu_mix", small=300, large=1200)
+        assert profile.name == "alu_mix"
+        assert profile.seconds_per_unit > 0
+        assert 0.3 < profile.scaling_exponent < 3.0
+
+    def test_linear_kernel_scales_linearly(self):
+        profile = characterize("alu_mix", small=2000, large=16000)
+        assert profile.scaling_exponent == pytest.approx(1.0, abs=0.5)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            characterize("alu_mix", small=100, large=100)
+
+    def test_beta_passthrough(self):
+        assert characterize("stream_walk").suggested_beta == 0.45

@@ -1,0 +1,58 @@
+"""The pi-digit workload."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.pi_digits import (
+    PI_FIRST_50_DIGITS,
+    pi_digit_stream,
+    pi_digits,
+    pi_iteration,
+)
+
+
+class TestPiDigits:
+    def test_first_digits_correct(self):
+        assert pi_digits(50) == PI_FIRST_50_DIGITS
+
+    def test_starts_with_3141(self):
+        assert pi_digits(4) == "3141"
+
+    def test_stream_yields_ints(self):
+        stream = pi_digit_stream()
+        first = [next(stream) for _ in range(5)]
+        assert first == [3, 1, 4, 1, 5]
+
+    def test_hundredth_digit(self):
+        # The 100th decimal digit of pi (counting the leading 3) is 7.
+        assert pi_digits(100)[-1] == "7"
+
+    def test_prefix_stability(self):
+        # Longer computations agree with shorter ones on their prefix.
+        assert pi_digits(200).startswith(pi_digits(120))
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pi_digits(0)
+
+
+class TestPiIteration:
+    def test_digest_is_deterministic(self):
+        assert pi_iteration(digit_count=500) == pi_iteration(digit_count=500)
+
+    def test_digest_differs_by_digit_count(self):
+        assert pi_iteration(digit_count=100) != pi_iteration(digit_count=101)
+
+    def test_digest_is_sha256_hex(self):
+        digest = pi_iteration(digit_count=64)
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex
+
+
+@pytest.mark.slow
+class TestFullIteration:
+    def test_paper_sized_iteration(self):
+        # One full benchmark iteration: 4,285 digits.  This is the real
+        # workload a device under test executes.
+        digest = pi_iteration()
+        assert len(digest) == 64
