@@ -1,12 +1,17 @@
 # Convenience targets; all assume the package is installed (see README).
 
-.PHONY: test bench validate calibrate examples all
+.PHONY: test bench bench-fast validate calibrate examples all
 
 test:
 	pytest tests/
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Simulator throughput + parallel speedup only (minutes, not hours);
+# writes BENCH_campaign.json.
+bench-fast:
+	pytest benchmarks/test_perf_campaign.py -q -s
 
 validate:
 	repro-bench validate --scale 0.5 --iterations 2 --no-thermabox

@@ -1,0 +1,137 @@
+"""Campaign throughput: single-device stepping rate and parallel speedup.
+
+Unlike the figure/table benches this one measures the simulator itself:
+
+* ``World.run_for`` steps per second on a loaded device (the hot path
+  behind every experiment), compared against the stepping rate measured
+  at the seed commit, and
+* wall-clock speedup of ``run_model(jobs=4)`` over the serial path —
+  asserted only on machines with at least 4 cores; recorded everywhere.
+
+The seed baselines below were measured on the reference runner with the
+seed checkout's stepping runs interleaved against this checkout's, so
+host-load drift cancels out of the comparison; on other machines the
+absolute floor is meaningless — set ``REPRO_BENCH_SKIP_RATE_ASSERT=1``
+to record rates without asserting against it.
+
+Results land in ``BENCH_campaign.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.config import AccubenchConfig
+from repro.core.runner import CampaignConfig, CampaignRunner
+from repro.device.fleet import PAPER_FLEETS, build_device
+from repro.instruments.monsoon import MonsoonPowerMonitor
+from repro.sim.engine import World
+
+# Steps/sec at the growth seed on the reference runner (best-of-N with
+# the same methodology as `_steps_per_sec` below).
+SEED_STEPS_PER_SEC = {"Nexus 5": 23913.0, "Google Pixel": 22330.0}
+MIN_SPEEDUP_VS_SEED = 1.3
+MIN_PARALLEL_SPEEDUP = 2.5
+PARALLEL_JOBS = 4
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_campaign.json")
+
+WARMUP_SIM_S = 5.0
+TIMED_SIM_S = 60.0
+DT = 0.1
+REPEATS = 5
+
+
+def _loaded_world(model: str) -> World:
+    device = build_device(PAPER_FLEETS[model][0])
+    device.connect_supply(MonsoonPowerMonitor(3.8))
+    world = World(device, dt=DT, trace_decimation=10)
+    device.acquire_wakelock()
+    device.start_load()
+    world.run_for(WARMUP_SIM_S)
+    return world
+
+
+def _steps_per_sec(model: str) -> float:
+    best = 0.0
+    steps = round(TIMED_SIM_S / DT)
+    for _ in range(REPEATS):
+        world = _loaded_world(model)
+        start = time.perf_counter()
+        world.run_for(TIMED_SIM_S)
+        best = max(best, steps / (time.perf_counter() - start))
+    return best
+
+
+def _fleet_wall_time(jobs: int) -> float:
+    # Both workloads of one model: 8 independent work items (4 units x 2
+    # experiments), enough compute per item that pool overhead is noise.
+    config = CampaignConfig(
+        accubench=AccubenchConfig(iterations=3).scaled(0.5), jobs=jobs
+    )
+    runner = CampaignRunner(config)
+    start = time.perf_counter()
+    runner.run_model("Nexus 5")
+    return time.perf_counter() - start
+
+
+def _merge_results(update: dict) -> None:
+    payload = {}
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as fp:
+            payload = json.load(fp)
+    payload.update(update)
+    with open(RESULTS_PATH, "w") as fp:
+        json.dump(payload, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+
+
+@pytest.mark.parametrize("model", sorted(SEED_STEPS_PER_SEC))
+def test_step_rate_vs_seed(model):
+    rate = _steps_per_sec(model)
+    seed_rate = SEED_STEPS_PER_SEC[model]
+    speedup = rate / seed_rate
+    _merge_results(
+        {
+            f"steps_per_sec[{model}]": round(rate, 1),
+            f"steps_per_sec_seed[{model}]": seed_rate,
+            f"speedup_vs_seed[{model}]": round(speedup, 3),
+        }
+    )
+    print(f"\n{model}: {rate:,.0f} steps/s ({speedup:.2f}x over seed)")
+    if os.environ.get("REPRO_BENCH_SKIP_RATE_ASSERT"):
+        pytest.skip("rate floor assertion disabled by environment")
+    assert speedup >= MIN_SPEEDUP_VS_SEED, (
+        f"{model}: {rate:,.0f} steps/s is below "
+        f"{MIN_SPEEDUP_VS_SEED}x the seed's {seed_rate:,.0f}"
+    )
+
+
+def test_parallel_fleet_speedup():
+    serial_s = _fleet_wall_time(jobs=1)
+    parallel_s = _fleet_wall_time(jobs=PARALLEL_JOBS)
+    speedup = serial_s / parallel_s
+    cores = os.cpu_count() or 1
+    _merge_results(
+        {
+            "fleet_serial_s": round(serial_s, 3),
+            f"fleet_jobs{PARALLEL_JOBS}_s": round(parallel_s, 3),
+            "fleet_parallel_speedup": round(speedup, 3),
+            "cpu_count": cores,
+        }
+    )
+    print(
+        f"\nrun_model: serial {serial_s:.2f} s, "
+        f"jobs={PARALLEL_JOBS} {parallel_s:.2f} s ({speedup:.2f}x, "
+        f"{cores} cores)"
+    )
+    if cores < PARALLEL_JOBS:
+        pytest.skip(f"only {cores} cores; speedup recorded, not asserted")
+    assert speedup >= MIN_PARALLEL_SPEEDUP, (
+        f"jobs={PARALLEL_JOBS} speedup {speedup:.2f}x below "
+        f"{MIN_PARALLEL_SPEEDUP}x on a {cores}-core machine"
+    )

@@ -120,6 +120,13 @@ def _add_protocol_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="run in the open room instead of the chamber",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for fleet execution (0 = all cores); "
+        "results are identical to --jobs 1",
+    )
 
 
 def _runner(args: argparse.Namespace) -> CampaignRunner:
@@ -140,6 +147,7 @@ def _runner(args: argparse.Namespace) -> CampaignRunner:
             accubench=protocol,
             use_thermabox=not args.no_thermabox,
             root_seed=args.seed,
+            jobs=getattr(args, "jobs", 1),
         )
     )
 

@@ -1,0 +1,100 @@
+"""Parallel campaign execution.
+
+The study design is embarrassingly parallel one level below the campaign:
+devices never interact, so every (model, unit, workload) triple is an
+independent work item.  Iterations within one unit are *not* independent —
+thermal and mitigation state deliberately carries across the paper's
+back-to-back iterations — so the unit of work is a :class:`DeviceTask`:
+one unit's full iteration batch under one workload.
+
+Determinism
+-----------
+Results are bit-identical to a serial run regardless of worker count:
+
+* Every stochastic element of a device (silicon sampling, sensor noise, OS
+  background activity) draws from a stream derived from
+  ``(root_seed, model, serial, purpose)`` via :func:`repro.rng.derive_stream`
+  — no stream is shared between units, so execution order cannot perturb
+  anything.
+* Devices are fully constructed in the parent process and shipped to
+  workers by pickling, which round-trips generator state, thermal state and
+  numpy buffers exactly.
+* :func:`run_tasks` uses ``ProcessPoolExecutor.map``, which yields results
+  in submission order, so reassembly is stable no matter which worker
+  finishes first.
+
+``jobs == 1`` (or a single task) bypasses the pool entirely and runs
+in-process — that path is byte-for-byte the sequential campaign loop.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.core.experiments import ExperimentSpec
+from repro.core.results import DeviceResult
+from repro.device.phone import Device
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # circular at runtime: runner builds tasks, tasks run a runner
+    from repro.core.runner import CampaignConfig
+
+
+@dataclass(frozen=True)
+class DeviceTask:
+    """One unit's full iteration batch under one workload.
+
+    Attributes
+    ----------
+    device:
+        The unit, fully constructed (its seeded streams included); pickled
+        to the worker, so the caller's instance is never mutated when the
+        task runs in a pool.
+    experiment:
+        The workload to run.
+    config:
+        Campaign configuration the worker's runner is built from.
+    ambient_c / iterations / supply_voltage:
+        Per-call overrides, exactly as accepted by
+        :meth:`repro.core.runner.CampaignRunner.run_device`.
+    """
+
+    device: Device
+    experiment: ExperimentSpec
+    config: "CampaignConfig"
+    ambient_c: Optional[float] = None
+    iterations: Optional[int] = None
+    supply_voltage: Optional[float] = None
+
+
+def execute_device_task(task: DeviceTask) -> DeviceResult:
+    """Run one task to completion (the worker-process entry point)."""
+    from repro.core.runner import CampaignRunner
+
+    runner = CampaignRunner(task.config)
+    return runner.run_device(
+        task.device,
+        task.experiment,
+        ambient_c=task.ambient_c,
+        iterations=task.iterations,
+        supply_voltage=task.supply_voltage,
+    )
+
+
+def run_tasks(tasks: Sequence[DeviceTask], jobs: int) -> List[DeviceResult]:
+    """Execute tasks over ``jobs`` worker processes, preserving task order.
+
+    ``jobs`` must already be resolved to a concrete positive count (the
+    runner maps ``0`` to the machine's core count before calling).  With one
+    job or one task the pool is bypassed and everything runs in-process.
+    """
+    if jobs < 1:
+        raise ConfigurationError("jobs must be at least 1")
+    items = list(tasks)
+    workers = min(jobs, len(items))
+    if workers <= 1:
+        return [execute_device_task(task) for task in items]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(execute_device_task, items))

@@ -10,11 +10,13 @@ target temperature range...").
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import AccubenchConfig
 from repro.core.experiments import ExperimentSpec, fixed_frequency, unconstrained
+from repro.core.parallel import DeviceTask, run_tasks
 from repro.core.protocol import Accubench
 from repro.core.results import DeviceResult, ExperimentResult
 from repro.device.catalog import DeviceSpec
@@ -50,6 +52,11 @@ class CampaignConfig:
         LG G5 lesson, Figure 10).
     root_seed:
         Seed for all stochastic elements.
+    jobs:
+        Worker processes for fleet/study execution: ``1`` (default) runs
+        the classic serial loop, ``N > 1`` fans independent units out over
+        a process pool, ``0`` means "all cores".  Results are identical
+        regardless (see :mod:`repro.core.parallel`).
     """
 
     accubench: AccubenchConfig = field(default_factory=AccubenchConfig)
@@ -58,6 +65,11 @@ class CampaignConfig:
     use_thermabox: bool = True
     monsoon_voltage: Optional[float] = None
     root_seed: int = DEFAULT_ROOT_SEED
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.jobs < 0:
+            raise ConfigurationError("jobs must be non-negative (0 = all cores)")
 
 
 class CampaignRunner:
@@ -119,48 +131,143 @@ class CampaignRunner:
         devices: Optional[Sequence[Device]] = None,
         ambient_c: Optional[float] = None,
         iterations: Optional[int] = None,
+        jobs: Optional[int] = None,
     ) -> ExperimentResult:
-        """Run one experiment across a fleet (the paper's units by default)."""
-        fleet = (
-            list(devices)
-            if devices is not None
-            else paper_fleet(
-                model,
-                root_seed=self.config.root_seed,
-                initial_temp_c=ambient_c if ambient_c is not None else self.config.ambient_c,
-            )
-        )
-        return ExperimentResult(
-            model=model,
-            workload=experiment.name,
-            devices=tuple(
+        """Run one experiment across a fleet (the paper's units by default).
+
+        ``jobs`` overrides :attr:`CampaignConfig.jobs` for this call; units
+        are independent, so any worker count yields identical results.
+        """
+        resolved = self._resolve_jobs(jobs)
+        fleet = self._build_fleet(model, devices, ambient_c)
+        if resolved <= 1 or len(fleet) <= 1:
+            results = tuple(
                 self.run_device(device, experiment, ambient_c, iterations)
                 for device in fleet
-            ),
-        )
+            )
+        else:
+            tasks = [
+                DeviceTask(
+                    device=device,
+                    experiment=experiment,
+                    config=self.config,
+                    ambient_c=ambient_c,
+                    iterations=iterations,
+                )
+                for device in fleet
+            ]
+            results = tuple(run_tasks(tasks, resolved))
+        return ExperimentResult(model=model, workload=experiment.name, devices=results)
 
     def run_model(
-        self, model: str, spec: Optional[DeviceSpec] = None
+        self,
+        model: str,
+        spec: Optional[DeviceSpec] = None,
+        jobs: Optional[int] = None,
     ) -> Tuple[ExperimentResult, ExperimentResult]:
         """Both workloads on one model's paper fleet:
-        (UNCONSTRAINED, FIXED-FREQUENCY)."""
+        (UNCONSTRAINED, FIXED-FREQUENCY).
+
+        The two workloads run on separately built fleets, so with
+        ``jobs > 1`` all units of both workloads share one process pool.
+        """
         from repro.device.catalog import device_spec as lookup
 
         device = spec if spec is not None else lookup(model)
-        performance = self.run_fleet(model, unconstrained())
-        energy = self.run_fleet(model, fixed_frequency(device))
+        performance_spec = unconstrained()
+        energy_spec = fixed_frequency(device)
+        resolved = self._resolve_jobs(jobs)
+        if resolved <= 1:
+            performance = self.run_fleet(model, performance_spec, jobs=1)
+            energy = self.run_fleet(model, energy_spec, jobs=1)
+            return performance, energy
+        plan = [(model, performance_spec), (model, energy_spec)]
+        performance, energy = self._run_experiments(plan, resolved)
         return performance, energy
 
     def run_study(
-        self, models: Optional[Sequence[str]] = None
+        self,
+        models: Optional[Sequence[str]] = None,
+        jobs: Optional[int] = None,
     ) -> Dict[str, Tuple[ExperimentResult, ExperimentResult]]:
-        """The whole Table II study: every model, both workloads."""
-        from repro.device.catalog import DEVICE_NAMES
+        """The whole Table II study: every model, both workloads.
+
+        With ``jobs > 1`` every (model, unit, workload) in the study is one
+        work item in a single process-pool dispatch.
+        """
+        from repro.device.catalog import DEVICE_NAMES, device_spec as lookup
 
         chosen = list(models) if models is not None else list(DEVICE_NAMES)
-        return {model: self.run_model(model) for model in chosen}
+        resolved = self._resolve_jobs(jobs)
+        if resolved <= 1:
+            return {model: self.run_model(model, jobs=1) for model in chosen}
+        plan = []
+        for model in chosen:
+            device = lookup(model)
+            plan.append((model, unconstrained()))
+            plan.append((model, fixed_frequency(device)))
+        experiments = self._run_experiments(plan, resolved)
+        return {
+            model: (experiments[2 * i], experiments[2 * i + 1])
+            for i, model in enumerate(chosen)
+        }
 
     # -- internals --------------------------------------------------------
+
+    def _resolve_jobs(self, jobs: Optional[int]) -> int:
+        """Resolve a per-call override against the config; 0 = all cores."""
+        value = jobs if jobs is not None else self.config.jobs
+        if value < 0:
+            raise ConfigurationError("jobs must be non-negative (0 = all cores)")
+        if value == 0:
+            return os.cpu_count() or 1
+        return value
+
+    def _build_fleet(
+        self,
+        model: str,
+        devices: Optional[Sequence[Device]],
+        ambient_c: Optional[float],
+    ) -> List[Device]:
+        if devices is not None:
+            return list(devices)
+        return paper_fleet(
+            model,
+            root_seed=self.config.root_seed,
+            initial_temp_c=ambient_c if ambient_c is not None else self.config.ambient_c,
+        )
+
+    def _run_experiments(
+        self, plan: Sequence[Tuple[str, ExperimentSpec]], jobs: int
+    ) -> List[ExperimentResult]:
+        """Run several (model, experiment) fleets through one pool dispatch.
+
+        Flattens every fleet into one task list so the pool stays busy across
+        experiment boundaries, then reassembles per-experiment results in
+        plan order.
+        """
+        tasks: List[DeviceTask] = []
+        counts: List[int] = []
+        for model, experiment in plan:
+            fleet = self._build_fleet(model, None, None)
+            counts.append(len(fleet))
+            tasks.extend(
+                DeviceTask(device=device, experiment=experiment, config=self.config)
+                for device in fleet
+            )
+        results = run_tasks(tasks, jobs)
+        experiments: List[ExperimentResult] = []
+        cursor = 0
+        for (model, experiment), count in zip(plan, counts):
+            experiments.append(
+                ExperimentResult(
+                    model=model,
+                    workload=experiment.name,
+                    devices=tuple(results[cursor : cursor + count]),
+                )
+            )
+            cursor += count
+        return experiments
 
     def _environment(
         self, ambient_c: Optional[float]

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.device.battery import Battery
 from repro.device.catalog import DeviceSpec
 from repro.device.display import Display
@@ -88,6 +90,13 @@ class Device:
             bin_index=bin_index,
         )
         self.thermal = spec.thermal.build(initial_temp_c)
+        # Resolve the thermal nodes the step loop touches once; the power
+        # vector is reused every step (non-injected entries stay zero).
+        self._idx_ambient = self.thermal.node_index("ambient")
+        self._idx_cpu, self._idx_case, self._idx_pkg = (
+            self.thermal.injection_indices(("cpu", "case", "pkg"))
+        )
+        self._thermal_power = np.zeros(len(self.thermal.node_names))
         sensor_rng = derive_stream(root_seed, spec.name, serial, "sensor")
         self.sensor = TemperatureSensor(
             node="cpu",
@@ -195,8 +204,12 @@ class Device:
         """Advance the device by ``dt`` seconds under a given ambient."""
         if dt <= 0:
             raise ConfigurationError("dt must be positive")
-        self.thermal.set_temperature("ambient", ambient_c)
-        die_temp = self.thermal.temperature("cpu")
+        thermal = self.thermal
+        soc = self.soc
+        os_state = self.os
+        now_s = self._now_s
+        thermal.set_temperature_at(self._idx_ambient, ambient_c)
+        die_temp = thermal.temperature_at(self._idx_cpu)
         asleep = self.is_asleep
 
         display_w = 0.0
@@ -205,46 +218,43 @@ class Device:
             ops = 0.0
             load_w = self.spec.rails.asleep_w
         else:
-            self.soc.external_ceiling_mhz = self.os.cpu_ceiling_mhz(
+            soc.external_ceiling_mhz = os_state.cpu_ceiling_mhz(
                 self.supply.output_voltage_v
             )
             if self.skin_throttle is not None:
-                self.soc.external_ceiling_steps = self.skin_throttle.update(
-                    self.thermal.temperature("case"), ambient_c, self._now_s
+                soc.external_ceiling_steps = self.skin_throttle.update(
+                    thermal.temperature_at(self._idx_case), ambient_c, now_s
                 )
-            soc_power, ops = self.soc.step(die_temp, self._now_s, dt)
-            ops *= 1.0 - self.os.steal_frac(self._now_s)
+            soc_power, ops = soc.step(die_temp, now_s, dt)
+            ops *= 1.0 - os_state.steal_frac(now_s)
             display_w = self.display.power_w()
             load_w = (
                 soc_power
                 + display_w
                 + self.spec.rails.awake_idle_w
-                + self.os.background_noise_w()
+                + os_state.background_noise_w()
             )
 
         supply_power = self.spec.rails.supply_power_w(load_w)
         current = self.supply.draw(supply_power, dt)
         # CPU power dissipates in the die; the panel heats the front of the
         # case; regulator losses and platform power land on the board (pkg).
-        self.thermal.step(
-            {
-                "cpu": soc_power,
-                "case": display_w,
-                "pkg": supply_power - soc_power - display_w,
-            },
-            dt,
-        )
-        self._now_s += dt
+        power_vec = self._thermal_power
+        power_vec[self._idx_cpu] = soc_power
+        power_vec[self._idx_case] = display_w
+        power_vec[self._idx_pkg] = supply_power - soc_power - display_w
+        thermal.step_vector(power_vec, dt)
+        self._now_s = now_s = now_s + dt
         return StepReport(
-            time_s=self._now_s,
+            time_s=now_s,
             supply_power_w=supply_power,
             soc_power_w=soc_power,
             ops=ops,
             current_a=current,
-            cpu_temp_c=self.thermal.temperature("cpu"),
-            case_temp_c=self.thermal.temperature("case"),
-            frequencies_mhz=self.soc.frequencies_mhz(),
-            online_cores=self.soc.online_cores(),
+            cpu_temp_c=thermal.temperature_at(self._idx_cpu),
+            case_temp_c=thermal.temperature_at(self._idx_case),
+            frequencies_mhz=soc.frequencies_mhz(),
+            online_cores=soc.online_cores(),
             asleep=asleep,
         )
 

@@ -11,6 +11,11 @@
 
 Callers (the ACCUBENCH protocol) use :meth:`run_for` and :meth:`run_until`
 to express phases, and :meth:`set_phase` to annotate the trace.
+
+``run_for`` is the simulator's hot loop — a full campaign is millions of
+steps — so it inlines :meth:`step`'s body with every invariant attribute
+lookup hoisted to a local.  The two must stay behaviourally identical;
+``tests/sim/test_engine.py`` asserts the equivalence.
 """
 
 from __future__ import annotations
@@ -68,6 +73,11 @@ class World:
         self._last_mitigation_steps = 0
         self._last_online = device.soc.online_cores()
         self._phase_name: Optional[str] = None
+        # The big cluster's frequency is the figure-relevant one.  Resolve
+        # its identity once — the first cluster in spec order, matching the
+        # hard-limit hotplug convention in Soc.step — instead of trusting
+        # dict iteration order on every sample.
+        self._big_cluster_name = device.soc.clusters[0].spec.name
 
     @property
     def now(self) -> float:
@@ -124,11 +134,39 @@ class World:
         """Advance the world for a fixed duration."""
         if duration_s <= 0:
             raise SimulationError("duration_s must be positive")
-        steps = round(duration_s / self.clock.dt)
+        clock = self.clock
+        dt = clock.dt
+        steps = round(duration_s / dt)
         if steps < 1:
             raise SimulationError("duration shorter than one clock step")
+        # Inlined step() body with invariant lookups hoisted out of the loop.
+        chamber = self.chamber
+        room_temperature = self.room.temperature
+        device_step = self.device.step
+        record_events = self._record_events
+        record_trace = self._record_trace
+        tick = clock.tick
+        decimation = self._decimation
+        step_count = clock.steps
+        now = clock.now
+        report = self._last_report
         for _ in range(steps):
-            self.step()
+            room_temp = room_temperature(now)
+            if chamber is not None:
+                chamber.step(
+                    room_temp, dt, load_w=report.supply_power_w if report else 0.0
+                )
+                ambient = chamber.air_temp_c
+            else:
+                ambient = room_temp
+            report = device_step(ambient, dt)
+            self.ops_total += report.ops
+            record_events(report)
+            self._last_report = report
+            if step_count % decimation == 0:
+                record_trace(report, ambient)
+            step_count += 1
+            now = tick()
 
     def run_until(
         self,
@@ -156,19 +194,20 @@ class World:
     # -- internals --------------------------------------------------------
 
     def _record_trace(self, report: StepReport, ambient: float) -> None:
-        # The big cluster's frequency is the figure-relevant one.
-        big_freq = next(iter(report.frequencies_mhz.values()))
-        self.trace.record(
+        # Positional fast append; order must match TRACE_CHANNELS.
+        self.trace.append(
             self.now,
-            cpu_temp=report.cpu_temp_c,
-            case_temp=report.case_temp_c,
-            ambient=ambient,
-            power=report.supply_power_w,
-            soc_power=report.soc_power_w,
-            freq=big_freq,
-            online_cores=report.online_cores,
-            throttle_steps=self.device.soc.mitigation.ceiling_steps,
-            asleep=1.0 if report.asleep else 0.0,
+            (
+                report.cpu_temp_c,
+                report.case_temp_c,
+                ambient,
+                report.supply_power_w,
+                report.soc_power_w,
+                report.frequencies_mhz[self._big_cluster_name],
+                report.online_cores,
+                self.device.soc.mitigation.ceiling_steps,
+                1.0 if report.asleep else 0.0,
+            ),
         )
 
     def _record_events(self, report: StepReport) -> None:

@@ -4,6 +4,15 @@ A :class:`Trace` is a set of synchronized named channels sampled on the
 engine grid, plus labelled phase spans.  The paper's time-domain figures
 (4, 5, 11, 12) are direct plots of such traces; its distribution analyses
 (Section IV-B) are histograms over trace windows.
+
+Storage is a single preallocated 2-D float buffer (one row per sample,
+one column per channel plus the implicit time column) grown geometrically
+— an append is two slice assignments, not per-channel list appends.  The
+channel set is validated once at construction; the hot engine path appends
+positionally via :meth:`append`, while :meth:`record` keeps the
+keyword-checked API for protocol code and tests.  ``times()``/``column()``
+hand out cached read-only array views invalidated on append, so repeated
+``window()``/``mean()`` calls no longer re-convert the whole series.
 """
 
 from __future__ import annotations
@@ -14,6 +23,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import AnalysisError, ConfigurationError
+
+#: Starting sample capacity of a trace buffer (doubles as it fills).
+INITIAL_CAPACITY = 512
 
 
 @dataclass(frozen=True)
@@ -41,16 +53,35 @@ class PhaseSpan:
 class Trace:
     """Synchronized named channels plus phase annotations."""
 
-    def __init__(self, channels: Sequence[str]) -> None:
+    __slots__ = (
+        "_channels",
+        "_column_index",
+        "_buffer",
+        "_size",
+        "_views",
+        "_phases",
+        "_open_phase",
+    )
+
+    def __init__(
+        self, channels: Sequence[str], capacity: int = INITIAL_CAPACITY
+    ) -> None:
         if not channels:
             raise ConfigurationError("a trace needs at least one channel")
         if len(set(channels)) != len(channels):
             raise ConfigurationError("channel names must be unique")
         if "time" in channels:
             raise ConfigurationError("'time' is implicit; do not declare it")
+        if capacity < 1:
+            raise ConfigurationError("capacity must be at least 1")
         self._channels: Tuple[str, ...] = tuple(channels)
-        self._times: List[float] = []
-        self._data: Dict[str, List[float]] = {name: [] for name in channels}
+        # Column 0 holds time; declared channels follow in order.
+        self._column_index: Dict[str, int] = {
+            name: column + 1 for column, name in enumerate(self._channels)
+        }
+        self._buffer = np.empty((capacity, len(self._channels) + 1))
+        self._size = 0
+        self._views: Dict[int, np.ndarray] = {}
         self._phases: List[PhaseSpan] = []
         self._open_phase: Optional[Tuple[str, float]] = None
 
@@ -60,36 +91,61 @@ class Trace:
         return self._channels
 
     def __len__(self) -> int:
-        return len(self._times)
+        return self._size
+
+    def append(self, time_s: float, values: Sequence[float]) -> None:
+        """Append one sample positionally: ``values`` ordered as ``channels``.
+
+        The engine's fast path — no keyword packing, no per-call channel-set
+        arithmetic.  ``values`` must carry exactly one entry per declared
+        channel, in declaration order.
+        """
+        buffer = self._buffer
+        size = self._size
+        if size == buffer.shape[0]:
+            buffer = self._grow()
+        if size and time_s < buffer[size - 1, 0]:
+            raise ConfigurationError("samples must be appended in time order")
+        row = buffer[size]
+        row[0] = time_s
+        row[1:] = values
+        self._size = size + 1
+        if self._views:
+            self._views.clear()
 
     def record(self, time_s: float, **values: float) -> None:
         """Append one sample; every declared channel must be provided."""
-        missing = set(self._channels) - set(values)
-        extra = set(values) - set(self._channels)
-        if missing or extra:
+        channels = self._channels
+        try:
+            ordered = [values[name] for name in channels]
+        except KeyError:
+            missing = sorted(set(channels) - set(values))
+            extra = sorted(set(values) - set(channels))
             raise ConfigurationError(
-                f"record() mismatch; missing={sorted(missing)} extra={sorted(extra)}"
+                f"record() mismatch; missing={missing} extra={extra}"
+            ) from None
+        if len(values) != len(channels):
+            extra = sorted(set(values) - set(channels))
+            raise ConfigurationError(
+                f"record() mismatch; missing=[] extra={extra}"
             )
-        if self._times and time_s < self._times[-1]:
-            raise ConfigurationError("samples must be appended in time order")
-        self._times.append(time_s)
-        for name, value in values.items():
-            self._data[name].append(float(value))
+        self.append(time_s, ordered)
 
     def times(self) -> np.ndarray:
-        """Sample times, seconds."""
-        return np.asarray(self._times)
+        """Sample times, seconds (read-only view)."""
+        return self._column_view(0)
 
     def column(self, name: str) -> np.ndarray:
-        """One channel as an array."""
+        """One channel as an array (read-only view)."""
         if name == "time":
-            return self.times()
+            return self._column_view(0)
         try:
-            return np.asarray(self._data[name])
+            index = self._column_index[name]
         except KeyError:
             raise AnalysisError(
                 f"unknown channel {name!r}; channels: {', '.join(self._channels)}"
             ) from None
+        return self._column_view(index)
 
     # -- phases ---------------------------------------------------------
 
@@ -159,14 +215,20 @@ class Trace:
     def time_above(self, channel: str, threshold: float) -> float:
         """Total time a channel spends at or above a threshold, seconds.
 
-        Section IV-B's "time spent at temperature" metric.  Assumes the
-        uniform engine sampling grid.
+        Section IV-B's "time spent at temperature" metric.  Each sample
+        owns the interval up to the next sample (the last sample reuses the
+        preceding spacing), so phase gaps and non-uniform decimation are
+        weighted by the actual timestamps instead of assuming the spacing
+        of the first two samples holds throughout.
         """
         times = self.times()
         if times.size < 2:
             return 0.0
-        dt = float(times[1] - times[0])
-        return float((self.column(channel) >= threshold).sum()) * dt
+        deltas = np.empty(times.size)
+        np.subtract(times[1:], times[:-1], out=deltas[:-1])
+        deltas[-1] = deltas[-2]
+        above = self.column(channel) >= threshold
+        return float(deltas[above].sum())
 
     def histogram(
         self, channel: str, bins: int = 20
@@ -176,3 +238,19 @@ class Trace:
         if column.size == 0:
             raise AnalysisError("trace is empty")
         return np.histogram(column, bins=bins)
+
+    # -- internals ------------------------------------------------------
+
+    def _column_view(self, index: int) -> np.ndarray:
+        view = self._views.get(index)
+        if view is None:
+            view = self._buffer[: self._size, index]
+            view.setflags(write=False)
+            self._views[index] = view
+        return view
+
+    def _grow(self) -> np.ndarray:
+        grown = np.empty((self._buffer.shape[0] * 2, self._buffer.shape[1]))
+        grown[: self._size] = self._buffer[: self._size]
+        self._buffer = grown
+        return grown

@@ -19,6 +19,7 @@ from repro.silicon.transistor import SiliconProfile
 from repro.silicon.vf_tables import VoltageFrequencyTable
 from repro.soc.core import CoreState
 from repro.soc.perf import ops_rate
+from repro.units import mhz_to_hz
 
 
 @dataclass(frozen=True)
@@ -91,8 +92,14 @@ class ClusterSpec:
 
     def nearest_freq_mhz(self, freq_mhz: float) -> float:
         """The highest ladder frequency not above ``freq_mhz`` (or the bottom)."""
-        candidates = [f for f in self.freq_table_mhz if f <= freq_mhz]
-        return candidates[-1] if candidates else self.freq_table_mhz[0]
+        # Called every governor poll; the ladder is strictly increasing, so
+        # walk it and stop at the first rung above the target.
+        best = None
+        for candidate in self.freq_table_mhz:
+            if candidate > freq_mhz:
+                break
+            best = candidate
+        return best if best is not None else self.freq_table_mhz[0]
 
 
 class ClusterState:
@@ -129,14 +136,23 @@ class ClusterState:
             leak_ref_w=spec.leak_ref_w,
             ref_voltage=spec.leak_ref_voltage_v,
         )
+        # Table voltage per ladder frequency, filled lazily (the table scan
+        # would otherwise run every power computation).
+        self._table_voltage_cache: dict = {}
 
     @property
     def online_count(self) -> int:
         """Number of hotplugged-in cores."""
-        return sum(1 for core in self.cores if core.online)
+        count = 0
+        for core in self.cores:
+            if core.online:
+                count += 1
+        return count
 
     def set_frequency(self, freq_mhz: float) -> None:
         """Set the shared cluster clock to an exact ladder frequency."""
+        if freq_mhz == self.freq_mhz:
+            return  # already validated when it was first set
         self.spec.freq_index(freq_mhz)  # validates membership
         self.freq_mhz = freq_mhz
 
@@ -178,7 +194,11 @@ class ClusterState:
 
     def voltage_v(self) -> float:
         """Current rail voltage: binned table voltage plus any adjustment."""
-        table_v = self.spec.vf_table.voltage_v(self.bin_index, self.freq_mhz)
+        freq = self.freq_mhz
+        table_v = self._table_voltage_cache.get(freq)
+        if table_v is None:
+            table_v = self.spec.vf_table.voltage_v(self.bin_index, freq)
+            self._table_voltage_cache[freq] = table_v
         voltage = table_v + self.voltage_adjust_v
         if voltage <= 0:
             raise ConfigurationError("voltage adjustment drove rail non-positive")
@@ -192,15 +212,18 @@ class ClusterState:
         """
         voltage = self.voltage_v()
         cpu_share = self._cpu_time_share()
-        dynamic = sum(
-            self._dynamic.power(
-                voltage, self.freq_mhz, core.active_utilization * cpu_share
-            )
-            for core in self.cores
-        )
+        # Per-core dynamic power is `base * activity` with the base invariant
+        # across cores; keep the per-core product and summation order of the
+        # straightforward formulation so results stay bit-identical.
+        base = self._dynamic.c_eff_f * voltage * voltage * mhz_to_hz(self.freq_mhz)
+        dynamic = 0.0
+        online = 0
+        for core in self.cores:
+            if core.online:
+                dynamic += base * (core.utilization * cpu_share)
+                online += 1
         leak_per_core = self._leakage.power(self.profile, voltage, die_temp_c)
-        leakage = leak_per_core * self.online_count
-        return dynamic + leakage
+        return dynamic + leak_per_core * online
 
     def leakage_w(self, die_temp_c: float) -> float:
         """Leakage-only power at the current operating point, watts."""
@@ -220,4 +243,8 @@ class ClusterState:
             top_rate = ops_rate(self.spec.max_freq_mhz, self.spec.ipc)
             mem_time = (beta / (1.0 - beta)) / top_rate
             per_core = 1.0 / (1.0 / per_core + mem_time)
-        return sum(per_core * core.active_utilization for core in self.cores)
+        total = 0.0
+        for core in self.cores:
+            if core.online:
+                total += per_core * core.utilization
+        return total

@@ -99,35 +99,53 @@ class Soc:
         """
         if dt <= 0:
             raise ConfigurationError("dt must be positive")
-        self.mitigation = self.throttle.update(die_temp_c, now_s)
+        mitigation = self.throttle.update(die_temp_c, now_s)
+        self.mitigation = mitigation
 
+        total_steps = mitigation.ceiling_steps + self.external_ceiling_steps
+        external_mhz = self.external_ceiling_mhz
+        governors = self._governors
+        # RBCPR's adjustment depends only on die temperature and silicon,
+        # so one evaluation serves every cluster this step.
+        adjust = (
+            self.rbcpr.voltage_adjust_v(self.profile, die_temp_c)
+            if self.rbcpr is not None
+            else None
+        )
         for cluster in self.clusters:
-            ladder = cluster.spec.freq_table_mhz
-            total_steps = self.mitigation.ceiling_steps + self.external_ceiling_steps
-            ceiling_index = max(0, len(ladder) - 1 - total_steps)
+            spec = cluster.spec
+            ladder = spec.freq_table_mhz
+            ceiling_index = len(ladder) - 1 - total_steps
+            if ceiling_index < 0:
+                ceiling_index = 0
             ceiling_mhz = ladder[ceiling_index]
-            if self.external_ceiling_mhz is not None:
-                ceiling_mhz = min(ceiling_mhz, self.external_ceiling_mhz)
-            governor = self._governors[cluster.spec.name]
-            mean_util = sum(c.utilization for c in cluster.cores) / len(cluster.cores)
+            if external_mhz is not None and external_mhz < ceiling_mhz:
+                ceiling_mhz = external_mhz
+            cores = cluster.cores
+            total_util = 0.0
+            for core in cores:
+                total_util += core.utilization
             cluster.set_frequency(
-                governor.target_frequency(cluster.spec, mean_util, ceiling_mhz)
-            )
-            if self.rbcpr is not None:
-                cluster.voltage_adjust_v = self.rbcpr.voltage_adjust_v(
-                    self.profile, die_temp_c
+                governors[spec.name].target_frequency(
+                    spec, total_util / len(cores), ceiling_mhz
                 )
+            )
+            if adjust is not None:
+                cluster.voltage_adjust_v = adjust
 
         # Hard-limit hotplug applies to the big (first) cluster, matching
         # the Nexus 5 behaviour of dropping one Krait core at 80 °C.
         big = self.clusters[0]
         big.set_online_count(
-            max(0, big.spec.core_count - self.mitigation.offline_cores)
+            max(0, big.spec.core_count - mitigation.offline_cores)
         )
 
-        power_w = sum(cluster.power_w(die_temp_c) for cluster in self.clusters)
-        ops = sum(cluster.ops_per_second() for cluster in self.clusters) * dt
-        return power_w, ops
+        power_w = 0.0
+        ops_rate_total = 0.0
+        for cluster in self.clusters:
+            power_w += cluster.power_w(die_temp_c)
+            ops_rate_total += cluster.ops_per_second()
+        return power_w, ops_rate_total * dt
 
     def leakage_w(self, die_temp_c: float) -> float:
         """Leakage power at the current operating point, watts."""

@@ -125,6 +125,10 @@ class ThermalNetwork:
             for name, temp in initial_temps_c.items():
                 self.set_temperature(name, temp)
 
+        self._power_scratch = np.zeros(size)
+        self._rate_scratch = np.empty(size)
+        self._inflow_scratch = np.empty(size)
+
         finite = ~self._boundary
         with np.errstate(divide="ignore"):
             rates = np.where(
@@ -148,6 +152,18 @@ class ThermalNetwork:
         """Current temperature of a node, °C."""
         return float(self._temps[self._node_index(name)])
 
+    def node_index(self, name: str) -> int:
+        """Stable index of a node, for the ``*_at`` fast-path accessors."""
+        return self._node_index(name)
+
+    def temperature_at(self, index: int) -> float:
+        """Current temperature of the node at ``index``, °C."""
+        return float(self._temps[index])
+
+    def set_temperature_at(self, index: int, temp_c: float) -> None:
+        """Force the temperature of the node at ``index`` (fast path)."""
+        self._temps[index] = temp_c
+
     def temperatures(self) -> Dict[str, float]:
         """Snapshot of all node temperatures, °C."""
         return {node.name: float(t) for node, t in zip(self._nodes, self._temps)}
@@ -168,7 +184,8 @@ class ThermalNetwork:
         """
         if dt <= 0:
             raise SimulationError("dt must be positive")
-        power = np.zeros(len(self._nodes))
+        power = self._power_scratch
+        power[:] = 0.0
         for name, watts in powers_w.items():
             index = self._node_index(name)
             if self._boundary[index]:
@@ -178,9 +195,41 @@ class ThermalNetwork:
             power[index] = watts
         self._integrator.advance(self._derivative, self._temps, power, dt)
 
+    def injection_indices(self, names: Iterable[str]) -> Tuple[int, ...]:
+        """Validated node indices for repeated injection via :meth:`step_vector`.
+
+        Resolves names and rejects boundary nodes once, so per-step callers
+        can skip both checks.
+        """
+        indices = tuple(self._node_index(name) for name in names)
+        for name, index in zip(names, indices):
+            if self._boundary[index]:
+                raise SimulationError(
+                    f"cannot inject power into boundary node {name!r}"
+                )
+        return indices
+
+    def step_vector(self, power_w: np.ndarray, dt: float) -> None:
+        """Advance ``dt`` seconds with a full-size injected-power vector.
+
+        The hot-loop variant of :meth:`step`: ``power_w`` is indexed by node
+        (see :meth:`injection_indices`) and must be zero at boundary nodes.
+        No per-call name resolution or allocation.
+        """
+        if dt <= 0:
+            raise SimulationError("dt must be positive")
+        self._integrator.advance(self._derivative, self._temps, power_w, dt)
+
     def _derivative(self, temps: np.ndarray, power: np.ndarray) -> np.ndarray:
-        inflow = self._conductance @ temps - self._row_conductance * temps
-        rate = (power + inflow) / self._capacity
+        # Same arithmetic as `(power + (G@T - rowG*T)) / C`, evaluated into
+        # scratch buffers to keep the per-step path allocation-free.
+        rate = self._rate_scratch
+        inflow = self._inflow_scratch
+        np.matmul(self._conductance, temps, out=rate)
+        np.multiply(self._row_conductance, temps, out=inflow)
+        np.subtract(rate, inflow, out=rate)
+        np.add(power, rate, out=rate)
+        np.divide(rate, self._capacity, out=rate)
         rate[self._boundary] = 0.0
         return rate
 

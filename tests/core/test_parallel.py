@@ -1,0 +1,130 @@
+"""Parallel campaign execution: determinism and plumbing.
+
+The contract under test (see :mod:`repro.core.parallel`) is that the
+worker count is invisible in the results: any ``jobs`` value yields
+byte-identical output to the serial path.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import AccubenchConfig
+from repro.core.experiments import unconstrained
+from repro.core.parallel import DeviceTask, run_tasks
+from repro.core.runner import CampaignConfig, CampaignRunner
+from repro.core.serialize import experiment_to_dict
+from repro.device.fleet import synthetic_fleet
+from repro.errors import ConfigurationError
+
+MODEL = "Nexus 5"
+
+
+def tiny_config(jobs: int = 1) -> CampaignConfig:
+    return CampaignConfig(accubench=AccubenchConfig().scaled(0.05), jobs=jobs)
+
+
+def fleet_digest(result) -> str:
+    return json.dumps(experiment_to_dict(result), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def serial_fleet_digest() -> str:
+    runner = CampaignRunner(tiny_config())
+    result = runner.run_fleet(MODEL, unconstrained(), iterations=2, jobs=1)
+    return fleet_digest(result)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_fleet_identical_across_worker_counts(self, serial_fleet_digest, jobs):
+        runner = CampaignRunner(tiny_config())
+        result = runner.run_fleet(MODEL, unconstrained(), iterations=2, jobs=jobs)
+        assert fleet_digest(result) == serial_fleet_digest
+
+    def test_config_jobs_drives_fleet(self, serial_fleet_digest):
+        runner = CampaignRunner(tiny_config(jobs=2))
+        result = runner.run_fleet(MODEL, unconstrained(), iterations=2)
+        assert fleet_digest(result) == serial_fleet_digest
+
+    def test_caller_devices_identical_across_worker_counts(self):
+        digests = []
+        for jobs in (1, 3):
+            runner = CampaignRunner(tiny_config())
+            fleet = synthetic_fleet(MODEL, count=3, root_seed=99)
+            result = runner.run_fleet(
+                MODEL, unconstrained(), devices=fleet, iterations=2, jobs=jobs
+            )
+            digests.append(fleet_digest(result))
+        assert digests[0] == digests[1]
+
+    def test_synthetic_profiles_independent_of_build_order(self):
+        # Per-unit derived streams: the sampled silicon of unit k does not
+        # depend on how many units are built or in what order.
+        few = synthetic_fleet(MODEL, count=2, root_seed=7)
+        many = synthetic_fleet(MODEL, count=5, root_seed=7)
+        for a, b in zip(few, many):
+            assert a.serial == b.serial
+            assert a.profile == b.profile
+
+    def test_run_model_parallel_matches_serial(self):
+        runner = CampaignRunner(tiny_config())
+        serial = runner.run_model(MODEL, jobs=1)
+        parallel = runner.run_model(MODEL, jobs=2)
+        for s, p in zip(serial, parallel):
+            assert fleet_digest(s) == fleet_digest(p)
+
+    def test_run_study_parallel_matches_serial(self):
+        runner = CampaignRunner(tiny_config())
+        serial = runner.run_study(models=[MODEL], jobs=1)
+        parallel = runner.run_study(models=[MODEL], jobs=2)
+        assert list(serial) == list(parallel)
+        for model in serial:
+            for s, p in zip(serial[model], parallel[model]):
+                assert fleet_digest(s) == fleet_digest(p)
+
+
+class TestPlumbing:
+    def test_negative_jobs_rejected_in_config(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(jobs=-1)
+
+    def test_negative_jobs_rejected_per_call(self):
+        runner = CampaignRunner(tiny_config())
+        with pytest.raises(ConfigurationError):
+            runner.run_fleet(MODEL, unconstrained(), jobs=-2)
+
+    def test_jobs_zero_means_all_cores(self):
+        runner = CampaignRunner(tiny_config())
+        assert runner._resolve_jobs(0) >= 1
+
+    def test_run_tasks_requires_positive_jobs(self):
+        with pytest.raises(ConfigurationError):
+            run_tasks([], jobs=0)
+
+    def test_serial_path_mutates_caller_devices(self):
+        # jobs=1 bypasses the pool: the caller's device objects are the
+        # ones that ran, exactly as in the historical serial loop.
+        runner = CampaignRunner(tiny_config())
+        fleet = synthetic_fleet(MODEL, count=1, root_seed=5)
+        runner.run_fleet(MODEL, unconstrained(), devices=fleet, iterations=1, jobs=1)
+        assert fleet[0].now_s > 0.0
+
+    def test_pool_path_leaves_caller_devices_untouched(self):
+        runner = CampaignRunner(tiny_config())
+        fleet = synthetic_fleet(MODEL, count=2, root_seed=5)
+        runner.run_fleet(MODEL, unconstrained(), devices=fleet, iterations=1, jobs=2)
+        assert all(device.now_s == 0.0 for device in fleet)
+
+    def test_device_task_runs_standalone(self):
+        config = tiny_config()
+        fleet = synthetic_fleet(MODEL, count=1, root_seed=5)
+        task = DeviceTask(
+            device=fleet[0],
+            experiment=unconstrained(),
+            config=config,
+            iterations=1,
+        )
+        (result,) = run_tasks([task], jobs=1)
+        assert result.model == MODEL
+        assert len(result.iterations) == 1

@@ -1,5 +1,6 @@
 """The world stepper."""
 
+import numpy as np
 import pytest
 
 from repro.device.fleet import PAPER_FLEETS, build_device
@@ -57,6 +58,23 @@ class TestStepping:
     def test_duration_shorter_than_step_rejected(self):
         with pytest.raises(SimulationError):
             make_world(dt=1.0).run_for(0.2)
+
+    def test_run_for_matches_repeated_step(self):
+        # run_for inlines the step() body for speed; the two paths must
+        # stay bit-identical.
+        fast = make_world(chamber=Thermabox(initial_temp_c=26.0))
+        slow = make_world(chamber=Thermabox(initial_temp_c=26.0))
+        for world in (fast, slow):
+            world.device.acquire_wakelock()
+            world.device.start_load()
+        fast.run_for(5.0)
+        for _ in range(50):
+            slow.step()
+        assert fast.now == slow.now
+        assert fast.ops_total == slow.ops_total
+        assert len(fast.trace) == len(slow.trace)
+        for channel in ("time", "cpu_temp", "power", "freq", "online_cores"):
+            assert np.array_equal(fast.trace.column(channel), slow.trace.column(channel))
 
 
 class TestAmbientCoupling:

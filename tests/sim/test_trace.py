@@ -43,6 +43,32 @@ class TestRecording:
         with pytest.raises(ConfigurationError):
             t.record(0.5, temp=1.0)
 
+    def test_append_positional(self):
+        t = Trace(["a", "b"])
+        t.append(0.5, (1.0, 2.0))
+        assert t.column("a")[0] == 1.0
+        assert t.column("b")[0] == 2.0
+
+    def test_growth_beyond_initial_capacity(self):
+        t = Trace(["temp"])
+        for i in range(2000):
+            t.record(float(i), temp=float(i))
+        assert len(t) == 2000
+        assert t.column("temp")[-1] == 1999.0
+        assert t.times()[0] == 0.0
+
+    def test_views_refresh_after_append(self, trace):
+        before = trace.column("temp")
+        trace.record(10.0, temp=99.0, freq=2165.0)
+        after = trace.column("temp")
+        assert len(before) == 10
+        assert len(after) == 11
+        assert after[-1] == 99.0
+
+    def test_views_read_only(self, trace):
+        with pytest.raises((ValueError, TypeError)):
+            trace.column("temp")[0] = 0.0
+
     def test_unknown_column_rejected(self, trace):
         with pytest.raises(AnalysisError):
             trace.column("power")
@@ -119,6 +145,22 @@ class TestSummaries:
     def test_time_above(self, trace):
         # Samples at 1 s spacing; temps 30..39, threshold 35 -> 5 samples.
         assert trace.time_above("temp", 35.0) == pytest.approx(5.0)
+
+    def test_time_above_non_uniform_spacing(self):
+        # Each sample owns the interval to its successor (the last reuses
+        # the preceding spacing): 5 + 1 + 1 = 7 s hot, not 3 samples
+        # times the first interval's width.
+        t = Trace(["temp"])
+        for time_s, temp in [(0.0, 40.0), (5.0, 40.0), (6.0, 40.0), (7.0, 10.0)]:
+            t.record(time_s, temp=temp)
+        assert t.time_above("temp", 35.0) == pytest.approx(7.0)
+
+    def test_time_above_gap_not_attributed_to_late_sample(self):
+        # A long quiet gap before a hot sample must not be counted as hot.
+        t = Trace(["temp"])
+        for time_s, temp in [(0.0, 10.0), (100.0, 10.0), (101.0, 40.0), (102.0, 10.0)]:
+            t.record(time_s, temp=temp)
+        assert t.time_above("temp", 35.0) == pytest.approx(1.0)
 
     def test_histogram(self, trace):
         counts, edges = trace.histogram("temp", bins=5)
