@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.core.config import AccubenchConfig
@@ -127,21 +128,25 @@ def _add_protocol_args(parser: argparse.ArgumentParser) -> None:
         help="worker processes for fleet execution (0 = all cores); "
         "results are identical to --jobs 1",
     )
+    parser.add_argument(
+        "--solver",
+        choices=("euler", "expm"),
+        default="euler",
+        help="thermal solver: sub-stepped explicit Euler, or the exact "
+        "matrix-exponential propagator (enables the cooldown sleep "
+        "fast-forward)",
+    )
 
 
 def _runner(args: argparse.Namespace) -> CampaignRunner:
     protocol = AccubenchConfig().scaled(args.scale)
+    overrides = {}
     if args.iterations is not None:
-        protocol = AccubenchConfig(
-            warmup_s=protocol.warmup_s,
-            workload_s=protocol.workload_s,
-            cooldown_target_c=protocol.cooldown_target_c,
-            cooldown_poll_s=protocol.cooldown_poll_s,
-            cooldown_timeout_s=protocol.cooldown_timeout_s,
-            iterations=args.iterations,
-            dt=protocol.dt,
-            trace_decimation=protocol.trace_decimation,
-        )
+        overrides["iterations"] = args.iterations
+    if getattr(args, "solver", None):
+        overrides["thermal_solver"] = args.solver
+    if overrides:
+        protocol = replace(protocol, **overrides)
     return CampaignRunner(
         CampaignConfig(
             accubench=protocol,

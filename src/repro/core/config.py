@@ -40,6 +40,16 @@ class AccubenchConfig:
     keep_traces:
         Whether iteration results retain their full traces (the
         distribution figures need them; big campaigns may drop them).
+    thermal_solver:
+        Chassis-network integration scheme: ``"euler"`` (sub-stepped
+        explicit Euler, the historical default) or ``"expm"`` (exact
+        zero-order-hold matrix-exponential propagation; unconditionally
+        stable and required for the sleep fast-forward).
+    sleep_fast_forward:
+        Whether the cooldown/soak phases may advance whole poll windows
+        as single exact propagations while the device sleeps.  Only takes
+        effect with ``thermal_solver="expm"``; results agree with full
+        stepping within the sensor's resolution.
     """
 
     warmup_s: float = minutes(3)
@@ -51,8 +61,15 @@ class AccubenchConfig:
     dt: float = 0.1
     trace_decimation: int = 10
     keep_traces: bool = False
+    thermal_solver: str = "euler"
+    sleep_fast_forward: bool = True
 
     def __post_init__(self) -> None:
+        if self.thermal_solver not in ("euler", "expm"):
+            raise ConfigurationError(
+                f"unknown thermal_solver {self.thermal_solver!r}; "
+                "choose 'euler' or 'expm'"
+            )
         if self.warmup_s <= 0 or self.workload_s <= 0:
             raise ConfigurationError("phase durations must be positive")
         if self.cooldown_poll_s <= 0 or self.cooldown_timeout_s <= 0:

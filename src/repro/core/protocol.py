@@ -67,6 +67,7 @@ class Accubench:
             chamber=chamber,
             dt=config.dt,
             trace_decimation=config.trace_decimation,
+            sleep_fast_forward=config.sleep_fast_forward,
         )
 
         self._configure_frequency(device, experiment)
@@ -149,6 +150,7 @@ class Accubench:
             chamber=chamber,
             dt=config.dt,
             trace_decimation=config.trace_decimation,
+            sleep_fast_forward=config.sleep_fast_forward,
         )
         if fixed_freq_mhz is None:
             device.unconstrain_frequency()

@@ -40,8 +40,15 @@ class ThermalSpec:
     r_battery_case: float
     r_case_ambient: float
 
-    def build(self, initial_temp_c: float = 25.0) -> ThermalNetwork:
-        """Instantiate the chassis network at a uniform temperature."""
+    def build(
+        self, initial_temp_c: float = 25.0, solver: str = "euler"
+    ) -> ThermalNetwork:
+        """Instantiate the chassis network at a uniform temperature.
+
+        ``solver`` selects the integration scheme — sub-stepped explicit
+        Euler or the exact ``expm`` propagator (see
+        :mod:`repro.thermal.propagator`).
+        """
         return ThermalNetwork(
             nodes=[
                 ThermalNode("cpu", self.cpu_capacity),
@@ -58,6 +65,7 @@ class ThermalSpec:
                 ThermalLink("case", "ambient", self.r_case_ambient),
             ],
             initial_temp_c=initial_temp_c,
+            solver=solver,
         )
 
 

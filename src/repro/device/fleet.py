@@ -123,6 +123,7 @@ def build_device(
     root_seed: int = DEFAULT_ROOT_SEED,
     initial_temp_c: float = 25.0,
     spec: Optional[DeviceSpec] = None,
+    thermal_solver: str = "euler",
 ) -> Device:
     """Instantiate one fleet unit as a runnable :class:`Device`."""
     if spec is None:
@@ -135,6 +136,7 @@ def build_device(
         supply=supply,
         root_seed=root_seed,
         initial_temp_c=initial_temp_c,
+        thermal_solver=thermal_solver,
     )
 
 
@@ -142,6 +144,7 @@ def paper_fleet(
     model: str,
     root_seed: int = DEFAULT_ROOT_SEED,
     initial_temp_c: float = 25.0,
+    thermal_solver: str = "euler",
 ) -> List[Device]:
     """The paper's units of one model, as runnable devices.
 
@@ -155,7 +158,12 @@ def paper_fleet(
             "fleet", model, tuple(PAPER_FLEETS)
         ) from None
     return [
-        build_device(unit, root_seed=root_seed, initial_temp_c=initial_temp_c)
+        build_device(
+            unit,
+            root_seed=root_seed,
+            initial_temp_c=initial_temp_c,
+            thermal_solver=thermal_solver,
+        )
         for unit in units
     ]
 
@@ -166,6 +174,7 @@ def synthetic_fleet(
     lot_name: str = "synthetic",
     root_seed: int = DEFAULT_ROOT_SEED,
     initial_temp_c: float = 25.0,
+    thermal_solver: str = "euler",
 ) -> List[Device]:
     """Sample ``count`` units of a model from the manufacturing lottery.
 
@@ -190,6 +199,7 @@ def synthetic_fleet(
                 bin_index=bin_index,
                 root_seed=root_seed,
                 initial_temp_c=initial_temp_c,
+                thermal_solver=thermal_solver,
             )
         )
     return devices

@@ -78,6 +78,7 @@ class Device:
         supply: Optional[PowerSupply] = None,
         root_seed: int = DEFAULT_ROOT_SEED,
         initial_temp_c: float = 25.0,
+        thermal_solver: str = "euler",
     ) -> None:
         self.spec = spec
         self.serial = serial
@@ -89,7 +90,7 @@ class Device:
             throttle=spec.throttle.build(),
             bin_index=bin_index,
         )
-        self.thermal = spec.thermal.build(initial_temp_c)
+        self.thermal = spec.thermal.build(initial_temp_c, solver=thermal_solver)
         # Resolve the thermal nodes the step loop touches once; the power
         # vector is reused every step (non-injected entries stay zero).
         self._idx_ambient = self.thermal.node_index("ambient")

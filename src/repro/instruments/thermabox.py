@@ -14,6 +14,7 @@ destroys it, so every real build rate-limits it).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -150,6 +151,26 @@ class Thermabox:
             waited += dt
             settled_for = settled_for + dt if self.is_within_band() else 0.0
         return waited
+
+    def run_for(
+        self, room_temp_c: float, duration_s: float, load_w: float = 0.0
+    ) -> None:
+        """Advance the chamber by ``duration_s`` in controller-period chunks.
+
+        The macro-step companion to :meth:`step`: the engine's sleep
+        fast-forward covers a whole poll window at once, but the RaspberryPi
+        still wakes every ``controller_period_s`` — so the window is split
+        into even chunks no longer than one controller period, preserving
+        the control cadence (and the probe's per-decision noise draws)
+        exactly.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        period = self.config.controller_period_s
+        chunks = max(1, math.ceil(duration_s / period - 1e-9))
+        h = duration_s / chunks
+        for _ in range(chunks):
+            self.step(room_temp_c, h, load_w=load_w)
 
     def step(self, room_temp_c: float, dt: float, load_w: float = 0.0) -> None:
         """Advance the chamber by ``dt`` seconds.

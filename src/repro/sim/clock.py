@@ -39,3 +39,11 @@ class SimClock:
         """Advance one step and return the new time."""
         self._steps += 1
         return self.now
+
+    def advance(self, steps: int) -> float:
+        """Advance many steps at once (macro-step fast-forward); returns
+        the new time."""
+        if steps < 1:
+            raise ConfigurationError("steps must be at least 1")
+        self._steps += steps
+        return self.now

@@ -55,6 +55,7 @@ class World:
         chamber: Optional[Thermabox] = None,
         dt: float = 0.1,
         trace_decimation: int = 5,
+        sleep_fast_forward: bool = True,
     ) -> None:
         if trace_decimation < 1:
             raise SimulationError("trace_decimation must be at least 1")
@@ -67,6 +68,9 @@ class World:
         self.trace = Trace(TRACE_CHANNELS)
         self.events = EventLog()
         self._decimation = trace_decimation
+        self._sleep_fast_forward = sleep_fast_forward
+        #: Poll windows advanced as single exact propagations so far.
+        self.fast_forwards = 0
         #: Total work retired since world creation, ops.
         self.ops_total = 0.0
         self._last_report: Optional[StepReport] = None
@@ -178,9 +182,19 @@ class World:
 
         Returns the elapsed time.  Raises :class:`SimulationError` on
         timeout — a stuck cooldown is an experiment failure, not a hang.
+
+        While the device sleeps (cooldown, soak) and its thermal network
+        uses the exact ``expm`` solver, each ``check_every_s`` window is
+        advanced as a *single* zero-order-hold propagation instead of
+        thousands of engine steps — the sleeping device's power draw is
+        constant, so the macro step is exact.  Trace samples and event
+        checks land at the poll boundaries, where the protocol observes
+        the world anyway.
         """
         if check_every_s < self.clock.dt:
             raise SimulationError("check_every_s must be at least one clock step")
+        device = self.device
+        fast_forward_ok = self._sleep_fast_forward and device.thermal.is_exact
         started = self.now
         while True:
             if predicate(self):
@@ -189,7 +203,34 @@ class World:
                 raise SimulationError(
                     f"run_until timed out after {timeout_s} s"
                 )
-            self.run_for(check_every_s)
+            if fast_forward_ok and device.is_asleep:
+                self._fast_forward(check_every_s)
+            else:
+                self.run_for(check_every_s)
+
+    def _fast_forward(self, window_s: float) -> None:
+        """Advance one sleeping poll window as a single exact macro step."""
+        clock = self.clock
+        steps = round(window_s / clock.dt)
+        duration = steps * clock.dt
+        room_temp = self.room.temperature(clock.now)
+        if self.chamber is not None:
+            waste_heat = (
+                self._last_report.supply_power_w if self._last_report else 0.0
+            )
+            self.chamber.run_for(room_temp, duration, load_w=waste_heat)
+            ambient = self.chamber.air_temp_c
+        else:
+            ambient = room_temp
+        # A sleeping device's step is linear in dt (constant supply draw,
+        # linear thermal network), so one device step covers the window.
+        report = self.device.step(ambient, duration)
+        self.ops_total += report.ops
+        self._record_events(report)
+        self._last_report = report
+        clock.advance(steps)
+        self._record_trace(report, ambient)
+        self.fast_forwards += 1
 
     # -- internals --------------------------------------------------------
 

@@ -23,6 +23,7 @@ from repro.thermal.floorplan import (
 )
 from repro.thermal.integrator import StableEuler
 from repro.thermal.network import ThermalLink, ThermalNetwork, ThermalNode
+from repro.thermal.propagator import ExpmPropagator
 from repro.thermal.sensors import TemperatureSensor
 from repro.thermal.skin import SkinModel, SkinThrottle, SkinThrottleSpec
 
@@ -33,6 +34,7 @@ __all__ = [
     "GridThermalModel",
     "ConstantAmbient",
     "DiurnalAmbient",
+    "ExpmPropagator",
     "RampAmbient",
     "SkinModel",
     "SkinThrottle",

@@ -9,7 +9,7 @@ sub-steps to stay comfortably inside the stability bound.
 from __future__ import annotations
 
 import math
-from typing import Callable
+from typing import Callable, Dict, Tuple
 
 import numpy as np
 
@@ -17,6 +17,9 @@ from repro.errors import ConfigurationError
 
 #: Fraction of the theoretical stability limit (2/max_rate) actually used.
 SAFETY_FACTOR = 0.25
+
+#: Distinct requested step sizes whose sub-step plans are memoized.
+PLAN_CACHE_SIZE = 32
 
 
 class StableEuler:
@@ -29,6 +32,9 @@ class StableEuler:
             self._max_step = math.inf
         else:
             self._max_step = SAFETY_FACTOR * 2.0 / max_rate
+        # The engine requests the same dt millions of times; memoize the
+        # (sub-step count, sub-step size) plan instead of re-deriving it.
+        self._plans: Dict[float, Tuple[int, float]] = {}
 
     @property
     def max_stable_step(self) -> float:
@@ -50,7 +56,16 @@ class StableEuler:
         """
         if dt <= 0:
             raise ConfigurationError("dt must be positive")
-        substeps = max(1, int(math.ceil(dt / self._max_step)))
-        h = dt / substeps
+        substeps, h = self.plan(dt)
         for _ in range(substeps):
             state += h * derivative(state, forcing)
+
+    def plan(self, dt: float) -> Tuple[int, float]:
+        """The memoized (sub-step count, sub-step size) pair for ``dt``."""
+        plan = self._plans.get(dt)
+        if plan is None:
+            if len(self._plans) >= PLAN_CACHE_SIZE:
+                self._plans.clear()
+            substeps = max(1, int(math.ceil(dt / self._max_step)))
+            plan = self._plans[dt] = (substeps, dt / substeps)
+        return plan

@@ -6,8 +6,10 @@ temperature — the ambient, or a thermal chamber's air.  Heat flows follow
 
     C_i · dT_i/dt = P_i + Σ_j (T_j − T_i) / R_ij
 
-integrated explicitly with automatic sub-stepping for stability
-(:mod:`repro.thermal.integrator`).
+integrated by a pluggable solver: explicit Euler with automatic
+sub-stepping for stability (:mod:`repro.thermal.integrator`, the default)
+or the exact zero-order-hold matrix-exponential propagator
+(:mod:`repro.thermal.propagator`, ``solver="expm"``).
 """
 
 from __future__ import annotations
@@ -20,6 +22,10 @@ import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.thermal.integrator import StableEuler
+from repro.thermal.propagator import ExpmPropagator
+
+#: Accepted ``ThermalNetwork`` solver names.
+SOLVERS = ("euler", "expm")
 
 
 @dataclass(frozen=True)
@@ -89,7 +95,12 @@ class ThermalNetwork:
         links: Iterable[ThermalLink],
         initial_temp_c: float = 25.0,
         initial_temps_c: Optional[Mapping[str, float]] = None,
+        solver: str = "euler",
     ) -> None:
+        if solver not in SOLVERS:
+            raise ConfigurationError(
+                f"unknown solver {solver!r}; choose one of {', '.join(SOLVERS)}"
+            )
         self._nodes: Tuple[ThermalNode, ...] = tuple(nodes)
         if not self._nodes:
             raise ConfigurationError("a network needs at least one node")
@@ -137,6 +148,28 @@ class ThermalNetwork:
                 0.0,
             )
         self._integrator = StableEuler(max_rate=float(rates.max()))
+        self._solver = solver
+        self._propagator: Optional[ExpmPropagator] = (
+            ExpmPropagator(self._conductance, self._capacity, self._boundary)
+            if solver == "expm"
+            else None
+        )
+
+    @property
+    def solver(self) -> str:
+        """The active solver name (``"euler"`` or ``"expm"``)."""
+        return self._solver
+
+    @property
+    def is_exact(self) -> bool:
+        """True if a step of *any* size is an exact ZOH propagation —
+        what the engine's sleep fast-forward requires."""
+        return self._propagator is not None
+
+    @property
+    def propagator(self) -> Optional[ExpmPropagator]:
+        """The exact propagator, when the ``expm`` solver is active."""
+        return self._propagator
 
     @property
     def node_names(self) -> Tuple[str, ...]:
@@ -193,7 +226,7 @@ class ThermalNetwork:
                     f"cannot inject power into boundary node {name!r}"
                 )
             power[index] = watts
-        self._integrator.advance(self._derivative, self._temps, power, dt)
+        self._advance(power, dt)
 
     def injection_indices(self, names: Iterable[str]) -> Tuple[int, ...]:
         """Validated node indices for repeated injection via :meth:`step_vector`.
@@ -218,7 +251,14 @@ class ThermalNetwork:
         """
         if dt <= 0:
             raise SimulationError("dt must be positive")
-        self._integrator.advance(self._derivative, self._temps, power_w, dt)
+        self._advance(power_w, dt)
+
+    def _advance(self, power: np.ndarray, dt: float) -> None:
+        propagator = self._propagator
+        if propagator is not None:
+            propagator.advance(self._temps, power, dt)
+        else:
+            self._integrator.advance(self._derivative, self._temps, power, dt)
 
     def _derivative(self, temps: np.ndarray, power: np.ndarray) -> np.ndarray:
         # Same arithmetic as `(power + (G@T - rowG*T)) / C`, evaluated into

@@ -1,0 +1,136 @@
+"""Exact zero-order-hold propagation for linear RC networks.
+
+The network ODE is linear:  C·dT/dt = P + G·(T_j − T_i)  with boundary
+temperatures forced.  For the reduced (non-boundary) state ``x`` and a
+constant input ``u = P_f + G_fb·T_b`` held over a step ``h`` (exactly how
+the simulator applies power — one value per engine step), the solution has
+the closed form
+
+    x(h) = Φ(h)·x(0) + Ψ(h)·u,   Φ = e^{A h},   Ψ = ∫₀ʰ e^{A s} ds · C⁻¹,
+
+with ``A = −C⁻¹·L_ff`` the reduced thermal Laplacian over capacity.  One
+propagation is *exact* for any ``h`` — no stability bound, no sub-stepping
+— so an engine step, a chamber sub-step and a whole cooldown poll window
+all cost the same two small matvecs.
+
+The pair (Φ, Ψ) depends only on the topology and the step size, so
+:class:`ExpmPropagator` precomputes it per ``dt`` and keeps the results in
+a small LRU cache.  The matrix exponential is evaluated through the
+symmetrized system ``M = C^{-1/2}·L_ff·C^{-1/2}`` (similar to ``−A``, and
+symmetric positive semi-definite), whose stable eigendecomposition
+``numpy.linalg.eigh`` provides — no SciPy dependency, and the modal decay
+rates it yields are exact.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+
+#: Distinct step sizes whose (Φ, Ψ) pairs are kept hot.  Engine dt, chamber
+#: sub-steps and the cooldown poll window comfortably fit.
+DEFAULT_CACHE_SIZE = 8
+
+
+class ExpmPropagator:
+    """Discrete exact propagator ``T' = Φ·T + Ψ·u`` for one topology.
+
+    Built from the same arrays :class:`~repro.thermal.network.ThermalNetwork`
+    assembles: the symmetric conductance matrix (W/K), per-node heat
+    capacities (J/K, ``inf`` at boundary nodes) and the boundary mask.
+    :meth:`advance` updates the full-size temperature vector in place,
+    leaving boundary entries untouched.
+    """
+
+    def __init__(
+        self,
+        conductance: np.ndarray,
+        capacity: np.ndarray,
+        boundary: np.ndarray,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if cache_size < 1:
+            raise ConfigurationError("cache_size must be at least 1")
+        conductance = np.asarray(conductance, dtype=float)
+        capacity = np.asarray(capacity, dtype=float)
+        boundary = np.asarray(boundary, dtype=bool)
+        self._finite = np.flatnonzero(~boundary)
+        self._boundary = np.flatnonzero(boundary)
+        if self._finite.size == 0:
+            raise ConfigurationError("propagator needs at least one finite node")
+        if self._boundary.size == 0:
+            raise ConfigurationError("propagator needs at least one boundary node")
+
+        row = conductance.sum(axis=1)
+        laplacian = np.diag(row) - conductance
+        reduced = laplacian[np.ix_(self._finite, self._finite)]
+        #: G_fb — heat admittance from boundary nodes into finite ones.
+        self._coupling = conductance[np.ix_(self._finite, self._boundary)]
+
+        sqrt_c = np.sqrt(capacity[self._finite])
+        sym = reduced / np.outer(sqrt_c, sqrt_c)
+        eigenvalues, eigenvectors = np.linalg.eigh(sym)
+        # L_ff is PSD, so negative eigenvalues are pure round-off; clipping
+        # keeps Φ from growing on a ~1e-18 wobble.
+        self._rates = np.clip(eigenvalues, 0.0, None)
+        self._to_modal = eigenvectors.T * sqrt_c          # Qᵀ·C^{1/2}
+        self._from_modal = eigenvectors / sqrt_c[:, None]  # C^{-1/2}·Q
+        self._cache: "OrderedDict[float, Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+        self._cache_size = cache_size
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def finite_count(self) -> int:
+        """Number of evolving (non-boundary) nodes."""
+        return int(self._finite.size)
+
+    @property
+    def slowest_time_constant_s(self) -> float:
+        """The network's slowest modal time constant, seconds (inf if a
+        mode is disconnected from every boundary)."""
+        smallest = float(self._rates.min())
+        return 1.0 / smallest if smallest > 0 else float("inf")
+
+    def pair(self, dt: float) -> Tuple[np.ndarray, np.ndarray]:
+        """The cached discrete pair (Φ, Ψ) for a step of ``dt`` seconds."""
+        if dt <= 0:
+            raise SimulationError("dt must be positive")
+        cache = self._cache
+        pair = cache.get(dt)
+        if pair is not None:
+            cache.move_to_end(dt)
+            self.cache_hits += 1
+            return pair
+        self.cache_misses += 1
+        decay = np.exp(-self._rates * dt)
+        # φ₁(λ, h) = (1 − e^{−λh})/λ, continuously → h as λ → 0 (a mode
+        # with no path to a boundary just integrates its input).
+        ramp = np.full_like(self._rates, dt)
+        active = self._rates > 0
+        ramp[active] = (1.0 - decay[active]) / self._rates[active]
+        phi = self._from_modal @ (decay[:, None] * self._to_modal)
+        psi = (self._from_modal * ramp) @ self._from_modal.T
+        pair = (phi, psi)
+        cache[dt] = pair
+        if len(cache) > self._cache_size:
+            cache.popitem(last=False)
+        return pair
+
+    def advance(self, temps: np.ndarray, power: np.ndarray, dt: float) -> None:
+        """Propagate the full temperature vector ``dt`` seconds, in place.
+
+        ``power`` is the injected power per node (watts, zero at boundary
+        nodes), held constant over the step — the zero-order hold the
+        closed form is exact for.
+        """
+        phi, psi = self.pair(dt)
+        finite = self._finite
+        forcing = power[finite] + self._coupling @ temps[self._boundary]
+        temps[finite] = phi @ temps[finite] + psi @ forcing

@@ -57,3 +57,21 @@ class TestValidation:
     def test_zero_decimation_rejected(self):
         with pytest.raises(ConfigurationError):
             AccubenchConfig(trace_decimation=0)
+
+
+class TestSolverFields:
+    def test_euler_is_the_default(self):
+        config = AccubenchConfig()
+        assert config.thermal_solver == "euler"
+        assert config.sleep_fast_forward
+
+    def test_expm_accepted(self):
+        assert AccubenchConfig(thermal_solver="expm").thermal_solver == "expm"
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccubenchConfig(thermal_solver="rk4")
+
+    def test_scaling_preserves_solver(self):
+        scaled = AccubenchConfig(thermal_solver="expm").scaled(0.5)
+        assert scaled.thermal_solver == "expm"

@@ -21,6 +21,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_solver_defaults_to_euler(self):
+        args = build_parser().parse_args(["run-fleet", "Nexus 5"])
+        assert args.solver == "euler"
+
+    def test_solver_expm_accepted(self):
+        args = build_parser().parse_args(
+            ["run-fleet", "Nexus 5", "--solver", "expm"]
+        )
+        assert args.solver == "expm"
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run-fleet", "Nexus 5", "--solver", "rk4"]
+            )
+
 
 class TestListDevices:
     def test_lists_all_models(self, capsys):
@@ -69,6 +85,16 @@ class TestRunFleet:
         payload = json.loads(path.read_text())
         assert "fixed-frequency" in payload
         assert payload["fixed-frequency"]["model"] == "Nexus 5"
+
+    def test_expm_solver_end_to_end(self, capsys):
+        code = main([
+            "run-fleet", "Nexus 5",
+            "--experiment", "unconstrained",
+            "--scale", "0.12", "--iterations", "1", "--no-thermabox",
+            "--solver", "expm",
+        ])
+        assert code == 0
+        assert "performance variation" in capsys.readouterr().out
 
     def test_unknown_model_is_clean_error(self, capsys):
         code = main([

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.thermal.integrator import SAFETY_FACTOR, StableEuler
+from repro.thermal.integrator import PLAN_CACHE_SIZE, SAFETY_FACTOR, StableEuler
 
 
 class TestStableStep:
@@ -57,3 +57,29 @@ class TestAdvance:
         integrator = StableEuler(max_rate=1.0)
         with pytest.raises(ConfigurationError):
             integrator.advance(lambda s, f: s, np.array([1.0]), np.array([0.0]), 0.0)
+
+
+class TestPlanCache:
+    def test_plan_values(self):
+        integrator = StableEuler(max_rate=100.0)  # max step 0.005 s
+        substeps, h = integrator.plan(1.0)
+        assert substeps == 200
+        assert h == pytest.approx(1.0 / 200)
+
+    def test_plan_is_memoized(self):
+        integrator = StableEuler(max_rate=100.0)
+        assert integrator.plan(1.0) is integrator.plan(1.0)
+
+    def test_distinct_dts_distinct_plans(self):
+        integrator = StableEuler(max_rate=100.0)
+        assert integrator.plan(1.0) != integrator.plan(2.0)
+
+    def test_cache_resets_instead_of_growing(self):
+        integrator = StableEuler(max_rate=100.0)
+        for i in range(PLAN_CACHE_SIZE * 3):
+            integrator.plan(0.1 + i * 1e-4)
+        assert len(integrator._plans) <= PLAN_CACHE_SIZE
+
+    def test_unbounded_step_takes_single_substep(self):
+        integrator = StableEuler(max_rate=0.0)
+        assert integrator.plan(1e6) == (1, 1e6)
