@@ -8,8 +8,8 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Simulator throughput + parallel speedup only (minutes, not hours);
-# writes BENCH_campaign.json.
+# Simulator throughput + parallel speedup + metrics overhead (minutes,
+# not hours); writes BENCH_campaign.json and BENCH_metrics.json.
 bench-fast:
 	pytest benchmarks/test_perf_campaign.py -q -s
 

@@ -12,7 +12,10 @@ Unlike the figure/table benches this one measures the simulator itself:
 * end-to-end speedup of the exact ``expm`` thermal solver plus the sleep
   fast-forward over the sub-stepped Euler baseline on a cooldown-heavy
   ACCUBENCH iteration, interleaved A/B, with agreement checks on the
-  cooldown duration and workload energy.
+  cooldown duration and workload energy, and
+* overhead of metrics collection (:mod:`repro.obs`) on a fleet campaign,
+  interleaved A/B with collection on vs off; the enabled run's metrics
+  document lands in ``BENCH_metrics.json`` at the repository root.
 
 The seed baselines below were measured on the reference runner with the
 seed checkout's stepping runs interleaved against this checkout's, so
@@ -38,6 +41,7 @@ from repro.core.runner import CampaignConfig, CampaignRunner
 from repro.device.fleet import PAPER_FLEETS, build_device
 from repro.instruments.monsoon import MonsoonPowerMonitor
 from repro.instruments.thermabox import Thermabox
+from repro.obs import MetricsRegistry, use_registry, write_metrics
 from repro.sim.engine import World
 from repro.thermal.ambient import ConstantAmbient
 
@@ -50,6 +54,8 @@ PARALLEL_JOBS = 4
 MIN_EXPM_SPEEDUP = 3.0
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_campaign.json")
+METRICS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_metrics.json")
+MAX_METRICS_OVERHEAD = 0.02
 
 WARMUP_SIM_S = 5.0
 TIMED_SIM_S = 60.0
@@ -131,6 +137,16 @@ def _cooldown_heavy_iteration(solver: str):
         device, unconstrained(), room=room, chamber=chamber
     )
     return time.perf_counter() - start, result
+
+
+def _campaign_wall_time(collect: bool):
+    config = CampaignConfig(accubench=AccubenchConfig().scaled(0.5), jobs=1)
+    runner = CampaignRunner(config)
+    registry = MetricsRegistry(enabled=collect)
+    start = time.perf_counter()
+    with use_registry(registry):
+        runner.run_fleet("Nexus 5", unconstrained(), iterations=1)
+    return time.perf_counter() - start, registry
 
 
 @pytest.mark.parametrize("model", sorted(SEED_STEPS_PER_SEC))
@@ -242,4 +258,47 @@ def test_expm_fast_forward_speedup():
         pytest.skip("wall-clock floor assertion disabled by environment")
     assert speedup >= MIN_EXPM_SPEEDUP, (
         f"expm+fast-forward speedup {speedup:.2f}x below {MIN_EXPM_SPEEDUP}x"
+    )
+
+
+def test_metrics_collection_overhead():
+    # Interleaved A/B: the same fleet campaign with the default (disabled,
+    # null-object) registry vs an enabled one, best-of per arm. Collection
+    # only touches the registry at phase/batch boundaries, so the enabled
+    # arm should be indistinguishable from the disabled one.
+    best = {"off": float("inf"), "on": float("inf")}
+    collected = None
+    for _ in range(3):
+        for arm in ("off", "on"):
+            wall, registry = _campaign_wall_time(collect=arm == "on")
+            if wall < best[arm]:
+                best[arm] = wall
+                if arm == "on":
+                    collected = registry
+    overhead = best["on"] / best["off"] - 1.0
+    document_path = write_metrics(collected, METRICS_PATH)
+    snapshot = collected.snapshot()
+    _merge_results(
+        {
+            "metrics_off_s": round(best["off"], 3),
+            "metrics_on_s": round(best["on"], 3),
+            "metrics_overhead_pct": round(overhead * 100.0, 2),
+            "metrics_engine_steps": snapshot["counters"]["engine.steps"],
+            "metrics_spans": len(snapshot["spans"]),
+        }
+    )
+    print(
+        f"\nfleet campaign: collection off {best['off']:.3f} s, "
+        f"on {best['on']:.3f} s ({overhead:+.2%}); "
+        f"document at {document_path.name} with "
+        f"{len(snapshot['spans'])} spans"
+    )
+    # The document must carry the headline counters regardless of host.
+    for key in ("engine.steps", "propagator.cache_hits", "tasks.completed"):
+        assert key in snapshot["counters"], key
+    if os.environ.get("REPRO_BENCH_SKIP_RATE_ASSERT"):
+        pytest.skip("overhead floor assertion disabled by environment")
+    assert overhead <= MAX_METRICS_OVERHEAD, (
+        f"metrics collection costs {overhead:.2%} "
+        f"(> {MAX_METRICS_OVERHEAD:.0%}) on the campaign benchmark"
     )

@@ -6,11 +6,15 @@
     repro-bench table2 --scale 0.3 --iterations 2
     repro-bench estimate-ambient "Nexus 5" --ambient 31
     repro-bench crowd --users 12 --scale 0.5
+    repro-bench run-fleet "Nexus 5" --metrics-out m.json --progress
+    repro-bench report m.json
 
 Every command prints a human-readable report; ``run-fleet`` can also dump
-machine-readable JSON (``--json out.json``).  ``--scale`` shortens the
-protocol's phase durations (1.0 = the paper's 3-minute warmup / 5-minute
-workload).
+machine-readable JSON (``--json out.json``), collect run telemetry
+(``--metrics-out m.json``, summarized later by ``report``) and stream
+per-unit completion lines to stderr (``--progress``).  ``--scale``
+shortens the protocol's phase durations (1.0 = the paper's 3-minute
+warmup / 5-minute workload).
 """
 
 from __future__ import annotations
@@ -58,6 +62,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_protocol_args(run)
     run.add_argument("--json", metavar="PATH", help="also dump results as JSON")
+    run.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="collect run telemetry (engine counters, phase spans, per-task "
+        "wall times) and write it as a metrics JSON document; results are "
+        "identical with or without collection",
+    )
+    run.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line to stderr per completed unit, live",
+    )
 
     table2 = sub.add_parser("table2", help="the full Table II study")
     table2.add_argument(
@@ -100,6 +117,16 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--out", required=True, metavar="DIR", help="output directory")
     _add_protocol_args(export)
 
+    report = sub.add_parser(
+        "report", help="summarize a metrics JSON written by --metrics-out"
+    )
+    report.add_argument("metrics", help="path to the metrics JSON document")
+    report.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit Prometheus text exposition format instead of the table",
+    )
+
     return parser
 
 
@@ -139,6 +166,8 @@ def _add_protocol_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _runner(args: argparse.Namespace) -> CampaignRunner:
+    from repro.obs import ProgressPrinter
+
     protocol = AccubenchConfig().scaled(args.scale)
     overrides = {}
     if args.iterations is not None:
@@ -153,8 +182,26 @@ def _runner(args: argparse.Namespace) -> CampaignRunner:
             use_thermabox=not args.no_thermabox,
             root_seed=args.seed,
             jobs=getattr(args, "jobs", 1),
-        )
+        ),
+        progress=ProgressPrinter() if getattr(args, "progress", False) else None,
     )
+
+
+def _metrics_scope(args: argparse.Namespace):
+    """An active collection scope when ``--metrics-out`` was given.
+
+    Returns ``(context manager, registry-or-None)``; the caller runs the
+    campaign inside the context and, if a registry came back, writes it
+    where the flag pointed.
+    """
+    from contextlib import nullcontext
+
+    from repro.obs import MetricsRegistry, use_registry
+
+    if not getattr(args, "metrics_out", None):
+        return nullcontext(), None
+    registry = MetricsRegistry(enabled=True)
+    return use_registry(registry), registry
 
 
 def _cmd_list_devices() -> int:
@@ -182,16 +229,23 @@ def _cmd_run_fleet(args: argparse.Namespace) -> int:
     runner = _runner(args)
     spec = device_spec(args.model)
     documents = {}
-    if args.experiment in ("unconstrained", "both"):
-        result = runner.run_fleet(args.model, unconstrained())
-        print(render_experiment(result, "performance"))
-        print(f"performance variation: {result.performance_variation:.1%}\n")
-        documents["unconstrained"] = result
-    if args.experiment in ("fixed", "both"):
-        result = runner.run_fleet(args.model, fixed_frequency(spec))
-        print(render_experiment(result, "energy"))
-        print(f"energy variation: {result.energy_variation:.1%}")
-        documents["fixed-frequency"] = result
+    scope, registry = _metrics_scope(args)
+    with scope:
+        if args.experiment in ("unconstrained", "both"):
+            result = runner.run_fleet(args.model, unconstrained())
+            print(render_experiment(result, "performance"))
+            print(f"performance variation: {result.performance_variation:.1%}\n")
+            documents["unconstrained"] = result
+        if args.experiment in ("fixed", "both"):
+            result = runner.run_fleet(args.model, fixed_frequency(spec))
+            print(render_experiment(result, "energy"))
+            print(f"energy variation: {result.energy_variation:.1%}")
+            documents["fixed-frequency"] = result
+    if registry is not None:
+        from repro.obs import write_metrics
+
+        write_metrics(registry, args.metrics_out)
+        print(f"\nwrote metrics to {args.metrics_out}")
     if args.json:
         import json
 
@@ -309,6 +363,17 @@ def _cmd_export_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import format_summary, prometheus_text, read_metrics
+
+    document = read_metrics(args.metrics)
+    if args.prometheus:
+        print(prometheus_text(document), end="")
+    else:
+        print(format_summary(document), end="")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -330,6 +395,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_validate(args)
         if args.command == "export-fleet":
             return _cmd_export_fleet(args)
+        if args.command == "report":
+            return _cmd_report(args)
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
         return 2  # pragma: no cover
     except ReproError as error:

@@ -19,24 +19,40 @@ Results are bit-identical to a serial run regardless of worker count:
 * Devices are fully constructed in the parent process and shipped to
   workers by pickling, which round-trips generator state, thermal state and
   numpy buffers exactly.
-* :func:`run_tasks` uses ``ProcessPoolExecutor.map``, which yields results
-  in submission order, so reassembly is stable no matter which worker
-  finishes first.
+* :func:`run_tasks` submits every task individually and consumes
+  completions with ``as_completed`` — so the parent can merge worker
+  telemetry and report progress the moment each task lands — but results
+  are reassembled into a list keyed by submission index, so the returned
+  order (and every value in it) is independent of which worker finishes
+  first.
 
 ``jobs == 1`` (or a single task) bypasses the pool entirely and runs
 in-process — that path is byte-for-byte the sequential campaign loop.
+
+Telemetry
+---------
+When the parent's :func:`repro.obs.default_registry` is enabled, each
+worker builds its own enabled registry for the duration of its task,
+snapshots it into the returned :class:`TaskPayload`, and the parent merges
+the snapshot as the completion lands.  Per-task wall time goes into the
+``task.wall_s`` histogram either way, and an optional ``progress``
+callback receives a :class:`~repro.obs.progress.TaskProgress` per
+completion — in completion order, which is the whole point.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from repro.core.experiments import ExperimentSpec
 from repro.core.results import DeviceResult
 from repro.device.phone import Device
 from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry, default_registry, use_registry
+from repro.obs.progress import ProgressCallback, TaskProgress
 
 if TYPE_CHECKING:  # circular at runtime: runner builds tasks, tasks run a runner
     from repro.core.runner import CampaignConfig
@@ -69,11 +85,62 @@ class DeviceTask:
     supply_voltage: Optional[float] = None
 
 
+@dataclass(frozen=True)
+class TaskPayload:
+    """What a worker returns: the result plus its telemetry.
+
+    Attributes
+    ----------
+    result:
+        The task's :class:`DeviceResult` — unaffected by whether metrics
+        were collected.
+    wall_s:
+        Wall-clock execution time of the task, measured in the process
+        that ran it.
+    metrics:
+        The worker registry's snapshot (see
+        :meth:`repro.obs.MetricsRegistry.snapshot`), or ``None`` when the
+        parent was not collecting.
+    """
+
+    result: DeviceResult
+    wall_s: float
+    metrics: Optional[Dict[str, Any]] = None
+
+
 def execute_device_task(task: DeviceTask) -> DeviceResult:
-    """Run one task to completion (the worker-process entry point)."""
+    """Run one task to completion without telemetry (legacy entry point)."""
+    return execute_task_payload(task, collect_metrics=False).result
+
+
+def execute_task_payload(
+    task: DeviceTask, collect_metrics: bool = False
+) -> TaskPayload:
+    """Run one task to completion (the worker-process entry point).
+
+    With ``collect_metrics``, the task runs against a fresh enabled
+    registry scoped to this call, and the payload carries its snapshot —
+    the worker-side half of cross-process metric aggregation.  Collection
+    never touches the simulation's random streams, so the result is
+    identical either way.
+    """
     from repro.core.runner import CampaignRunner
 
-    runner = CampaignRunner(task.config)
+    started = time.perf_counter()
+    if collect_metrics:
+        registry = MetricsRegistry(enabled=True)
+        with use_registry(registry):
+            result = _run(CampaignRunner(task.config), task)
+        snapshot = registry.snapshot()
+    else:
+        result = _run(CampaignRunner(task.config), task)
+        snapshot = None
+    return TaskPayload(
+        result=result, wall_s=time.perf_counter() - started, metrics=snapshot
+    )
+
+
+def _run(runner: "Any", task: DeviceTask) -> DeviceResult:
     return runner.run_device(
         task.device,
         task.experiment,
@@ -83,18 +150,74 @@ def execute_device_task(task: DeviceTask) -> DeviceResult:
     )
 
 
-def run_tasks(tasks: Sequence[DeviceTask], jobs: int) -> List[DeviceResult]:
+def run_tasks(
+    tasks: Sequence[DeviceTask],
+    jobs: int,
+    progress: Optional[ProgressCallback] = None,
+) -> List[DeviceResult]:
     """Execute tasks over ``jobs`` worker processes, preserving task order.
 
     ``jobs`` must already be resolved to a concrete positive count (the
     runner maps ``0`` to the machine's core count before calling).  With one
     job or one task the pool is bypassed and everything runs in-process.
+
+    Completions are consumed as they land: worker metric snapshots merge
+    into the parent's default registry and ``progress`` fires per task,
+    while the returned list stays in submission order.
     """
     if jobs < 1:
         raise ConfigurationError("jobs must be at least 1")
     items = list(tasks)
-    workers = min(jobs, len(items))
+    total = len(items)
+    registry = default_registry()
+    collect = registry.enabled
+    payloads: List[Optional[TaskPayload]] = [None] * total
+    workers = min(jobs, total)
     if workers <= 1:
-        return [execute_device_task(task) for task in items]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(execute_device_task, items))
+        for index, task in enumerate(items):
+            payload = execute_task_payload(task, collect_metrics=collect)
+            payloads[index] = payload
+            _absorb(registry, payload, progress, index, index + 1, total)
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(execute_task_payload, task, collect): index
+                for index, task in enumerate(items)
+            }
+            completed = 0
+            for future in as_completed(futures):
+                index = futures[future]
+                payload = future.result()
+                payloads[index] = payload
+                completed += 1
+                _absorb(registry, payload, progress, index, completed, total)
+    return [payload.result for payload in payloads]  # type: ignore[union-attr]
+
+
+def _absorb(
+    registry: MetricsRegistry,
+    payload: TaskPayload,
+    progress: Optional[ProgressCallback],
+    index: int,
+    completed: int,
+    total: int,
+) -> None:
+    """Fold one completed task into parent-side telemetry and progress."""
+    if registry.enabled:
+        if payload.metrics is not None:
+            registry.merge_snapshot(payload.metrics)
+        registry.histogram("task.wall_s").observe(payload.wall_s)
+        registry.counter("tasks.completed").inc()
+    if progress is not None:
+        result = payload.result
+        progress(
+            TaskProgress(
+                index=index,
+                completed=completed,
+                total=total,
+                model=result.model,
+                serial=result.serial,
+                workload=result.workload,
+                wall_s=payload.wall_s,
+            )
+        )

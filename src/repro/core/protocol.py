@@ -28,6 +28,7 @@ from repro.core.results import IterationResult
 from repro.device.phone import Device
 from repro.errors import ProtocolError
 from repro.instruments.thermabox import Thermabox
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.sim.engine import World
 from repro.soc.perf import PI_ITERATION_OPS, iterations_from_ops
 from repro.thermal.ambient import AmbientProfile
@@ -71,12 +72,15 @@ class Accubench:
         )
 
         self._configure_frequency(device, experiment)
+        registry = default_registry()
+        sim_clock = lambda: world.now  # noqa: E731
 
         # Phase 1: warmup.
         device.acquire_wakelock()
         device.start_load()
         world.set_phase("warmup")
-        world.run_for(config.warmup_s)
+        with registry.span("phase.warmup", clock=sim_clock):
+            world.run_for(config.warmup_s)
 
         # Phase 2: cooldown (suspend; poll the sensor every few seconds).
         device.stop_load()
@@ -85,11 +89,12 @@ class Accubench:
         target_c = max(
             config.cooldown_target_c, world.ambient_c + MIN_COOLDOWN_MARGIN_C
         )
-        cooldown_s = world.run_until(
-            lambda w: w.device.read_cpu_temp() <= target_c,
-            check_every_s=config.cooldown_poll_s,
-            timeout_s=config.cooldown_timeout_s,
-        )
+        with registry.span("phase.cooldown", clock=sim_clock):
+            cooldown_s = world.run_until(
+                lambda w: w.device.read_cpu_temp() <= target_c,
+                check_every_s=config.cooldown_poll_s,
+                timeout_s=config.cooldown_timeout_s,
+            )
 
         # Phase 3: workload (the measured window).
         device.acquire_wakelock()
@@ -97,13 +102,15 @@ class Accubench:
         energy_before = supply.energy_drawn_j
         ops_before = world.ops_total
         world.set_phase("workload")
-        world.run_for(config.workload_s)
+        with registry.span("phase.workload", clock=sim_clock):
+            world.run_for(config.workload_s)
         energy_j = supply.energy_drawn_j - energy_before
         mean_power_w = energy_j / config.workload_s
         completed = iterations_from_ops(world.ops_total - ops_before)
         device.stop_load()
         device.release_wakelock()
         world.close()
+        self._publish_world_metrics(registry, world)
 
         return IterationResult(
             model=device.spec.name,
@@ -157,22 +164,26 @@ class Accubench:
         else:
             device.set_fixed_frequency(fixed_freq_mhz)
 
+        registry = default_registry()
+        sim_clock = lambda: world.now  # noqa: E731
         if not skip_conditioning:
             device.acquire_wakelock()
             device.start_load()
             world.set_phase("warmup")
-            world.run_for(config.warmup_s)
+            with registry.span("phase.warmup", clock=sim_clock):
+                world.run_for(config.warmup_s)
             device.stop_load()
             device.release_wakelock()
             world.set_phase("cooldown")
             target_c = max(
                 config.cooldown_target_c, world.ambient_c + MIN_COOLDOWN_MARGIN_C
             )
-            world.run_until(
-                lambda w: w.device.read_cpu_temp() <= target_c,
-                check_every_s=config.cooldown_poll_s,
-                timeout_s=config.cooldown_timeout_s,
-            )
+            with registry.span("phase.cooldown", clock=sim_clock):
+                world.run_until(
+                    lambda w: w.device.read_cpu_temp() <= target_c,
+                    check_every_s=config.cooldown_poll_s,
+                    timeout_s=config.cooldown_timeout_s,
+                )
 
         device.acquire_wakelock()
         device.start_load()
@@ -181,17 +192,19 @@ class Accubench:
         ops_target = ops_before + work_iterations * PI_ITERATION_OPS
         world.set_phase("workload")
         started = world.now
-        world.run_until(
-            lambda w: w.ops_total >= ops_target,
-            check_every_s=max(config.dt, 1.0),
-            timeout_s=timeout_s,
-        )
+        with registry.span("phase.workload", clock=sim_clock):
+            world.run_until(
+                lambda w: w.ops_total >= ops_target,
+                check_every_s=max(config.dt, 1.0),
+                timeout_s=timeout_s,
+            )
         duration_s = world.now - started
         energy_j = supply.energy_drawn_j - energy_before
         mean_power_w = energy_j / duration_s if duration_s > 0 else 0.0
         device.stop_load()
         device.release_wakelock()
         world.close()
+        self._publish_world_metrics(registry, world)
 
         return IterationResult(
             model=device.spec.name,
@@ -210,6 +223,31 @@ class Accubench:
         )
 
     # -- internals --------------------------------------------------------
+
+    @staticmethod
+    def _publish_world_metrics(registry: MetricsRegistry, world: World) -> None:
+        """Harvest one finished world's tallies into the registry.
+
+        Worlds are created per protocol iteration, so their counts are
+        already per-iteration deltas.  Every key is published even at
+        zero, so a metrics document always has the full schema regardless
+        of solver or workload.
+        """
+        if not registry.enabled:
+            return
+        looped = world.clock.steps - world.fast_forward_steps
+        registry.counter("engine.steps").add(looped)
+        registry.counter("engine.fast_forward_steps").add(world.fast_forward_steps)
+        registry.counter("engine.fast_forward_windows").add(world.fast_forwards)
+        registry.counter("engine.sim_time_s").add(world.now)
+        events = world.events
+        registry.counter("engine.throttle_events").add(
+            events.count("throttle-step")
+        )
+        registry.counter("engine.core_offline_events").add(
+            events.count("core-offline")
+        )
+        registry.counter("protocol.iterations").inc()
 
     @staticmethod
     def _require_energy_metering(device: Device):

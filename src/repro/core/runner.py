@@ -25,6 +25,8 @@ from repro.device.phone import Device
 from repro.errors import ConfigurationError
 from repro.instruments.monsoon import MonsoonPowerMonitor
 from repro.instruments.thermabox import Thermabox, ThermaboxConfig
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.progress import ProgressCallback
 from repro.rng import DEFAULT_ROOT_SEED
 from repro.thermal.ambient import AmbientProfile, ConstantAmbient
 from repro.units import PAPER_AMBIENT_C
@@ -75,10 +77,23 @@ class CampaignConfig:
 
 
 class CampaignRunner:
-    """Runs experiments over units, fleets and the whole study."""
+    """Runs experiments over units, fleets and the whole study.
 
-    def __init__(self, config: Optional[CampaignConfig] = None) -> None:
+    ``progress`` (optional) is called with a
+    :class:`~repro.obs.progress.TaskProgress` as each unit's iteration
+    batch completes — live, in completion order, for any ``jobs`` value.
+    Telemetry (phase spans, engine counters, per-task wall times) is
+    published to :func:`repro.obs.default_registry` whenever an enabled
+    registry is installed; see ``docs/observability.md``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[CampaignConfig] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
         self.config = config if config is not None else CampaignConfig()
+        self.progress = progress
         self._protocol = Accubench(self.config.accubench)
 
     def monsoon_voltage_for(self, spec: DeviceSpec) -> float:
@@ -113,11 +128,27 @@ class CampaignRunner:
         monsoon = MonsoonPowerMonitor(volts)
         device.connect_supply(monsoon)
         room, chamber = self._environment(ambient_c)
-        if chamber is not None:
-            chamber.wait_until_stable(self.config.room_temp_c)
-        results = tuple(
-            self._protocol.run_iteration(device, experiment, room=room, chamber=chamber)
-            for _ in range(count)
+        registry = default_registry()
+        propagator = device.thermal.propagator
+        hits_before = propagator.cache_hits if propagator is not None else 0
+        misses_before = propagator.cache_misses if propagator is not None else 0
+        with registry.span(
+            "run_device",
+            model=device.spec.name,
+            serial=device.serial,
+            workload=experiment.name,
+            iterations=count,
+        ):
+            if chamber is not None:
+                chamber.wait_until_stable(self.config.room_temp_c)
+            results = tuple(
+                self._protocol.run_iteration(
+                    device, experiment, room=room, chamber=chamber
+                )
+                for _ in range(count)
+            )
+        self._publish_device_metrics(
+            registry, chamber, propagator, hits_before, misses_before
         )
         return DeviceResult(
             model=device.spec.name,
@@ -139,26 +170,24 @@ class CampaignRunner:
 
         ``jobs`` overrides :attr:`CampaignConfig.jobs` for this call; units
         are independent, so any worker count yields identical results.
+        Every path goes through :func:`repro.core.parallel.run_tasks` —
+        with one job the tasks run in-process on the caller's device
+        objects (the historical serial loop), and either way per-task
+        telemetry and progress events are emitted uniformly.
         """
         resolved = self._resolve_jobs(jobs)
         fleet = self._build_fleet(model, devices, ambient_c)
-        if resolved <= 1 or len(fleet) <= 1:
-            results = tuple(
-                self.run_device(device, experiment, ambient_c, iterations)
-                for device in fleet
+        tasks = [
+            DeviceTask(
+                device=device,
+                experiment=experiment,
+                config=self.config,
+                ambient_c=ambient_c,
+                iterations=iterations,
             )
-        else:
-            tasks = [
-                DeviceTask(
-                    device=device,
-                    experiment=experiment,
-                    config=self.config,
-                    ambient_c=ambient_c,
-                    iterations=iterations,
-                )
-                for device in fleet
-            ]
-            results = tuple(run_tasks(tasks, resolved))
+            for device in fleet
+        ]
+        results = tuple(run_tasks(tasks, resolved, progress=self.progress))
         return ExperimentResult(model=model, workload=experiment.name, devices=results)
 
     def run_model(
@@ -267,7 +296,7 @@ class CampaignRunner:
                 DeviceTask(device=device, experiment=experiment, config=self.config)
                 for device in fleet
             )
-        results = run_tasks(tasks, jobs)
+        results = run_tasks(tasks, jobs, progress=self.progress)
         experiments: List[ExperimentResult] = []
         cursor = 0
         for (model, experiment), count in zip(plan, counts):
@@ -280,6 +309,40 @@ class CampaignRunner:
             )
             cursor += count
         return experiments
+
+    @staticmethod
+    def _publish_device_metrics(
+        registry: MetricsRegistry,
+        chamber: Optional[Thermabox],
+        propagator,
+        hits_before: int,
+        misses_before: int,
+    ) -> None:
+        """Harvest per-batch instrument tallies into the registry.
+
+        The chamber is created per :meth:`run_device` call, so its duty
+        totals are already batch-local; the propagator belongs to the
+        device (which outlives the call), so deltas are taken against the
+        counts captured at batch start.  Keys are always published so the
+        document schema is solver-independent.
+        """
+        if not registry.enabled:
+            return
+        hits = propagator.cache_hits - hits_before if propagator is not None else 0
+        misses = (
+            propagator.cache_misses - misses_before if propagator is not None else 0
+        )
+        registry.counter("propagator.cache_hits").add(hits)
+        registry.counter("propagator.cache_misses").add(misses)
+        registry.counter("thermabox.heater_duty_s").add(
+            chamber.heater_duty_seconds if chamber is not None else 0.0
+        )
+        registry.counter("thermabox.cooler_duty_s").add(
+            chamber.cooler_duty_seconds if chamber is not None else 0.0
+        )
+        registry.counter("thermabox.elapsed_s").add(
+            chamber.elapsed_s if chamber is not None else 0.0
+        )
 
     def _environment(
         self, ambient_c: Optional[float]

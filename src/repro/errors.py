@@ -36,6 +36,10 @@ class AnalysisError(ReproError):
     """An analysis routine received data it cannot interpret."""
 
 
+class ObservabilityError(ReproError):
+    """The metrics/span layer was misused or fed a malformed document."""
+
+
 class UnknownModelError(ConfigurationError):
     """A device or SoC model name was not found in the catalog."""
 

@@ -6,13 +6,24 @@ logging and storing experimental logs" (Section III).  This logger is that
 storage backend: an append-only JSONL file, one document per record, with
 typed helpers for iterations and free-form events plus a loader for
 analysis sessions.
+
+Used bare, every append opens and closes the file — crash-safe, right for
+the occasional note.  Used as a context manager, the logger holds one
+file handle for the duration of the block (with :meth:`flush`/:meth:`close`
+under caller control) — right for campaigns that log hundreds of records::
+
+    with ExperimentLogger(path) as log:
+        for result in results:
+            log.log_iteration(result)
+
+Either way the format is identical: one JSON document per line.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, IO, Iterator, List, Optional, Union
 
 from repro.core.results import IterationResult
 from repro.core.serialize import iteration_from_dict, iteration_to_dict
@@ -28,11 +39,34 @@ class ExperimentLogger:
     def __init__(self, path: Union[str, Path]) -> None:
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: Optional[IO[str]] = None
 
     @property
     def path(self) -> Path:
         """Where records are stored."""
         return self._path
+
+    # -- lifecycle -------------------------------------------------------
+
+    def __enter__(self) -> "ExperimentLogger":
+        if self._handle is None:
+            self._handle = self._path.open("a")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def flush(self) -> None:
+        """Push buffered records to disk (no-op outside a context)."""
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Close the held handle; subsequent appends reopen per record."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
     def log_iteration(self, result: IterationResult) -> None:
         """Append one protocol iteration."""
@@ -50,13 +84,22 @@ class ExperimentLogger:
 
     def _append(self, record: Dict[str, Any]) -> None:
         record = {"format": LOG_FORMAT, **record}
-        with self._path.open("a") as fp:
-            fp.write(json.dumps(record, sort_keys=True) + "\n")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if self._handle is not None:
+            self._handle.write(line)
+        else:
+            with self._path.open("a") as fp:
+                fp.write(line)
 
     # -- reading ---------------------------------------------------------
 
     def records(self) -> Iterator[Dict[str, Any]]:
-        """Yield every record, oldest first."""
+        """Yield every record, oldest first.
+
+        Safe to call mid-context: buffered appends are flushed first so a
+        reader always sees everything logged so far.
+        """
+        self.flush()
         if not self._path.exists():
             return
         with self._path.open() as fp:

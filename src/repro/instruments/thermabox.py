@@ -125,6 +125,12 @@ class Thermabox:
         """Total compressor on-time so far, seconds."""
         return self._cooler_seconds
 
+    @property
+    def elapsed_s(self) -> float:
+        """Total chamber time simulated so far, seconds — the denominator
+        for actuator duty cycles."""
+        return self._time_s
+
     def probe_reading_c(self) -> float:
         """What the controller's thermistor currently reads, °C."""
         return self._probe.read()

@@ -1,0 +1,76 @@
+"""Observability: metrics, phase spans and live campaign telemetry.
+
+The paper's ACCUBENCH app logs CPU temperature, phase transitions and
+chamber status precisely so anomalous iterations can be *explained*
+(Section III); this package gives the reproduction the same property at
+the simulator level.  It is process-local and zero-dependency:
+
+* :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms
+  and :class:`Span` phase tracers, all no-op-cheap when disabled (the
+  default).  Instrumented code publishes through the module-level
+  :func:`default_registry`; install an enabled registry with
+  :func:`use_registry` (or the CLI's ``--metrics-out``) to collect.
+* Exporters — :func:`write_metrics`/:func:`read_metrics` (JSON document),
+  :func:`prometheus_text` (text exposition format),
+  :func:`format_summary` (human table), and
+  :func:`write_events_jsonl`/:func:`read_events_jsonl` for engine event
+  streams.
+* :class:`TaskProgress`/:class:`ProgressPrinter` — per-task completion
+  events from campaign execution, live as workers finish.
+
+Worker processes snapshot their own registry into the task payload and
+the parent merges it (:meth:`MetricsRegistry.merge_snapshot`), so a
+``jobs=8`` campaign produces one coherent document.
+"""
+
+from repro.obs.events import (
+    EVENTS_FORMAT,
+    read_events_jsonl,
+    write_events_jsonl,
+)
+from repro.obs.export import (
+    aggregate_spans,
+    as_document,
+    format_summary,
+    prometheus_text,
+    read_metrics,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    METRICS_FORMAT,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+    use_registry,
+)
+from repro.obs.progress import ProgressCallback, ProgressPrinter, TaskProgress
+from repro.obs.spans import Span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "EVENTS_FORMAT",
+    "Gauge",
+    "Histogram",
+    "METRICS_FORMAT",
+    "MetricsRegistry",
+    "ProgressCallback",
+    "ProgressPrinter",
+    "Span",
+    "TaskProgress",
+    "aggregate_spans",
+    "as_document",
+    "default_registry",
+    "format_summary",
+    "prometheus_text",
+    "read_events_jsonl",
+    "read_metrics",
+    "set_default_registry",
+    "use_registry",
+    "write_events_jsonl",
+    "write_metrics",
+]

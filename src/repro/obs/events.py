@@ -1,0 +1,60 @@
+"""JSONL export of simulation event streams.
+
+The engine's :class:`~repro.sim.events.EventLog` captures the discrete
+moments of a run (throttle steps, core shutdowns, phase transitions);
+this module streams those events to disk as one JSON document per line —
+the same shape the paper's benchmark app logs, and the shape every
+line-oriented tool (``jq``, ``grep``, a dashboard tailer) consumes
+directly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.errors import ObservabilityError
+from repro.sim.events import Event
+
+#: Format marker written into every event line.
+EVENTS_FORMAT = "repro-events-v1"
+
+
+def write_events_jsonl(
+    events: Iterable[Event], path: Union[str, Path]
+) -> int:
+    """Write events as JSONL; returns the number of lines written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    written = 0
+    with target.open("w") as fp:
+        for event in events:
+            record = {"format": EVENTS_FORMAT, **event.to_dict()}
+            fp.write(json.dumps(record, sort_keys=True) + "\n")
+            written += 1
+    return written
+
+
+def read_events_jsonl(path: Union[str, Path]) -> List[Event]:
+    """Load events written by :func:`write_events_jsonl`, oldest first."""
+    source = Path(path)
+    events: List[Event] = []
+    with source.open() as fp:
+        for line_number, line in enumerate(fp, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ObservabilityError(
+                    f"{source}:{line_number}: corrupt event line ({error})"
+                ) from None
+            if record.get("format") != EVENTS_FORMAT:
+                raise ObservabilityError(
+                    f"{source}:{line_number}: unknown event format "
+                    f"{record.get('format')!r}"
+                )
+            events.append(Event.from_dict(record))
+    return events

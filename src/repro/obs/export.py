@@ -1,0 +1,186 @@
+"""Metrics exporters: JSON document, Prometheus text, human summary.
+
+Three consumers, three formats:
+
+* :func:`write_metrics` / :func:`read_metrics` — the machine-readable JSON
+  document behind the CLI's ``--metrics-out`` and ``repro-bench report``;
+* :func:`prometheus_text` — the text exposition format, for anyone piping
+  a campaign's counters into an existing scrape pipeline;
+* :func:`format_summary` — the table a human reads after a run, with
+  spans aggregated by name and sim-vs-wall speed ratios computed.
+
+Every function accepts either a live :class:`MetricsRegistry` or an
+already-snapshotted document dict, so the CLI's ``report`` subcommand and
+the end-of-run path share one implementation.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import METRICS_FORMAT, MetricsRegistry
+
+MetricsSource = Union[MetricsRegistry, Dict[str, Any]]
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def as_document(source: MetricsSource) -> Dict[str, Any]:
+    """Normalize a registry or document into a validated document dict."""
+    document = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    if document.get("format") != METRICS_FORMAT:
+        raise ObservabilityError(
+            f"not a metrics document (format {document.get('format')!r}, "
+            f"expected {METRICS_FORMAT!r})"
+        )
+    return document
+
+
+def write_metrics(source: MetricsSource, path: Union[str, Path]) -> Path:
+    """Write the metrics document as indented JSON; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w") as fp:
+        json.dump(as_document(source), fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    return target
+
+
+def read_metrics(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and validate a metrics document written by :func:`write_metrics`."""
+    source = Path(path)
+    try:
+        with source.open() as fp:
+            document = json.load(fp)
+    except (OSError, json.JSONDecodeError) as error:
+        raise ObservabilityError(f"{source}: unreadable metrics file ({error})")
+    if not isinstance(document, dict):
+        raise ObservabilityError(f"{source}: metrics document must be an object")
+    return as_document(document)
+
+
+def prometheus_text(source: MetricsSource, prefix: str = "repro") -> str:
+    """The document in Prometheus text exposition format.
+
+    Metric names are sanitized (``engine.steps`` → ``repro_engine_steps``);
+    histogram buckets are emitted cumulatively with the conventional
+    ``le`` label; spans appear as per-name ``_sum``/``_count`` pairs of
+    wall seconds.
+    """
+    document = as_document(source)
+    lines: List[str] = []
+
+    def emit(name: str, kind: str, samples: List[str]) -> None:
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(samples)
+
+    for name, value in document["counters"].items():
+        metric = _prom_name(prefix, name)
+        emit(metric, "counter", [f"{metric} {_prom_value(value)}"])
+    for name, value in document["gauges"].items():
+        metric = _prom_name(prefix, name)
+        emit(metric, "gauge", [f"{metric} {_prom_value(value)}"])
+    for name, payload in document["histograms"].items():
+        metric = _prom_name(prefix, name)
+        samples = []
+        cumulative = 0
+        for bound, count in zip(payload["bounds"], payload["counts"]):
+            cumulative += count
+            samples.append(f'{metric}_bucket{{le="{bound:g}"}} {cumulative}')
+        samples.append(f'{metric}_bucket{{le="+Inf"}} {payload["count"]}')
+        samples.append(f"{metric}_sum {_prom_value(payload['sum'])}")
+        samples.append(f"{metric}_count {payload['count']}")
+        emit(metric, "histogram", samples)
+    aggregated = aggregate_spans(document)
+    if aggregated:
+        metric = _prom_name(prefix, "span.wall_seconds")
+        samples = []
+        for name, stats in aggregated.items():
+            label = name.replace("\\", "\\\\").replace('"', '\\"')
+            samples.append(
+                f'{metric}_sum{{span="{label}"}} {_prom_value(stats["wall_s"])}'
+            )
+            samples.append(f'{metric}_count{{span="{label}"}} {stats["count"]}')
+        emit(metric, "summary", samples)
+    return "\n".join(lines) + "\n"
+
+
+def aggregate_spans(source: MetricsSource) -> Dict[str, Dict[str, float]]:
+    """Per-name span totals: count, wall seconds, sim seconds.
+
+    ``sim_s`` is the sum over spans that tracked a simulation clock; the
+    returned dict preserves first-seen order.
+    """
+    document = as_document(source)
+    totals: Dict[str, Dict[str, float]] = {}
+    for span in document["spans"]:
+        stats = totals.setdefault(
+            span["name"], {"count": 0, "wall_s": 0.0, "sim_s": 0.0}
+        )
+        stats["count"] += 1
+        stats["wall_s"] += span.get("wall_s") or 0.0
+        stats["sim_s"] += span.get("sim_s") or 0.0
+    return totals
+
+
+def format_summary(source: MetricsSource) -> str:
+    """A human-readable report of the document, section per metric kind."""
+    document = as_document(source)
+    lines: List[str] = []
+
+    counters = document["counters"]
+    if counters:
+        lines.append("counters")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}s}  {value:,.10g}")
+    gauges = document["gauges"]
+    if gauges:
+        lines.append("gauges")
+        width = max(len(name) for name in gauges)
+        for name, value in gauges.items():
+            lines.append(f"  {name:<{width}s}  {value:,.10g}")
+    histograms = document["histograms"]
+    if histograms:
+        lines.append("histograms")
+        for name, payload in histograms.items():
+            count = payload["count"]
+            mean = payload["sum"] / count if count else 0.0
+            lines.append(
+                f"  {name}: n={count} sum={payload['sum']:.3f}s "
+                f"mean={mean:.3f}s"
+            )
+    spans = aggregate_spans(document)
+    if spans:
+        lines.append("spans (aggregated by name)")
+        width = max(len(name) for name in spans)
+        header = (
+            f"  {'name':<{width}s}  {'count':>5s}  {'wall s':>10s}  "
+            f"{'sim s':>12s}  {'sim/wall':>9s}"
+        )
+        lines.append(header)
+        for name, stats in spans.items():
+            ratio = (
+                f"{stats['sim_s'] / stats['wall_s']:>9.1f}"
+                if stats["wall_s"] > 0 and stats["sim_s"] > 0
+                else f"{'-':>9s}"
+            )
+            lines.append(
+                f"  {name:<{width}s}  {stats['count']:>5d}  "
+                f"{stats['wall_s']:>10.3f}  {stats['sim_s']:>12.1f}  {ratio}"
+            )
+    if not lines:
+        return "no metrics recorded\n"
+    return "\n".join(lines) + "\n"
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    return f"{prefix}_{_PROM_INVALID.sub('_', name)}"
+
+
+def _prom_value(value: float) -> str:
+    return f"{value:g}"

@@ -1,0 +1,62 @@
+"""Live campaign progress: per-task completion events.
+
+A parallel campaign used to be a silent ``map`` — nothing between launch
+and the final return.  :func:`repro.core.parallel.run_tasks` now reports
+each task as it lands, through a plain callable so library users can
+collect events programmatically while the CLI's ``--progress`` prints
+them to stderr (stdout stays machine-readable).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, TextIO
+
+
+@dataclass(frozen=True)
+class TaskProgress:
+    """One task-completion event.
+
+    Attributes
+    ----------
+    index:
+        The task's position in the submitted sequence (result order).
+    completed / total:
+        How many tasks have finished out of how many submitted.  With a
+        process pool, completion order differs from ``index`` order — that
+        is the point of reporting live.
+    model / serial / workload:
+        Which unit and experiment the finished task ran.
+    wall_s:
+        The task's wall-clock execution time, seconds (worker-measured
+        for pool tasks).
+    """
+
+    index: int
+    completed: int
+    total: int
+    model: str
+    serial: str
+    workload: str
+    wall_s: float
+
+
+#: The callback signature ``run_tasks`` and the runner accept.
+ProgressCallback = Callable[[TaskProgress], Any]
+
+
+class ProgressPrinter:
+    """Prints one line per completed task, flushed immediately."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+
+    def __call__(self, progress: TaskProgress) -> None:
+        print(
+            f"[{progress.completed}/{progress.total}] "
+            f"{progress.model} {progress.serial} {progress.workload} "
+            f"done in {progress.wall_s:.2f}s",
+            file=self._stream,
+            flush=True,
+        )

@@ -1,0 +1,156 @@
+"""Phase spans: named intervals with wall-clock and simulation-time extents.
+
+A :class:`Span` records where time went — the ACCUBENCH warmup/cooldown/
+workload phases, one unit's full iteration batch, an engine ``run_until``
+stretch.  Each span carries two clocks because the interesting ratio is
+between them: a cooldown phase covering 1200 simulated seconds in 40 wall
+milliseconds is the fast-forward working; the same phase at 4 wall seconds
+is the sub-stepped Euler path.
+
+Spans are produced through :meth:`repro.obs.metrics.MetricsRegistry.span`,
+which handles nesting (the parent is whatever span is open on the same
+registry) and collection; this module holds the record type itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ObservabilityError
+
+
+@dataclass
+class Span:
+    """One named interval of a run.
+
+    Attributes
+    ----------
+    name:
+        What the interval was, e.g. ``"phase.cooldown"`` or ``"run_device"``.
+        Summaries aggregate spans by name, so identity (which unit, which
+        workload) belongs in ``detail``, not the name.
+    wall_start_s / wall_stop_s:
+        ``time.perf_counter`` timestamps.  Only differences are meaningful;
+        the origin is the process's performance-counter epoch.
+    sim_start_s / sim_stop_s:
+        Simulation-clock extents, when the span tracked a world clock.
+    parent:
+        Name of the enclosing open span on the same registry, if any.
+    detail:
+        Free-form identifying payload (model, serial, workload...).
+    """
+
+    name: str
+    wall_start_s: float
+    wall_stop_s: Optional[float] = None
+    sim_start_s: Optional[float] = None
+    sim_stop_s: Optional[float] = None
+    parent: Optional[str] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def wall_s(self) -> float:
+        """Wall-clock duration, seconds (0.0 while still open)."""
+        if self.wall_stop_s is None:
+            return 0.0
+        return self.wall_stop_s - self.wall_start_s
+
+    @property
+    def sim_s(self) -> Optional[float]:
+        """Simulation-time duration, seconds (``None`` if untracked)."""
+        if self.sim_start_s is None or self.sim_stop_s is None:
+            return None
+        return self.sim_stop_s - self.sim_start_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable snapshot of this span."""
+        return {
+            "name": self.name,
+            "wall_start_s": self.wall_start_s,
+            "wall_stop_s": self.wall_stop_s,
+            "wall_s": self.wall_s,
+            "sim_start_s": self.sim_start_s,
+            "sim_stop_s": self.sim_stop_s,
+            "sim_s": self.sim_s,
+            "parent": self.parent,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output."""
+        try:
+            return cls(
+                name=payload["name"],
+                wall_start_s=payload["wall_start_s"],
+                wall_stop_s=payload.get("wall_stop_s"),
+                sim_start_s=payload.get("sim_start_s"),
+                sim_stop_s=payload.get("sim_stop_s"),
+                parent=payload.get("parent"),
+                detail=dict(payload.get("detail", {})),
+            )
+        except KeyError as missing:
+            raise ObservabilityError(
+                f"span document missing required field {missing}"
+            ) from None
+
+
+class SpanContext:
+    """Context manager that opens a span on enter and collects it on exit.
+
+    Created by :meth:`MetricsRegistry.span`; not instantiated directly.
+    ``clock`` (when given) is sampled at enter and exit to fill the span's
+    simulation-time extents.
+    """
+
+    def __init__(
+        self,
+        registry: "Any",
+        name: str,
+        clock: Optional[Callable[[], float]],
+        detail: Dict[str, Any],
+    ) -> None:
+        self._registry = registry
+        self._name = name
+        self._clock = clock
+        self._detail = detail
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = Span(
+            name=self._name,
+            wall_start_s=time.perf_counter(),
+            sim_start_s=self._clock() if self._clock is not None else None,
+            parent=self._registry._open_span_name(),
+            detail=self._detail,
+        )
+        self._registry._push_span(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        assert span is not None  # __exit__ without __enter__
+        span.wall_stop_s = time.perf_counter()
+        if self._clock is not None:
+            span.sim_stop_s = self._clock()
+        self._registry._pop_span(span)
+        return False
+
+
+class _NullSpanContext:
+    """The disabled-registry span: enters and exits without recording.
+
+    A single module-level instance is reused for every disabled
+    ``registry.span(...)`` call, so the disabled path allocates nothing.
+    """
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpanContext()

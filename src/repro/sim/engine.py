@@ -25,6 +25,7 @@ from typing import Callable, Optional
 from repro.device.phone import Device, StepReport
 from repro.errors import SimulationError
 from repro.instruments.thermabox import Thermabox
+from repro.obs.metrics import default_registry
 from repro.sim.clock import SimClock
 from repro.sim.events import EventLog
 from repro.sim.trace import Trace
@@ -71,6 +72,9 @@ class World:
         self._sleep_fast_forward = sleep_fast_forward
         #: Poll windows advanced as single exact propagations so far.
         self.fast_forwards = 0
+        #: Clock steps covered by those macro propagations (the clock's
+        #: total includes them; subtracting yields steps actually looped).
+        self.fast_forward_steps = 0
         #: Total work retired since world creation, ops.
         self.ops_total = 0.0
         self._last_report: Optional[StepReport] = None
@@ -196,17 +200,20 @@ class World:
         device = self.device
         fast_forward_ok = self._sleep_fast_forward and device.thermal.is_exact
         started = self.now
-        while True:
-            if predicate(self):
-                return self.now - started
-            if self.now - started >= timeout_s:
-                raise SimulationError(
-                    f"run_until timed out after {timeout_s} s"
-                )
-            if fast_forward_ok and device.is_asleep:
-                self._fast_forward(check_every_s)
-            else:
-                self.run_for(check_every_s)
+        with default_registry().span(
+            "engine.run_until", clock=lambda: self.now, phase=self._phase_name
+        ):
+            while True:
+                if predicate(self):
+                    return self.now - started
+                if self.now - started >= timeout_s:
+                    raise SimulationError(
+                        f"run_until timed out after {timeout_s} s"
+                    )
+                if fast_forward_ok and device.is_asleep:
+                    self._fast_forward(check_every_s)
+                else:
+                    self.run_for(check_every_s)
 
     def _fast_forward(self, window_s: float) -> None:
         """Advance one sleeping poll window as a single exact macro step."""
@@ -231,6 +238,7 @@ class World:
         clock.advance(steps)
         self._record_trace(report, ambient)
         self.fast_forwards += 1
+        self.fast_forward_steps += steps
 
     # -- internals --------------------------------------------------------
 

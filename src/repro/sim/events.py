@@ -37,6 +37,28 @@ class Event:
                 return value
         return default
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable form of this event (the JSONL exporter's
+        line payload)."""
+        return {
+            "time_s": self.time_s,
+            "kind": self.kind,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Event":
+        """Rebuild an event from :meth:`to_dict` output.
+
+        Detail keys are re-sorted, matching how :meth:`EventLog.log`
+        normalizes them — so the round-trip is exact.
+        """
+        return cls(
+            time_s=payload["time_s"],
+            kind=payload["kind"],
+            detail=tuple(sorted(payload.get("detail", {}).items())),
+        )
+
 
 class EventLog:
     """Append-only, time-ordered event log."""

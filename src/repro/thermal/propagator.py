@@ -92,6 +92,14 @@ class ExpmPropagator:
         return int(self._finite.size)
 
     @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of :meth:`pair` calls served from the (Φ, Ψ) cache
+        (0.0 before the first call).  A healthy run sits near 1.0 — the
+        simulator only ever asks for a handful of distinct step sizes."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
     def slowest_time_constant_s(self) -> float:
         """The network's slowest modal time constant, seconds (inf if a
         mode is disconnected from every boundary)."""

@@ -13,7 +13,7 @@ from repro.core.config import AccubenchConfig
 from repro.core.experiments import unconstrained
 from repro.core.parallel import DeviceTask, run_tasks
 from repro.core.runner import CampaignConfig, CampaignRunner
-from repro.core.serialize import experiment_to_dict
+from repro.core.serialize import device_to_dict, experiment_to_dict
 from repro.device.fleet import synthetic_fleet
 from repro.errors import ConfigurationError
 
@@ -66,6 +66,29 @@ class TestDeterminism:
         for a, b in zip(few, many):
             assert a.serial == b.serial
             assert a.profile == b.profile
+
+    def test_run_tasks_identical_across_worker_counts(self):
+        # Directly at the run_tasks level: completion order is whatever
+        # the pool delivers, but reassembly is by submission index, so
+        # the returned list is invariant in both order and values.
+        digests = []
+        for jobs in (1, 2, 4):
+            fleet = synthetic_fleet(MODEL, count=4, root_seed=11)
+            tasks = [
+                DeviceTask(
+                    device=device,
+                    experiment=unconstrained(),
+                    config=tiny_config(),
+                    iterations=1,
+                )
+                for device in fleet
+            ]
+            results = run_tasks(tasks, jobs=jobs)
+            assert [r.serial for r in results] == [d.serial for d in fleet]
+            digests.append(
+                [json.dumps(device_to_dict(r), sort_keys=True) for r in results]
+            )
+        assert digests[0] == digests[1] == digests[2]
 
     def test_run_model_parallel_matches_serial(self):
         runner = CampaignRunner(tiny_config())

@@ -90,3 +90,40 @@ class TestReading:
         logger.log_event("phase", name="cooldown")
         kinds = [record["kind"] for record in logger.records()]
         assert kinds == ["event", "iteration", "event"]
+
+
+class TestContextManager:
+    def test_round_trip_with_held_handle(self, logger):
+        with logger as active:
+            assert active is logger
+            active.log_iteration(iteration(perf=900.0))
+            active.log_event("phase", name="cooldown")
+            active.log_iteration(iteration(perf=910.0))
+        assert [r.iterations_completed for r in logger.iterations()] == [
+            900.0, 910.0,
+        ]
+        assert logger.summary() == {"iteration": 2, "event": 1}
+
+    def test_records_readable_while_open(self, logger):
+        # records() flushes the held handle, so a reader inside the
+        # `with` block sees everything logged so far.
+        with logger:
+            logger.log_note("first")
+            assert [r["kind"] for r in logger.records()] == ["note"]
+            logger.log_note("second")
+            assert len(list(logger.records())) == 2
+
+    def test_exit_closes_handle(self, logger):
+        with logger:
+            logger.log_note("inside")
+        assert logger._handle is None
+        # Bare appends still work after the managed scope ends.
+        logger.log_note("outside")
+        assert len(list(logger.records())) == 2
+
+    def test_reentry_appends(self, logger):
+        with logger:
+            logger.log_note("run 1")
+        with logger:
+            logger.log_note("run 2")
+        assert len(list(logger.records())) == 2

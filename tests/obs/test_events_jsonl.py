@@ -1,0 +1,54 @@
+"""JSONL export of engine event streams."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.events import read_events_jsonl, write_events_jsonl
+from repro.sim.events import EventLog
+
+
+def sample_log() -> EventLog:
+    log = EventLog()
+    log.log(0.0, "phase", name="warmup")
+    log.log(42.5, "throttle-step", steps=1)
+    log.log(90.0, "core-offline", online=3, cluster="krait")
+    return log
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        log = sample_log()
+        path = tmp_path / "events" / "run.jsonl"
+        written = write_events_jsonl(log, path)
+        assert written == 3
+        assert read_events_jsonl(path) == list(log)
+
+    def test_one_document_per_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_events_jsonl(sample_log(), path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            record = json.loads(line)
+            assert record["format"] == "repro-events-v1"
+
+    def test_empty_log(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert write_events_jsonl(EventLog(), path) == 0
+        assert read_events_jsonl(path) == []
+
+
+class TestErrors:
+    def test_corrupt_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("{broken\n")
+        with pytest.raises(ObservabilityError):
+            read_events_jsonl(path)
+
+    def test_unknown_format(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"format": "not-events", "kind": "x", "time_s": 0}\n')
+        with pytest.raises(ObservabilityError):
+            read_events_jsonl(path)

@@ -1,0 +1,100 @@
+"""Metrics exporters: JSON document, Prometheus text, human summary."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.export import (
+    aggregate_spans,
+    as_document,
+    format_summary,
+    prometheus_text,
+    read_metrics,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("engine.steps").inc(2904)
+    registry.counter("engine.fast_forward_windows").inc(7)
+    registry.gauge("jobs").set(4.0)
+    histogram = registry.histogram("task.wall_s", bounds=(1.0, 10.0))
+    histogram.observe(0.5)
+    histogram.observe(3.0)
+    ticks = iter([0.0, 60.0, 60.0, 360.0])
+    clock = lambda: next(ticks)  # noqa: E731
+    with registry.span("phase.warmup", clock=clock):
+        pass
+    with registry.span("phase.cooldown", clock=clock):
+        pass
+    return registry
+
+
+class TestDocumentRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        registry = populated_registry()
+        path = write_metrics(registry, tmp_path / "metrics" / "m.json")
+        assert path.exists()
+        document = read_metrics(path)
+        assert document == registry.snapshot()
+
+    def test_read_rejects_non_metrics_json(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ObservabilityError):
+            read_metrics(path)
+
+    def test_read_rejects_corrupt_file(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("{nope")
+        with pytest.raises(ObservabilityError):
+            read_metrics(path)
+
+    def test_as_document_accepts_registry_or_dict(self):
+        registry = populated_registry()
+        snapshot = registry.snapshot()
+        assert as_document(registry) == snapshot
+        assert as_document(snapshot) == snapshot
+        with pytest.raises(ObservabilityError):
+            as_document({"format": "bogus"})
+
+
+class TestAggregateSpans:
+    def test_totals_by_name(self):
+        totals = aggregate_spans(populated_registry())
+        assert totals["phase.warmup"]["count"] == 1
+        assert totals["phase.warmup"]["sim_s"] == pytest.approx(60.0)
+        assert totals["phase.cooldown"]["sim_s"] == pytest.approx(300.0)
+
+
+class TestPrometheus:
+    def test_counters_gauges_histograms_emitted(self):
+        text = prometheus_text(populated_registry())
+        assert "# TYPE repro_engine_steps counter" in text
+        assert "repro_engine_steps 2904" in text
+        assert "# TYPE repro_jobs gauge" in text
+        assert 'repro_task_wall_s_bucket{le="1"} 1' in text
+        assert 'repro_task_wall_s_bucket{le="10"} 2' in text
+        assert 'repro_task_wall_s_bucket{le="+Inf"} 2' in text
+        assert "repro_task_wall_s_sum 3.5" in text
+        assert 'repro_span_wall_seconds_count{span="phase.warmup"} 1' in text
+
+    def test_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("weird-name.with chars").inc()
+        text = prometheus_text(registry)
+        assert "repro_weird_name_with_chars 1" in text
+
+
+class TestSummary:
+    def test_sections_render(self):
+        text = format_summary(populated_registry())
+        assert "counters" in text
+        assert "engine.steps" in text
+        assert "task.wall_s: n=2" in text
+        assert "phase.cooldown" in text
+        assert "sim/wall" in text
+
+    def test_empty_document(self):
+        assert format_summary(MetricsRegistry()) == "no metrics recorded\n"

@@ -14,6 +14,34 @@ class TestEvent:
         event = Event(time_s=1.0, kind="phase")
         assert event.get("missing", 42) == 42
 
+    def test_get_falls_back_to_none(self):
+        event = Event(time_s=1.0, kind="phase", detail=(("name", "warmup"),))
+        assert event.get("missing") is None
+
+    def test_dict_round_trip(self):
+        event = EventLog().log(42.5, "core-offline", online=3, cluster="krait")
+        assert Event.from_dict(event.to_dict()) == event
+
+    def test_from_dict_canonicalizes_detail_order(self):
+        # EventLog.log stores detail keys sorted; from_dict re-sorts so
+        # any JSON key order decodes to the same canonical Event.
+        restored = Event.from_dict(
+            {"time_s": 1.0, "kind": "x", "detail": {"b": 2, "a": 1}}
+        )
+        assert restored.detail == (("a", 1), ("b", 2))
+
+    def test_to_dict_is_json_shaped(self):
+        event = Event(time_s=1.0, kind="phase", detail=(("name", "warmup"),))
+        assert event.to_dict() == {
+            "time_s": 1.0,
+            "kind": "phase",
+            "detail": {"name": "warmup"},
+        }
+
+    def test_round_trip_without_detail(self):
+        event = Event(time_s=0.0, kind="sleep-enter")
+        assert Event.from_dict(event.to_dict()) == event
+
 
 class TestEventLog:
     def test_log_and_iterate(self):

@@ -104,6 +104,82 @@ class TestRunFleet:
         assert "error:" in capsys.readouterr().err
 
 
+class TestRunFleetTelemetry:
+    RUN = [
+        "run-fleet", "Nexus 5",
+        "--experiment", "unconstrained",
+        "--scale", "0.12", "--iterations", "1", "--no-thermabox",
+    ]
+
+    def test_metrics_out_writes_document(self, capsys, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        assert main(self.RUN + ["--metrics-out", str(metrics_path)]) == 0
+        assert "wrote metrics to" in capsys.readouterr().out
+        document = json.loads(metrics_path.read_text())
+        assert document["format"] == "repro-metrics-v1"
+        for key in (
+            "engine.steps",
+            "engine.fast_forward_windows",
+            "propagator.cache_hits",
+            "tasks.completed",
+        ):
+            assert key in document["counters"], key
+        span_names = {span["name"] for span in document["spans"]}
+        assert {"phase.warmup", "phase.cooldown", "phase.workload"} <= span_names
+        assert document["histograms"]["task.wall_s"]["count"] == 4
+
+    def test_metrics_collection_leaves_results_unchanged(self, capsys, tmp_path):
+        plain = tmp_path / "plain.json"
+        instrumented = tmp_path / "instrumented.json"
+        main(self.RUN + ["--json", str(plain)])
+        main(self.RUN + [
+            "--json", str(instrumented),
+            "--metrics-out", str(tmp_path / "metrics.json"),
+        ])
+        assert instrumented.read_text() == plain.read_text()
+
+    def test_progress_lines_on_stderr(self, capsys):
+        assert main(self.RUN + ["--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[1/4]" in err
+        assert "[4/4]" in err
+        assert "bin-0" in err
+
+
+class TestReport:
+    def metrics_file(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        main([
+            "run-fleet", "Nexus 5",
+            "--experiment", "unconstrained",
+            "--scale", "0.12", "--iterations", "1", "--no-thermabox",
+            "--metrics-out", str(path),
+        ])
+        return path
+
+    def test_summary_table(self, capsys, tmp_path):
+        path = self.metrics_file(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine.steps" in out
+        assert "phase.workload" in out
+        assert "task.wall_s" in out
+
+    def test_prometheus_dump(self, capsys, tmp_path):
+        path = self.metrics_file(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(path), "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_engine_steps counter" in out
+        assert "repro_task_wall_s_count 4" in out
+
+    def test_missing_file_is_clean_error(self, capsys, tmp_path):
+        code = main(["report", str(tmp_path / "absent.json")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestTable2:
     def test_subset_study(self, capsys):
         code = main([

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.core",
     "repro.device",
     "repro.instruments",
+    "repro.obs",
     "repro.silicon",
     "repro.sim",
     "repro.soc",
