@@ -1,9 +1,17 @@
 # Convenience targets; all assume the package is installed (see README).
 
-.PHONY: test bench bench-fast validate calibrate examples all
+.PHONY: test check check-update-golden bench bench-fast validate calibrate examples all
 
 test:
 	pytest tests/
+
+# Correctness harness: differential pairings + runtime invariants +
+# golden regression over the whole catalog (see docs/testing.md).
+check:
+	repro-bench check
+
+check-update-golden:
+	repro-bench check --update-golden
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -22,4 +30,4 @@ calibrate:
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; python $$ex > /dev/null || exit 1; done
 
-all: test bench
+all: test check bench

@@ -1,0 +1,113 @@
+"""Cost of the runtime invariant checkers (:mod:`repro.check`).
+
+The engine contract is *zero-cost when disabled*: ``run_for`` tests for
+an observer once per call, and with none attached the pre-existing
+inlined hot loop runs untouched.  This bench holds the claim to numbers,
+interleaved A/B best-of per arm:
+
+* **baseline** — a world whose observer API was never touched,
+* **disabled** — a world that had an :class:`InvariantSuite` attached and
+  detached again (the feature exercised, then switched off); must step
+  within 1% of baseline,
+* **enabled** — the full default suite watching every step; overhead is
+  recorded (and loosely bounded) but not part of the disabled-cost gate.
+
+Results land in ``BENCH_check.json`` at the repository root.  Set
+``REPRO_BENCH_SKIP_RATE_ASSERT=1`` to record without asserting (shared
+convention with the campaign bench for noisy hosts).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.check import InvariantSuite
+from repro.device.fleet import PAPER_FLEETS, build_device
+from repro.instruments.monsoon import MonsoonPowerMonitor
+from repro.sim.engine import World
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_check.json")
+
+#: The gate: a disabled-checkers world may cost at most this much over a
+#: never-observed one.
+MAX_DISABLED_OVERHEAD = 0.01
+
+#: Sanity ceiling for the enabled suite (five pure-python checks per
+#: step); it exists to catch accidental quadratic work, not to tune.
+MAX_ENABLED_OVERHEAD = 2.0
+
+WARMUP_SIM_S = 5.0
+TIMED_SIM_S = 60.0
+DT = 0.1
+REPEATS = 5
+
+
+def _loaded_world(arm: str) -> World:
+    device = build_device(PAPER_FLEETS["Nexus 5"][0])
+    device.connect_supply(MonsoonPowerMonitor(3.8))
+    world = World(device, dt=DT, trace_decimation=10)
+    if arm == "disabled":
+        world.attach_observer(InvariantSuite())
+        world.detach_observer()
+    elif arm == "enabled":
+        world.attach_observer(InvariantSuite())
+    device.acquire_wakelock()
+    device.start_load()
+    world.run_for(WARMUP_SIM_S)
+    return world
+
+
+def _steps_per_sec(arm: str) -> float:
+    steps = round(TIMED_SIM_S / DT)
+    world = _loaded_world(arm)
+    start = time.perf_counter()
+    world.run_for(TIMED_SIM_S)
+    return steps / (time.perf_counter() - start)
+
+
+def test_invariant_checker_overhead():
+    arms = ("baseline", "disabled", "enabled")
+    best = {arm: 0.0 for arm in arms}
+    for _ in range(REPEATS):
+        for arm in arms:  # interleaved so host drift cancels
+            best[arm] = max(best[arm], _steps_per_sec(arm))
+
+    disabled_overhead = best["baseline"] / best["disabled"] - 1.0
+    enabled_overhead = best["baseline"] / best["enabled"] - 1.0
+
+    with open(RESULTS_PATH, "w") as fp:
+        json.dump(
+            {
+                "baseline_steps_per_sec": round(best["baseline"]),
+                "disabled_steps_per_sec": round(best["disabled"]),
+                "enabled_steps_per_sec": round(best["enabled"]),
+                "disabled_overhead_pct": round(disabled_overhead * 100.0, 2),
+                "enabled_overhead_pct": round(enabled_overhead * 100.0, 2),
+            },
+            fp,
+            indent=2,
+            sort_keys=True,
+        )
+        fp.write("\n")
+
+    print(
+        f"\ninvariant checkers: baseline {best['baseline']:,.0f} steps/s, "
+        f"disabled {best['disabled']:,.0f} ({disabled_overhead:+.2%}), "
+        f"enabled {best['enabled']:,.0f} ({enabled_overhead:+.2%})"
+    )
+
+    if os.environ.get("REPRO_BENCH_SKIP_RATE_ASSERT"):
+        pytest.skip("overhead floor assertion disabled by environment")
+    assert disabled_overhead <= MAX_DISABLED_OVERHEAD, (
+        f"disabled checkers cost {disabled_overhead:.2%} "
+        f"(> {MAX_DISABLED_OVERHEAD:.0%}) over the never-observed loop"
+    )
+    assert enabled_overhead <= MAX_ENABLED_OVERHEAD, (
+        f"enabled checkers cost {enabled_overhead:.2%} "
+        f"(> {MAX_ENABLED_OVERHEAD:.0%}); check for accidental per-step "
+        f"quadratic work"
+    )

@@ -1,0 +1,91 @@
+"""Correctness tooling: invariants, differential testing, golden traces.
+
+The repro now has several independent fast paths — the vectorized engine
+loop, the exact ``expm`` propagator, the sleep fast-forward and the
+parallel executor — whose agreement used to be asserted ad hoc.  This
+package makes cross-implementation agreement and physical plausibility
+machine-checked:
+
+:mod:`repro.check.invariants`
+    Opt-in runtime checkers attachable to a :class:`~repro.sim.engine.World`
+    (energy accounting, temperature bounds, monotone cooldown, throttle
+    consistency, trace time ordering).  Zero-cost when not attached.
+:mod:`repro.check.differential`
+    An A/B harness running the same scenario under paired configurations
+    (euler↔expm, serial↔parallel, fast-forward on↔off) and comparing
+    results against declarative per-field tolerance specs.
+:mod:`repro.check.golden`
+    A golden-result store (``tests/golden/*.json``) with load/compare/
+    regenerate APIs, gating CI on silent drift.
+:mod:`repro.check.strategies`
+    Shared Hypothesis strategies and deterministic scenario generators
+    (imported lazily — only test code needs Hypothesis).
+
+Entry points: ``repro-bench check`` (``--differential``, ``--invariants``,
+``--golden``, ``--update-golden``), ``make check``, and the ``check`` CI
+job.  See ``docs/testing.md``.
+"""
+
+from repro.check.differential import (
+    Divergence,
+    DifferentialReport,
+    Pairing,
+    Tolerance,
+    ToleranceSpec,
+    default_pairings,
+    fast_forward_pairing,
+    jobs_pairing,
+    run_differential,
+    run_pairing,
+    solver_pairing,
+)
+from repro.check.golden import (
+    GOLDEN_FORMAT,
+    build_golden,
+    check_golden,
+    compare_golden,
+    golden_path,
+    load_golden,
+    update_golden,
+    write_golden,
+)
+from repro.check.invariants import (
+    EnergyConservation,
+    Invariant,
+    InvariantSuite,
+    MonotoneCooldown,
+    TemperatureBounds,
+    ThrottleConsistency,
+    TraceTimeMonotone,
+    default_invariants,
+)
+
+__all__ = [
+    "Divergence",
+    "DifferentialReport",
+    "Pairing",
+    "Tolerance",
+    "ToleranceSpec",
+    "default_pairings",
+    "fast_forward_pairing",
+    "jobs_pairing",
+    "run_differential",
+    "run_pairing",
+    "solver_pairing",
+    "GOLDEN_FORMAT",
+    "build_golden",
+    "check_golden",
+    "compare_golden",
+    "golden_path",
+    "load_golden",
+    "update_golden",
+    "write_golden",
+    "EnergyConservation",
+    "Invariant",
+    "InvariantSuite",
+    "MonotoneCooldown",
+    "TemperatureBounds",
+    "ThrottleConsistency",
+    "TraceTimeMonotone",
+    "default_invariants",
+]

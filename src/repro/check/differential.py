@@ -1,0 +1,503 @@
+"""Differential (A/B) testing of the simulator's independent fast paths.
+
+The study's results must not depend on *how* they were computed: the
+sub-stepped Euler integrator and the exact ``expm`` propagator model the
+same physics, the sleep fast-forward is an exact macro step, and the
+parallel executor is bit-identical to the serial loop by construction.
+This module runs the same scenario under paired configurations and
+compares the results field by field against declarative tolerance specs,
+reporting the first divergence with its context (unit, iteration, field —
+and for traces, sim-time and protocol phase).
+
+Vocabulary
+----------
+:class:`Tolerance`
+    How far two values of one field may drift: ``abs_tol + rel_tol *
+    max(|a|, |b|)``, numpy.isclose-style.  The default is exact equality.
+:class:`ToleranceSpec`
+    A named map of field → :class:`Tolerance` plus a default for fields
+    without an entry; knows how to diff scalars, result objects and traces.
+:class:`Pairing`
+    Two campaign configurations expected to agree within a spec
+    (``euler↔expm``, ``serial↔jobs=N``, ``fast-forward on↔off``).
+:class:`DifferentialReport`
+    The outcome of one pairing over one or more models — renders either
+    "agreed within tolerances" or the first divergence, with counts.
+
+The mutation smoke test (``tests/check/test_mutation.py``) perturbs a
+solver constant and asserts the harness flags it — proving these checks
+have teeth, not just green lights.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.config import AccubenchConfig
+from repro.core.results import DeviceResult, ExperimentResult, IterationResult
+from repro.core.runner import CampaignConfig, CampaignRunner
+from repro.core.serialize import iteration_to_dict
+from repro.errors import CheckError
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Allowed drift between two values of one field.
+
+    ``abs_tol`` and ``rel_tol`` combine additively (numpy.isclose-style):
+    values agree when ``|a - b| <= abs_tol + rel_tol * max(|a|, |b|)``.
+    The zero default demands exact equality — the right spec for paths
+    that are bit-identical by construction (serial vs parallel).
+    """
+
+    abs_tol: float = 0.0
+    rel_tol: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("abs_tol", "rel_tol"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                raise CheckError(f"{name} must be finite and non-negative")
+
+    def allows(self, a: float, b: float) -> bool:
+        """Whether two values agree within this tolerance."""
+        if math.isnan(a) or math.isnan(b):
+            return False
+        return abs(a - b) <= self.abs_tol + self.rel_tol * max(abs(a), abs(b))
+
+
+#: Exact-equality tolerance (the strictest possible spec).
+EXACT = Tolerance()
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One field disagreement between the A and B sides of a pairing."""
+
+    field: str
+    context: str
+    value_a: float
+    value_b: float
+    sim_time_s: Optional[float] = None
+    phase: Optional[str] = None
+
+    @property
+    def abs_delta(self) -> float:
+        """Absolute disagreement."""
+        return abs(self.value_a - self.value_b)
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        where = f" at t={self.sim_time_s:.1f} s" if self.sim_time_s is not None else ""
+        phase = f" (phase {self.phase})" if self.phase else ""
+        return (
+            f"{self.context}: {self.field} diverged{where}{phase}: "
+            f"A={self.value_a:.6g} B={self.value_b:.6g} "
+            f"(|Δ|={self.abs_delta:.3g})"
+        )
+
+
+@dataclass(frozen=True)
+class ToleranceSpec:
+    """A named, declarative map of result fields to tolerances.
+
+    ``fields`` lists per-field tolerances; anything not listed falls back
+    to ``default`` (exact equality unless overridden).  The compare
+    methods walk result structures and return every divergence found, in
+    traversal order — the first entry is the first divergence.
+    """
+
+    name: str
+    fields: Tuple[Tuple[str, Tolerance], ...] = ()
+    default: Tolerance = EXACT
+
+    def tolerance_for(self, field_name: str) -> Tolerance:
+        """The tolerance governing one field."""
+        for name, tolerance in self.fields:
+            if name == field_name:
+                return tolerance
+        return self.default
+
+    def compare_scalar(
+        self,
+        field_name: str,
+        a: float,
+        b: float,
+        context: str = "",
+        sim_time_s: Optional[float] = None,
+        phase: Optional[str] = None,
+    ) -> Optional[Divergence]:
+        """Diff one value pair; ``None`` means they agree."""
+        if self.tolerance_for(field_name).allows(a, b):
+            return None
+        return Divergence(
+            field=field_name,
+            context=context,
+            value_a=float(a),
+            value_b=float(b),
+            sim_time_s=sim_time_s,
+            phase=phase,
+        )
+
+    def compare_mapping(
+        self, a: Mapping[str, float], b: Mapping[str, float], context: str = ""
+    ) -> List[Divergence]:
+        """Diff two flat numeric mappings (shared numeric keys only)."""
+        divergences = []
+        for key in a:
+            if key not in b:
+                continue
+            va, vb = a[key], b[key]
+            if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+                found = self.compare_scalar(key, va, vb, context=context)
+                if found is not None:
+                    divergences.append(found)
+        return divergences
+
+    def compare_iteration(
+        self, a: IterationResult, b: IterationResult, context: str = ""
+    ) -> List[Divergence]:
+        """Diff two protocol iterations field by field."""
+        return self.compare_mapping(
+            iteration_to_dict(a), iteration_to_dict(b), context=context
+        )
+
+    def compare_device(self, a: DeviceResult, b: DeviceResult) -> List[Divergence]:
+        """Diff two units' iteration batches."""
+        if a.serial != b.serial or len(a.iterations) != len(b.iterations):
+            raise CheckError(
+                "differential compare requires matching units and iteration "
+                f"counts (got {a.serial}×{len(a.iterations)} vs "
+                f"{b.serial}×{len(b.iterations)})"
+            )
+        divergences = []
+        for index, (ia, ib) in enumerate(zip(a.iterations, b.iterations)):
+            divergences.extend(
+                self.compare_iteration(
+                    ia, ib, context=f"{a.model}/{a.serial}/iter-{index}"
+                )
+            )
+        return divergences
+
+    def compare_experiment(
+        self, a: ExperimentResult, b: ExperimentResult
+    ) -> List[Divergence]:
+        """Diff two fleet experiments unit by unit."""
+        if a.serials != b.serials:
+            raise CheckError(
+                f"fleets differ: {a.serials} vs {b.serials} — differential "
+                "compare requires the same units on both sides"
+            )
+        divergences = []
+        for da, db in zip(a.devices, b.devices):
+            divergences.extend(self.compare_device(da, db))
+        return divergences
+
+    def compare_trace(
+        self, a: Trace, b: Trace, context: str = ""
+    ) -> List[Divergence]:
+        """Diff two traces sample by sample, annotating divergences with
+        sim-time and the protocol phase containing them.
+
+        Requires identical channel sets and sample counts (pairings whose
+        trace grids legitimately differ — the fast-forward decimates
+        cooldown sampling — compare scalar results instead).
+        """
+        if a.channels != b.channels:
+            raise CheckError(
+                f"traces declare different channels: {a.channels} vs {b.channels}"
+            )
+        divergences: List[Divergence] = []
+        if len(a) != len(b):
+            divergences.append(
+                Divergence(
+                    field="len",
+                    context=context or "trace",
+                    value_a=float(len(a)),
+                    value_b=float(len(b)),
+                )
+            )
+            return divergences
+        if len(a) == 0:
+            return divergences
+        times_a, times_b = a.times(), b.times()
+        time_tol = self.tolerance_for("time")
+        for channel_name, column_a, column_b in (
+            [("time", times_a, times_b)]
+            + [(name, a.column(name), b.column(name)) for name in a.channels]
+        ):
+            tolerance = (
+                time_tol if channel_name == "time"
+                else self.tolerance_for(channel_name)
+            )
+            for index in range(len(column_a)):
+                va, vb = float(column_a[index]), float(column_b[index])
+                if not tolerance.allows(va, vb):
+                    when = float(times_a[index])
+                    divergences.append(
+                        Divergence(
+                            field=channel_name,
+                            context=context or "trace",
+                            value_a=va,
+                            value_b=vb,
+                            sim_time_s=when,
+                            phase=_phase_at(a, when),
+                        )
+                    )
+                    break  # first divergence per channel is enough
+        return divergences
+
+
+def _phase_at(trace: Trace, time_s: float) -> Optional[str]:
+    for span in trace.phases:
+        if span.contains(time_s):
+            return span.name
+    return None
+
+
+# -- tolerance specs for the standard pairings ----------------------------
+
+#: Bit-identical paths: the parallel executor's contract.
+EXACT_SPEC = ToleranceSpec(name="exact")
+
+#: Euler vs the exact propagator: same physics, different integrators.
+#: Cooldown length may differ by one poll window (its end is quantized to
+#: the sensor poll); discrete throttle decisions near a threshold can
+#: nudge the performance/energy integrals by a fraction of a percent.
+SOLVER_SPEC = ToleranceSpec(
+    name="euler-vs-expm",
+    fields=(
+        ("iterations_completed", Tolerance(rel_tol=0.02)),
+        ("energy_j", Tolerance(rel_tol=0.02)),
+        ("mean_power_w", Tolerance(rel_tol=0.02)),
+        ("mean_freq_mhz", Tolerance(rel_tol=0.02)),
+        ("max_cpu_temp_c", Tolerance(abs_tol=1.0)),
+        ("cooldown_s", Tolerance(abs_tol=10.01)),
+        ("time_throttled_s", Tolerance(abs_tol=8.0)),
+    ),
+)
+
+#: Fast-forward on vs off (both expm): the macro step is exact, so only
+#: sensor-noise draw alignment at poll boundaries may wiggle the cooldown
+#: end by one window; everything thermal/energetic must agree tightly.
+FAST_FORWARD_SPEC = ToleranceSpec(
+    name="fast-forward",
+    fields=(
+        ("iterations_completed", Tolerance(rel_tol=0.01)),
+        ("energy_j", Tolerance(rel_tol=0.01)),
+        ("mean_power_w", Tolerance(rel_tol=0.01)),
+        # A unit sitting right at its throttle threshold may clip one
+        # mitigation step in one run and not the other, which moves the
+        # workload-mean frequency a couple of percent.
+        ("mean_freq_mhz", Tolerance(rel_tol=0.03)),
+        # The macro step lands the cooldown anywhere inside the poll
+        # window the stepped run would have crossed the target in, so the
+        # next iteration starts up to a poll period cooler/warmer and its
+        # peak shifts by a few tenths of a degree.
+        ("max_cpu_temp_c", Tolerance(abs_tol=0.5)),
+        ("cooldown_s", Tolerance(abs_tol=10.01)),
+        ("time_throttled_s", Tolerance(abs_tol=4.0)),
+    ),
+)
+
+
+# -- pairings --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Pairing:
+    """Two campaign configurations expected to agree within a spec."""
+
+    name: str
+    label_a: str
+    label_b: str
+    config_a: CampaignConfig
+    config_b: CampaignConfig
+    spec: ToleranceSpec
+    jobs_a: int = 1
+    jobs_b: int = 1
+
+    def __post_init__(self) -> None:
+        if self.config_a == self.config_b and self.jobs_a == self.jobs_b:
+            raise CheckError(
+                f"pairing {self.name!r} runs the identical configuration on "
+                "both sides; it can never diverge"
+            )
+
+
+def _with_protocol(base: CampaignConfig, **overrides) -> CampaignConfig:
+    return replace(base, accubench=replace(base.accubench, **overrides))
+
+
+def solver_pairing(base: CampaignConfig) -> Pairing:
+    """Euler vs the exact ``expm`` propagator (fast-forward off on both,
+    so the comparison isolates the integrator)."""
+    return Pairing(
+        name="solver",
+        label_a="euler",
+        label_b="expm",
+        config_a=_with_protocol(
+            base, thermal_solver="euler", sleep_fast_forward=False
+        ),
+        config_b=_with_protocol(
+            base, thermal_solver="expm", sleep_fast_forward=False
+        ),
+        spec=SOLVER_SPEC,
+    )
+
+
+def fast_forward_pairing(base: CampaignConfig) -> Pairing:
+    """Sleep fast-forward off vs on, both under the exact propagator."""
+    return Pairing(
+        name="fast-forward",
+        label_a="expm/ff-off",
+        label_b="expm/ff-on",
+        config_a=_with_protocol(
+            base, thermal_solver="expm", sleep_fast_forward=False
+        ),
+        config_b=_with_protocol(
+            base, thermal_solver="expm", sleep_fast_forward=True
+        ),
+        spec=FAST_FORWARD_SPEC,
+    )
+
+
+def jobs_pairing(base: CampaignConfig, jobs: int) -> Pairing:
+    """Serial vs ``jobs`` worker processes — must be bit-identical."""
+    if jobs < 2:
+        raise CheckError("jobs pairing needs at least 2 workers on the B side")
+    return Pairing(
+        name=f"jobs-{jobs}",
+        label_a="serial",
+        label_b=f"jobs={jobs}",
+        config_a=base,
+        config_b=base,
+        spec=EXACT_SPEC,
+        jobs_a=1,
+        jobs_b=jobs,
+    )
+
+
+def default_pairings(base: CampaignConfig) -> Tuple[Pairing, ...]:
+    """The standard battery: euler↔expm, serial↔{2,4} jobs, ff on↔off."""
+    return (
+        solver_pairing(base),
+        jobs_pairing(base, 2),
+        jobs_pairing(base, 4),
+        fast_forward_pairing(base),
+    )
+
+
+# -- reports ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """Outcome of one pairing across one or more fleets."""
+
+    name: str
+    label_a: str
+    label_b: str
+    models: Tuple[str, ...]
+    compared_fields: int
+    divergences: Tuple[Divergence, ...] = field(default=())
+
+    @property
+    def passed(self) -> bool:
+        """Whether every compared field agreed within its tolerance."""
+        return not self.divergences
+
+    @property
+    def first_divergence(self) -> Optional[Divergence]:
+        """The earliest disagreement found, if any."""
+        return self.divergences[0] if self.divergences else None
+
+    def render(self) -> str:
+        """Human-readable summary (one block per report)."""
+        status = "PASS" if self.passed else "FAIL"
+        head = (
+            f"[{status}] {self.name}: {self.label_a} vs {self.label_b} on "
+            f"{', '.join(self.models)} ({self.compared_fields} fields)"
+        )
+        if self.passed:
+            return head
+        lines = [head]
+        for divergence in self.divergences[:5]:
+            lines.append(f"    {divergence.describe()}")
+        hidden = len(self.divergences) - 5
+        if hidden > 0:
+            lines.append(f"    ... and {hidden} more divergence(s)")
+        return "\n".join(lines)
+
+
+def run_pairing(
+    pairing: Pairing,
+    models: Sequence[str],
+    iterations: Optional[int] = None,
+) -> DifferentialReport:
+    """Run one pairing's A and B configurations over the given fleets.
+
+    Both sides run the UNCONSTRAINED workload — the throttling-rich
+    configuration where solver and scheduling differences would show —
+    on each model's paper fleet, and every scalar result field is diffed
+    against the pairing's tolerance spec.
+    """
+    from repro.core.experiments import unconstrained
+
+    divergences: List[Divergence] = []
+    compared = 0
+    for model in models:
+        result_a = CampaignRunner(pairing.config_a).run_fleet(
+            model, unconstrained(), iterations=iterations, jobs=pairing.jobs_a
+        )
+        result_b = CampaignRunner(pairing.config_b).run_fleet(
+            model, unconstrained(), iterations=iterations, jobs=pairing.jobs_b
+        )
+        divergences.extend(pairing.spec.compare_experiment(result_a, result_b))
+        compared += sum(
+            len(iteration_to_dict(it)) - 3  # numeric fields only
+            for device in result_a.devices
+            for it in device.iterations
+        )
+    return DifferentialReport(
+        name=pairing.name,
+        label_a=pairing.label_a,
+        label_b=pairing.label_b,
+        models=tuple(models),
+        compared_fields=compared,
+        divergences=tuple(divergences),
+    )
+
+
+def run_differential(
+    models: Optional[Sequence[str]] = None,
+    base: Optional[CampaignConfig] = None,
+    pairings: Optional[Sequence[Pairing]] = None,
+    iterations: Optional[int] = None,
+) -> List[DifferentialReport]:
+    """Run the standard (or a custom) pairing battery over the catalog.
+
+    ``models`` defaults to every paper fleet; ``base`` defaults to a
+    chamber-less, heavily scaled protocol sized so the whole 5-SoC battery
+    finishes in CI time — pass a custom config for paper-length runs.
+    """
+    if models is None:
+        from repro.device.fleet import PAPER_FLEETS
+
+        models = tuple(PAPER_FLEETS)
+    if base is None:
+        base = default_differential_config()
+    chosen = pairings if pairings is not None else default_pairings(base)
+    return [run_pairing(pairing, models, iterations=iterations) for pairing in chosen]
+
+
+def default_differential_config(
+    scale: float = 0.05, root_seed: Optional[int] = None
+) -> CampaignConfig:
+    """The harness's default scenario config: scaled protocol, no chamber."""
+    protocol = AccubenchConfig().scaled(scale)
+    kwargs: Dict[str, object] = {"accubench": protocol, "use_thermabox": False}
+    if root_seed is not None:
+        kwargs["root_seed"] = root_seed
+    return CampaignConfig(**kwargs)

@@ -1,0 +1,306 @@
+"""Golden-result regression store.
+
+A *golden file* (``tests/golden/<model>.json``) pins one model's scaled
+campaign output: per-device scalar summaries plus a coarse per-iteration
+trace fingerprint (sample count, per-channel mean/min/max/final, phase
+durations).  The files are self-describing — each records the scenario
+config (scale, iterations, seed, solver) it was generated with, and
+:func:`check_golden` re-runs exactly that scenario — so a checkout where
+``repro-bench check --golden`` fails has *changed observable behaviour*,
+deliberately or not.
+
+The simulation is deterministic, so regeneration on an unchanged tree is
+byte-identical (stable key order, no timestamps); intentional physics
+changes regenerate with ``repro-bench check --update-golden`` and the
+diff review happens in version control, where it belongs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.check.differential import (
+    DifferentialReport,
+    Divergence,
+    Tolerance,
+    ToleranceSpec,
+)
+from repro.core.config import AccubenchConfig
+from repro.core.runner import CampaignConfig, CampaignRunner
+from repro.core.serialize import iteration_to_dict
+from repro.errors import CheckError
+from repro.rng import DEFAULT_ROOT_SEED
+from repro.sim.trace import Trace
+
+#: Format marker stamped into every golden document.
+GOLDEN_FORMAT = "repro-golden-v1"
+
+#: Default scenario knobs (kept small: the whole catalog regenerates in
+#: well under a minute).
+DEFAULT_SCALE = 0.05
+DEFAULT_ITERATIONS = 1
+
+#: Decimal places kept in trace fingerprints — coarse on purpose, so the
+#: fingerprint pins the shape of the run without becoming a float-noise
+#: tripwire.
+FINGERPRINT_DECIMALS = 6
+
+#: Drift gate for golden comparison: effectively exact, with enough slack
+#: to absorb libm differences across platforms.
+GOLDEN_SPEC = ToleranceSpec(
+    name="golden", default=Tolerance(abs_tol=1e-9, rel_tol=1e-9)
+)
+
+
+def golden_path(directory: str, model: str) -> str:
+    """Where one model's golden file lives."""
+    slug = model.lower().replace(" ", "-")
+    return os.path.join(directory, f"{slug}.json")
+
+
+def golden_config(
+    scale: float = DEFAULT_SCALE,
+    iterations: int = DEFAULT_ITERATIONS,
+    root_seed: int = DEFAULT_ROOT_SEED,
+    solver: str = "euler",
+) -> CampaignConfig:
+    """The campaign configuration a golden scenario runs under."""
+    protocol = AccubenchConfig().scaled(scale)
+    protocol = AccubenchConfig(
+        **{
+            **protocol.__dict__,
+            "iterations": iterations,
+            "keep_traces": True,
+            "thermal_solver": solver,
+        }
+    )
+    return CampaignConfig(
+        accubench=protocol, use_thermabox=False, root_seed=root_seed
+    )
+
+
+def trace_fingerprint(trace: Optional[Trace]) -> Optional[Dict[str, Any]]:
+    """A coarse, JSON-stable summary of one trace."""
+    if trace is None:
+        return None
+    channels: Dict[str, Dict[str, float]] = {}
+    for name in trace.channels:
+        column = trace.column(name)
+        if column.size == 0:
+            continue
+        channels[name] = {
+            "mean": round(float(column.mean()), FINGERPRINT_DECIMALS),
+            "min": round(float(column.min()), FINGERPRINT_DECIMALS),
+            "max": round(float(column.max()), FINGERPRINT_DECIMALS),
+            "final": round(float(column[-1]), FINGERPRINT_DECIMALS),
+        }
+    return {
+        "samples": len(trace),
+        "channels": channels,
+        "phases": [
+            [span.name, round(span.duration_s, FINGERPRINT_DECIMALS)]
+            for span in trace.phases
+        ],
+    }
+
+
+def build_golden(model: str, config: Optional[CampaignConfig] = None) -> Dict[str, Any]:
+    """Run one model's golden scenario and summarize it as a document."""
+    if config is None:
+        config = golden_config()
+    from repro.core.experiments import unconstrained
+
+    protocol = config.accubench
+    result = CampaignRunner(config).run_fleet(model, unconstrained(), jobs=1)
+    devices = []
+    for device in result.devices:
+        iterations = []
+        for iteration in device.iterations:
+            record = iteration_to_dict(iteration)
+            record["trace"] = trace_fingerprint(iteration.trace)
+            iterations.append(record)
+        devices.append({"serial": device.serial, "iterations": iterations})
+    return {
+        "format": GOLDEN_FORMAT,
+        "model": model,
+        "workload": result.workload,
+        "config": {
+            "warmup_s": protocol.warmup_s,
+            "workload_s": protocol.workload_s,
+            "cooldown_timeout_s": protocol.cooldown_timeout_s,
+            "iterations": protocol.iterations,
+            "root_seed": config.root_seed,
+            "solver": protocol.thermal_solver,
+        },
+        "summary": {
+            "performance_variation": result.performance_variation
+            if len(result.devices) >= 2
+            else None,
+            "energy_variation": result.energy_variation
+            if len(result.devices) >= 2
+            else None,
+        },
+        "devices": devices,
+    }
+
+
+def config_from_document(document: Dict[str, Any]) -> CampaignConfig:
+    """Rebuild the campaign config a golden document was generated with."""
+    try:
+        recorded = document["config"]
+        base = AccubenchConfig().scaled(1.0)
+        protocol = AccubenchConfig(
+            **{
+                **base.__dict__,
+                "warmup_s": recorded["warmup_s"],
+                "workload_s": recorded["workload_s"],
+                "cooldown_timeout_s": recorded["cooldown_timeout_s"],
+                "iterations": recorded["iterations"],
+                "keep_traces": True,
+                "thermal_solver": recorded["solver"],
+            }
+        )
+        return CampaignConfig(
+            accubench=protocol,
+            use_thermabox=False,
+            root_seed=recorded["root_seed"],
+        )
+    except KeyError as missing:
+        raise CheckError(f"golden document missing config field {missing}") from None
+
+
+def write_golden(document: Dict[str, Any], path: str) -> None:
+    """Write a golden document with stable formatting (byte-reproducible)."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fp:
+        json.dump(document, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+
+
+def load_golden(path: str) -> Dict[str, Any]:
+    """Read and validate one golden document."""
+    try:
+        with open(path) as fp:
+            document = json.load(fp)
+    except FileNotFoundError:
+        raise CheckError(
+            f"no golden file at {path}; generate one with "
+            "'repro-bench check --update-golden'"
+        ) from None
+    except json.JSONDecodeError as error:
+        raise CheckError(f"golden file {path} is not valid JSON: {error}") from None
+    if not isinstance(document, dict) or document.get("format") != GOLDEN_FORMAT:
+        raise CheckError(
+            f"golden file {path} has format {document.get('format')!r} "
+            f"(expected {GOLDEN_FORMAT!r})"
+        )
+    return document
+
+
+def compare_golden(
+    expected: Dict[str, Any],
+    actual: Dict[str, Any],
+    spec: ToleranceSpec = GOLDEN_SPEC,
+) -> DifferentialReport:
+    """Diff a stored golden document against a freshly built one."""
+    divergences: List[Divergence] = []
+    compared = _walk(expected, actual, "", spec, divergences)
+    return DifferentialReport(
+        name=f"golden:{expected.get('model', '?')}",
+        label_a="golden",
+        label_b="current",
+        models=(str(expected.get("model", "?")),),
+        compared_fields=compared,
+        divergences=tuple(divergences),
+    )
+
+
+def check_golden(
+    directory: str, models: Sequence[str]
+) -> List[DifferentialReport]:
+    """Re-run every model's recorded scenario and diff against its file."""
+    reports = []
+    for model in models:
+        expected = load_golden(golden_path(directory, model))
+        actual = build_golden(model, config_from_document(expected))
+        reports.append(compare_golden(expected, actual))
+    return reports
+
+
+def update_golden(
+    directory: str,
+    models: Sequence[str],
+    config: Optional[CampaignConfig] = None,
+) -> List[str]:
+    """(Re)generate golden files; returns the paths written."""
+    paths = []
+    for model in models:
+        document = build_golden(model, config)
+        path = golden_path(directory, model)
+        write_golden(document, path)
+        paths.append(path)
+    return paths
+
+
+# -- internals -------------------------------------------------------------
+
+def _walk(
+    expected: Any,
+    actual: Any,
+    path: str,
+    spec: ToleranceSpec,
+    out: List[Divergence],
+) -> int:
+    """Recursively diff two JSON trees; returns fields compared.
+
+    Numeric leaves go through the tolerance spec (keyed by the leaf's
+    final path component); structural and non-numeric mismatches surface
+    as presence divergences so the report never silently skips drift.
+    """
+    compared = 0
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual)):
+            child = f"{path}.{key}" if path else str(key)
+            if key not in expected or key not in actual:
+                out.append(_presence(child, key in expected, key in actual))
+                continue
+            compared += _walk(expected[key], actual[key], child, spec, out)
+        return compared
+    if isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            out.append(
+                Divergence(
+                    field="len",
+                    context=path,
+                    value_a=float(len(expected)),
+                    value_b=float(len(actual)),
+                )
+            )
+            return compared
+        for index, (ea, aa) in enumerate(zip(expected, actual)):
+            compared += _walk(ea, aa, f"{path}[{index}]", spec, out)
+        return compared
+    if _is_number(expected) and _is_number(actual):
+        leaf = path.rsplit(".", 1)[-1]
+        found = spec.compare_scalar(leaf, float(expected), float(actual), context=path)
+        if found is not None:
+            out.append(found)
+        return 1
+    if expected != actual:
+        out.append(_presence(path, True, False))
+    return compared + 1
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _presence(path: str, in_expected: bool, in_actual: bool) -> Divergence:
+    return Divergence(
+        field="presence" if (in_expected != in_actual) else "mismatch",
+        context=path,
+        value_a=1.0 if in_expected else 0.0,
+        value_b=1.0 if in_actual else 0.0,
+    )

@@ -1,0 +1,298 @@
+"""Runtime physical-invariant checkers for the simulation engine.
+
+Each :class:`Invariant` watches every world step through the engine's
+observer hook (:meth:`repro.sim.engine.World.attach_observer`) and raises
+:class:`~repro.errors.InvariantViolation` — with sim-time and protocol
+phase context — the moment the physics stops being plausible:
+
+* **EnergyConservation** — the supply meter's energy must equal the
+  integral of the stepped supply power (the Monsoon accounting identity).
+* **TemperatureBounds** — no node may cool below the coldest boundary it
+  has ever seen, nor heat past the junction ceiling.
+* **MonotoneCooldown** — a sleeping device strictly above ambient must
+  cool toward it, never away.
+* **ThrottleConsistency** — mitigation may only deepen when the die is
+  actually hot, and only relax once it has cooled.
+* **TraceTimeMonotone** — trace timestamps must strictly increase.
+
+Checkers are **opt-in and zero-cost when disabled**: an unobserved world
+runs the exact pre-existing hot loop (``run_for`` checks for an observer
+once per call, not per step).  Enable them per run with
+``AccubenchConfig(check_invariants=True)``, per world with
+``world.attach_observer(InvariantSuite())``, or from the CLI via
+``repro-bench check --invariants``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+from repro.device.phone import StepReport
+from repro.errors import InvariantViolation
+from repro.sim.engine import StepObserver, World
+
+#: No silicon in the catalog survives past this die temperature; anything
+#: above it is a simulation bug, not physics.
+JUNCTION_MAX_C = 120.0
+
+#: Slack on the lower temperature bound, °C (sub-step transients).
+BOUND_MARGIN_C = 0.5
+
+#: A sleeping device must be this far above ambient before monotone
+#: cooling is enforced (asymptotic approach wiggles within sensor noise).
+COOLDOWN_MARGIN_C = 1.0
+
+#: How far below the throttle threshold the die may read when a
+#: mitigation step lands (the policy samples on its own poll grid, up to
+#: one poll period before we observe the consequence).
+THROTTLE_MARGIN_C = 5.0
+
+
+class Invariant(StepObserver):
+    """One named runtime check; subclasses override the observer hooks."""
+
+    name = "invariant"
+
+    def on_finish(self, world: World) -> None:
+        """Called once after the run (end-of-run identities check here)."""
+
+    def violate(self, world: World, message: str) -> None:
+        """Raise a violation annotated with sim-time and phase context."""
+        phase = world.phase or "(no phase)"
+        raise InvariantViolation(
+            f"[{self.name}] {message} — at t={world.now:.2f} s, "
+            f"phase {phase}, device {world.device.serial}"
+        )
+
+
+class EnergyConservation(Invariant):
+    """Supply energy meter == ∫ supply power dt, within tolerance.
+
+    The Monsoon/battery accumulate ``power × dt`` per draw; integrating
+    the same product over step reports must land on the same total.  A
+    drift means a path is double-counting or skipping draws (the exact
+    bug class a macro-step fast-forward could introduce).
+    """
+
+    name = "energy-conservation"
+
+    def __init__(self, rel_tol: float = 1e-6, abs_tol: float = 1e-3) -> None:
+        self.rel_tol = rel_tol
+        self.abs_tol = abs_tol
+        self._integral_j = 0.0
+        self._baseline_j = 0.0
+
+    def on_attach(self, world: World) -> None:
+        self._baseline_j = self._meter_j(world)
+
+    def on_step(
+        self, world: World, report: StepReport, ambient_c: float, dt: float
+    ) -> None:
+        self._integral_j += report.supply_power_w * dt
+        metered = self._meter_j(world) - self._baseline_j
+        drift = abs(metered - self._integral_j)
+        if drift > self.abs_tol + self.rel_tol * max(metered, self._integral_j):
+            self.violate(
+                world,
+                f"supply meter reads {metered:.6f} J but stepped power "
+                f"integrates to {self._integral_j:.6f} J (drift {drift:.2e} J)",
+            )
+
+    @staticmethod
+    def _meter_j(world: World) -> float:
+        return float(getattr(world.device.supply, "energy_drawn_j", 0.0))
+
+
+class TemperatureBounds(Invariant):
+    """Every reported temperature within [coldest boundary seen, junction max]."""
+
+    name = "temperature-bounds"
+
+    def __init__(
+        self,
+        junction_max_c: float = JUNCTION_MAX_C,
+        margin_c: float = BOUND_MARGIN_C,
+    ) -> None:
+        self.junction_max_c = junction_max_c
+        self.margin_c = margin_c
+        self._floor_c = math.inf
+
+    def on_attach(self, world: World) -> None:
+        temps = world.device.thermal.temperatures().values()
+        self._floor_c = min(temps)
+
+    def on_step(
+        self, world: World, report: StepReport, ambient_c: float, dt: float
+    ) -> None:
+        self._floor_c = min(self._floor_c, ambient_c)
+        floor = self._floor_c - self.margin_c
+        for label, temp in (
+            ("cpu", report.cpu_temp_c),
+            ("case", report.case_temp_c),
+        ):
+            if temp < floor:
+                self.violate(
+                    world,
+                    f"{label} temperature {temp:.2f} °C fell below the "
+                    f"coldest boundary seen ({self._floor_c:.2f} °C)",
+                )
+            if temp > self.junction_max_c:
+                self.violate(
+                    world,
+                    f"{label} temperature {temp:.2f} °C exceeds the "
+                    f"junction ceiling ({self.junction_max_c:.1f} °C)",
+                )
+
+
+class MonotoneCooldown(Invariant):
+    """A sleeping die strictly above ambient must cool, never heat."""
+
+    name = "monotone-cooldown"
+
+    #: Per-step heating allowance, °C.  A device settled to a *uniform*
+    #: temperature genuinely warms its die a few ten-thousandths of a
+    #: degree while the gradient toward ambient establishes; anything at
+    #: sensor resolution or above is a real violation.
+    DEFAULT_SLACK_C = 0.01
+
+    def __init__(
+        self, margin_c: float = COOLDOWN_MARGIN_C, slack_c: float = DEFAULT_SLACK_C
+    ) -> None:
+        self.margin_c = margin_c
+        self.slack_c = slack_c
+        self._previous: Optional[StepReport] = None
+
+    def on_step(
+        self, world: World, report: StepReport, ambient_c: float, dt: float
+    ) -> None:
+        previous = self._previous
+        self._previous = report
+        if previous is None or not (previous.asleep and report.asleep):
+            return
+        if previous.cpu_temp_c <= ambient_c + self.margin_c:
+            return
+        if report.cpu_temp_c > previous.cpu_temp_c + self.slack_c:
+            self.violate(
+                world,
+                f"sleeping die heated from {previous.cpu_temp_c:.4f} to "
+                f"{report.cpu_temp_c:.4f} °C while {previous.cpu_temp_c - ambient_c:.2f} °C "
+                f"above ambient",
+            )
+
+
+class ThrottleConsistency(Invariant):
+    """Mitigation steps must track the die temperature they claim to."""
+
+    name = "throttle-consistency"
+
+    def __init__(self, margin_c: float = THROTTLE_MARGIN_C) -> None:
+        self.margin_c = margin_c
+        self._previous_steps = 0
+        self._throttle_temp_c: Optional[float] = None
+        self._clear_temp_c: Optional[float] = None
+
+    def on_attach(self, world: World) -> None:
+        self._previous_steps = world.device.soc.mitigation.ceiling_steps
+        throttle_spec = world.device.spec.throttle
+        self._throttle_temp_c = throttle_spec.throttle_temp_c
+        self._clear_temp_c = throttle_spec.clear_temp_c
+
+    def on_step(
+        self, world: World, report: StepReport, ambient_c: float, dt: float
+    ) -> None:
+        steps = world.device.soc.mitigation.ceiling_steps
+        previous = self._previous_steps
+        self._previous_steps = steps
+        if steps > previous and self._throttle_temp_c is not None:
+            if report.cpu_temp_c < self._throttle_temp_c - self.margin_c:
+                self.violate(
+                    world,
+                    f"throttle deepened to {steps} step(s) with the die at "
+                    f"{report.cpu_temp_c:.2f} °C, well below the "
+                    f"{self._throttle_temp_c:.1f} °C threshold",
+                )
+        elif steps < previous and self._clear_temp_c is not None:
+            if report.cpu_temp_c > self._clear_temp_c + self.margin_c:
+                self.violate(
+                    world,
+                    f"throttle relaxed to {steps} step(s) with the die still "
+                    f"at {report.cpu_temp_c:.2f} °C, above the "
+                    f"{self._clear_temp_c:.1f} °C clear temperature",
+                )
+
+
+class TraceTimeMonotone(Invariant):
+    """Trace timestamps must strictly increase, fast-forwards included."""
+
+    name = "trace-time-monotone"
+
+    def __init__(self) -> None:
+        self._seen = 0
+        self._last_time_s = -math.inf
+
+    def on_attach(self, world: World) -> None:
+        self._seen = len(world.trace)
+        if self._seen:
+            self._last_time_s = float(world.trace.times()[-1])
+
+    def on_step(
+        self, world: World, report: StepReport, ambient_c: float, dt: float
+    ) -> None:
+        trace = world.trace
+        if len(trace) == self._seen:
+            return
+        fresh = trace.times()[self._seen:]
+        self._seen = len(trace)
+        for sample_time in fresh:
+            sample_time = float(sample_time)
+            if sample_time <= self._last_time_s:
+                self.violate(
+                    world,
+                    f"trace sample at t={sample_time:.4f} s does not advance "
+                    f"past the previous sample at t={self._last_time_s:.4f} s",
+                )
+            self._last_time_s = sample_time
+
+
+def default_invariants() -> Tuple[Invariant, ...]:
+    """A fresh instance of every standard invariant."""
+    return (
+        EnergyConservation(),
+        TemperatureBounds(),
+        MonotoneCooldown(),
+        ThrottleConsistency(),
+        TraceTimeMonotone(),
+    )
+
+
+class InvariantSuite(StepObserver):
+    """A bundle of invariants driven as one engine observer.
+
+    Attach to a world directly, or let the protocol do it via
+    ``AccubenchConfig(check_invariants=True)``.  ``steps_checked`` counts
+    observed advances, so harness reports can prove the checks actually
+    ran (a suite that observed zero steps is a configuration bug).
+    """
+
+    def __init__(self, invariants: Optional[Sequence[Invariant]] = None) -> None:
+        self.invariants: Tuple[Invariant, ...] = (
+            tuple(invariants) if invariants is not None else default_invariants()
+        )
+        self.steps_checked = 0
+
+    def on_attach(self, world: World) -> None:
+        for invariant in self.invariants:
+            invariant.on_attach(world)
+
+    def on_step(
+        self, world: World, report: StepReport, ambient_c: float, dt: float
+    ) -> None:
+        self.steps_checked += 1
+        for invariant in self.invariants:
+            invariant.on_step(world, report, ambient_c, dt)
+
+    def finish(self, world: World) -> None:
+        """Run end-of-run checks (call once after the scenario)."""
+        for invariant in self.invariants:
+            invariant.on_finish(world)

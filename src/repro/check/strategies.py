@@ -1,0 +1,169 @@
+"""Shared Hypothesis strategies and deterministic scenario generators.
+
+Property tests across the suite used to each grow their own generators
+for the same domain objects (results, value lists, trace samples).  This
+module is the single home for those strategies, so a change to e.g. the
+iteration-result schema updates every property test at once.
+
+Importing this module requires `hypothesis <https://hypothesis.works>`_,
+which is a test-only dependency — it is deliberately **not** re-exported
+from :mod:`repro.check`, so the runtime harness (invariants, differential,
+golden) stays importable without it.  The deterministic generators at the
+bottom (:func:`scenario_device`, :func:`scenario_world`) need only the
+repro itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from hypothesis import strategies as st
+
+from repro.core.results import DeviceResult, ExperimentResult, IterationResult
+from repro.device.catalog import device_spec
+from repro.device.fleet import FleetUnit, build_device
+from repro.device.phone import Device
+from repro.instruments.monsoon import MonsoonPowerMonitor
+from repro.rng import DEFAULT_ROOT_SEED
+from repro.sim.engine import World
+
+#: Positive finite magnitudes (energies, powers, frequencies, counts).
+finite = st.floats(
+    min_value=0.001, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+#: Lowercase identifier-ish names (serials, channel names).
+name = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=16
+)
+
+#: Bounded real-valued lists, as fed to the crowd statistics.
+values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=3,
+    max_size=25,
+)
+
+
+@st.composite
+def iterations(draw, serial: str, model: str = "Nexus 5"):
+    """One plausible :class:`IterationResult` for a given unit."""
+    return IterationResult(
+        model=model,
+        serial=serial,
+        workload="UNCONSTRAINED",
+        iterations_completed=draw(finite),
+        energy_j=draw(finite),
+        mean_power_w=draw(finite),
+        mean_freq_mhz=draw(finite),
+        max_cpu_temp_c=draw(st.floats(min_value=-20.0, max_value=120.0)),
+        cooldown_s=draw(st.floats(min_value=0.0, max_value=1e5)),
+        time_throttled_s=draw(st.floats(min_value=0.0, max_value=1e5)),
+    )
+
+
+@st.composite
+def device_results(draw, serial: str, model: str = "Nexus 5"):
+    """One device with 1–3 iterations."""
+    its = tuple(
+        draw(iterations(serial, model=model))
+        for _ in range(draw(st.integers(min_value=1, max_value=3)))
+    )
+    return DeviceResult(
+        model=model, serial=serial, workload="UNCONSTRAINED", iterations=its
+    )
+
+
+@st.composite
+def experiments(draw, model: str = "Nexus 5"):
+    """A whole fleet experiment: 1–4 unique units."""
+    serials = draw(st.lists(name, min_size=1, max_size=4, unique=True))
+    devices = tuple(draw(device_results(serial, model=model)) for serial in serials)
+    return ExperimentResult(model=model, workload="UNCONSTRAINED", devices=devices)
+
+
+@st.composite
+def trace_samples(
+    draw,
+    channel_count: int = 3,
+    min_size: int = 0,
+    max_size: int = 60,
+) -> List[Tuple[float, Tuple[float, ...]]]:
+    """Time-ordered ``(time_s, values)`` rows for feeding ``Trace.append``.
+
+    Times are non-decreasing (the trace contract); values are arbitrary
+    finite floats.  Sized to cross the trace's growth boundary when the
+    test lowers the initial capacity.
+    """
+    deltas = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=min_size,
+            max_size=max_size,
+        )
+    )
+    rows = []
+    now = 0.0
+    for delta in deltas:
+        now += delta
+        row = tuple(
+            draw(
+                st.floats(
+                    min_value=-1e9, max_value=1e9, allow_nan=False
+                )
+            )
+            for _ in range(channel_count)
+        )
+        rows.append((now, row))
+    return rows
+
+
+# -- deterministic scenario generators ---------------------------------------
+#
+# Not Hypothesis strategies: plain constructors for "a realistic world",
+# used by invariant and differential tests that need repeatable physics
+# rather than adversarial input shrinking.
+
+
+def scenario_device(
+    model: str = "Nexus 5",
+    bin_index: int = 0,
+    root_seed: int = DEFAULT_ROOT_SEED,
+    thermal_solver: str = "euler",
+    initial_temp_c: float = 25.0,
+) -> Device:
+    """One catalog unit on a Monsoon at nominal voltage, ready to run."""
+    unit = FleetUnit(model=model, serial=f"check-{bin_index}", bin_index=bin_index)
+    return build_device(
+        unit,
+        supply=MonsoonPowerMonitor(device_spec(model).battery.nominal_v),
+        root_seed=root_seed,
+        initial_temp_c=initial_temp_c,
+        thermal_solver=thermal_solver,
+    )
+
+
+def scenario_world(
+    model: str = "Nexus 5",
+    bin_index: int = 0,
+    dt: float = 0.1,
+    trace_decimation: int = 5,
+    sleep_fast_forward: bool = True,
+    thermal_solver: str = "euler",
+    root_seed: int = DEFAULT_ROOT_SEED,
+    device: Optional[Device] = None,
+) -> World:
+    """A bare-room world around one catalog unit (deterministic)."""
+    if device is None:
+        device = scenario_device(
+            model=model,
+            bin_index=bin_index,
+            root_seed=root_seed,
+            thermal_solver=thermal_solver,
+        )
+    return World(
+        device,
+        dt=dt,
+        trace_decimation=trace_decimation,
+        sleep_fast_forward=sleep_fast_forward,
+    )

@@ -8,6 +8,8 @@
     repro-bench crowd --users 12 --scale 0.5
     repro-bench run-fleet "Nexus 5" --metrics-out m.json --progress
     repro-bench report m.json
+    repro-bench check --differential --invariants
+    repro-bench check --update-golden
 
 Every command prints a human-readable report; ``run-fleet`` can also dump
 machine-readable JSON (``--json out.json``), collect run telemetry
@@ -116,6 +118,54 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("model", help="handset model")
     export.add_argument("--out", required=True, metavar="DIR", help="output directory")
     _add_protocol_args(export)
+
+    check = sub.add_parser(
+        "check",
+        help="run the correctness harness: differential pairings, runtime "
+        "invariants, golden-result regression (all three by default)",
+    )
+    check.add_argument(
+        "--models", nargs="*", default=None, help="subset of models"
+    )
+    check.add_argument(
+        "--differential",
+        action="store_true",
+        help="A/B pairings: euler vs expm, serial vs parallel, "
+        "fast-forward on vs off",
+    )
+    check.add_argument(
+        "--invariants",
+        action="store_true",
+        help="run campaigns with the physics invariant suite attached",
+    )
+    check.add_argument(
+        "--golden",
+        action="store_true",
+        help="re-run the recorded golden scenarios and diff the stores",
+    )
+    check.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="regenerate the golden files instead of checking them",
+    )
+    check.add_argument(
+        "--golden-dir",
+        default="tests/golden",
+        metavar="DIR",
+        help="golden store location",
+    )
+    check.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="protocol duration scale for differential/invariant runs",
+    )
+    check.add_argument(
+        "--iterations", type=int, default=None, help="iterations per unit"
+    )
+    check.add_argument(
+        "--seed", type=int, default=DEFAULT_ROOT_SEED, help="root seed"
+    )
 
     report = sub.add_parser(
         "report", help="summarize a metrics JSON written by --metrics-out"
@@ -363,6 +413,62 @@ def _cmd_export_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.check import run_differential, update_golden
+    from repro.check.differential import default_differential_config
+    from repro.check.golden import check_golden
+    from repro.core.experiments import unconstrained
+
+    models = args.models if args.models else list(DEVICE_NAMES)
+
+    if args.update_golden:
+        for path in update_golden(args.golden_dir, models):
+            print(f"wrote {path}")
+        return 0
+
+    # No explicit selection means the full battery.
+    run_all = not (args.differential or args.invariants or args.golden)
+    base = default_differential_config(scale=args.scale, root_seed=args.seed)
+    failed = False
+
+    if args.differential or run_all:
+        print("== differential pairings ==")
+        for report in run_differential(
+            models, base=base, iterations=args.iterations
+        ):
+            print(report.render())
+            failed = failed or not report.passed
+
+    if args.invariants or run_all:
+        print("== runtime invariants ==")
+        config = dc_replace(
+            base, accubench=dc_replace(base.accubench, check_invariants=True)
+        )
+        runner = CampaignRunner(config)
+        from repro.errors import InvariantViolation
+
+        for model in models:
+            try:
+                runner.run_fleet(
+                    model, unconstrained(), iterations=args.iterations, jobs=1
+                )
+            except InvariantViolation as violation:
+                print(f"[FAIL] {model}: {violation}")
+                failed = True
+            else:
+                print(f"[PASS] {model}: all invariants held")
+
+    if args.golden or run_all:
+        print("== golden regression ==")
+        for report in check_golden(args.golden_dir, models):
+            print(report.render())
+            failed = failed or not report.passed
+
+    return 1 if failed else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import format_summary, prometheus_text, read_metrics
 
@@ -395,6 +501,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_validate(args)
         if args.command == "export-fleet":
             return _cmd_export_fleet(args)
+        if args.command == "check":
+            return _cmd_check(args)
         if args.command == "report":
             return _cmd_report(args)
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover

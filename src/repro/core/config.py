@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
-from repro.units import minutes
+from repro.units import minutes, require_finite
 
 
 @dataclass(frozen=True)
@@ -50,6 +50,12 @@ class AccubenchConfig:
         as single exact propagations while the device sleeps.  Only takes
         effect with ``thermal_solver="expm"``; results agree with full
         stepping within the sensor's resolution.
+    check_invariants:
+        Attach the :mod:`repro.check.invariants` suite to every world the
+        protocol builds, raising
+        :class:`~repro.errors.InvariantViolation` the step the physics
+        stops being plausible.  Off by default — an observed run takes
+        the engine's per-step path instead of the inlined hot loop.
     """
 
     warmup_s: float = minutes(3)
@@ -63,6 +69,7 @@ class AccubenchConfig:
     keep_traces: bool = False
     thermal_solver: str = "euler"
     sleep_fast_forward: bool = True
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.thermal_solver not in ("euler", "expm"):
@@ -70,6 +77,17 @@ class AccubenchConfig:
                 f"unknown thermal_solver {self.thermal_solver!r}; "
                 "choose 'euler' or 'expm'"
             )
+        require_finite(
+            "AccubenchConfig",
+            warmup_s=self.warmup_s,
+            workload_s=self.workload_s,
+            cooldown_target_c=self.cooldown_target_c,
+            cooldown_poll_s=self.cooldown_poll_s,
+            cooldown_timeout_s=self.cooldown_timeout_s,
+            dt=self.dt,
+        )
+        if self.cooldown_target_c < 0:
+            raise ConfigurationError("cooldown_target_c must not be negative")
         if self.warmup_s <= 0 or self.workload_s <= 0:
             raise ConfigurationError("phase durations must be positive")
         if self.cooldown_poll_s <= 0 or self.cooldown_timeout_s <= 0:

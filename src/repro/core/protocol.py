@@ -70,6 +70,7 @@ class Accubench:
             trace_decimation=config.trace_decimation,
             sleep_fast_forward=config.sleep_fast_forward,
         )
+        invariants = self._attach_invariants(world)
 
         self._configure_frequency(device, experiment)
         registry = default_registry()
@@ -110,6 +111,8 @@ class Accubench:
         device.stop_load()
         device.release_wakelock()
         world.close()
+        if invariants is not None:
+            invariants.finish(world)
         self._publish_world_metrics(registry, world)
 
         return IterationResult(
@@ -159,6 +162,7 @@ class Accubench:
             trace_decimation=config.trace_decimation,
             sleep_fast_forward=config.sleep_fast_forward,
         )
+        invariants = self._attach_invariants(world)
         if fixed_freq_mhz is None:
             device.unconstrain_frequency()
         else:
@@ -204,6 +208,8 @@ class Accubench:
         device.stop_load()
         device.release_wakelock()
         world.close()
+        if invariants is not None:
+            invariants.finish(world)
         self._publish_world_metrics(registry, world)
 
         return IterationResult(
@@ -223,6 +229,20 @@ class Accubench:
         )
 
     # -- internals --------------------------------------------------------
+
+    def _attach_invariants(self, world: World):
+        """Attach the runtime invariant suite when the config asks for it.
+
+        Imported lazily: :mod:`repro.check` depends on the runner, which
+        depends on this module.
+        """
+        if not self.config.check_invariants:
+            return None
+        from repro.check.invariants import InvariantSuite
+
+        suite = InvariantSuite()
+        world.attach_observer(suite)
+        return suite
 
     @staticmethod
     def _publish_world_metrics(registry: MetricsRegistry, world: World) -> None:

@@ -29,7 +29,7 @@ from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.progress import ProgressCallback
 from repro.rng import DEFAULT_ROOT_SEED
 from repro.thermal.ambient import AmbientProfile, ConstantAmbient
-from repro.units import PAPER_AMBIENT_C
+from repro.units import PAPER_AMBIENT_C, require_finite
 
 
 @dataclass(frozen=True)
@@ -74,6 +74,21 @@ class CampaignConfig:
     def __post_init__(self) -> None:
         if self.jobs < 0:
             raise ConfigurationError("jobs must be non-negative (0 = all cores)")
+        require_finite(
+            "CampaignConfig",
+            ambient_c=self.ambient_c,
+            room_temp_c=self.room_temp_c,
+        )
+        if self.ambient_c < 0 or self.room_temp_c < 0:
+            raise ConfigurationError(
+                "ambient_c and room_temp_c must not be negative"
+            )
+        if self.monsoon_voltage is not None:
+            require_finite(
+                "CampaignConfig", monsoon_voltage=self.monsoon_voltage
+            )
+            if self.monsoon_voltage <= 0:
+                raise ConfigurationError("monsoon_voltage must be positive")
 
 
 class CampaignRunner:

@@ -40,6 +40,14 @@ class ObservabilityError(ReproError):
     """The metrics/span layer was misused or fed a malformed document."""
 
 
+class CheckError(ReproError):
+    """The correctness harness (:mod:`repro.check`) was misused or failed."""
+
+
+class InvariantViolation(CheckError):
+    """A runtime physics/accounting invariant did not hold during a run."""
+
+
 class UnknownModelError(ConfigurationError):
     """A device or SoC model name was not found in the catalog."""
 

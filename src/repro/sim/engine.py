@@ -46,6 +46,23 @@ TRACE_CHANNELS = (
 )
 
 
+class StepObserver:
+    """Interface for :meth:`World.attach_observer` observers.
+
+    Subclassing is optional — any object with a matching ``on_step`` (and
+    optionally ``on_attach``) works.  ``repro.check.invariants`` provides
+    the canonical implementation.
+    """
+
+    def on_attach(self, world: "World") -> None:
+        """Called once when attached, before any step is observed."""
+
+    def on_step(
+        self, world: "World", report: StepReport, ambient_c: float, dt: float
+    ) -> None:
+        """Called after every world advance (``dt`` spans macro windows)."""
+
+
 class World:
     """One experiment's physical world."""
 
@@ -81,6 +98,9 @@ class World:
         self._last_mitigation_steps = 0
         self._last_online = device.soc.online_cores()
         self._phase_name: Optional[str] = None
+        #: Optional step observer (see :meth:`attach_observer`).  ``None``
+        #: keeps ``run_for`` on its unobserved hot loop.
+        self._observer: Optional["StepObserver"] = None
         # The big cluster's frequency is the figure-relevant one.  Resolve
         # its identity once — the first cluster in spec order, matching the
         # hard-limit hotplug convention in Soc.step — instead of trusting
@@ -103,6 +123,41 @@ class World:
     def last_report(self) -> Optional[StepReport]:
         """The most recent device step report."""
         return self._last_report
+
+    @property
+    def phase(self) -> Optional[str]:
+        """The protocol phase currently annotating the trace, if any."""
+        return self._phase_name
+
+    @property
+    def observer(self) -> Optional["StepObserver"]:
+        """The attached step observer, if any."""
+        return self._observer
+
+    def attach_observer(self, observer: "StepObserver") -> None:
+        """Attach a step observer (e.g. a ``repro.check`` invariant suite).
+
+        The observer's ``on_step(world, report, ambient_c, dt)`` is called
+        after every advance — including fast-forwarded macro windows, where
+        ``dt`` spans the whole window.  With an observer attached,
+        ``run_for`` routes through :meth:`step` instead of its inlined hot
+        loop; with none attached the hot loop is untouched, so the checks
+        are zero-cost when disabled.
+        """
+        if self._observer is not None:
+            raise SimulationError(
+                "world already has an observer; detach it first"
+            )
+        on_attach = getattr(observer, "on_attach", None)
+        if on_attach is not None:
+            on_attach(self)
+        self._observer = observer
+
+    def detach_observer(self) -> Optional["StepObserver"]:
+        """Remove and return the attached observer (``None`` if absent)."""
+        observer = self._observer
+        self._observer = None
+        return observer
 
     def set_phase(self, name: Optional[str]) -> None:
         """Annotate the trace with a protocol phase from now on."""
@@ -136,6 +191,8 @@ class World:
         if self.clock.steps % self._decimation == 0:
             self._record_trace(report, ambient)
         self.clock.tick()
+        if self._observer is not None:
+            self._observer.on_step(self, report, ambient, dt)
         return report
 
     def run_for(self, duration_s: float) -> None:
@@ -147,6 +204,13 @@ class World:
         steps = round(duration_s / dt)
         if steps < 1:
             raise SimulationError("duration shorter than one clock step")
+        if self._observer is not None:
+            # Observed runs take the plain step() path: every step notifies
+            # the observer, and the unobserved hot loop below stays free of
+            # per-step checks.
+            for _ in range(steps):
+                self.step()
+            return
         # Inlined step() body with invariant lookups hoisted out of the loop.
         chamber = self.chamber
         room_temperature = self.room.temperature
@@ -239,6 +303,8 @@ class World:
         self._record_trace(report, ambient)
         self.fast_forwards += 1
         self.fast_forward_steps += steps
+        if self._observer is not None:
+            self._observer.on_step(self, report, ambient, duration)
 
     # -- internals --------------------------------------------------------
 

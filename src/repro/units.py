@@ -22,6 +22,8 @@ millivolts; :func:`mv_to_v` converts them at the boundary.
 
 from __future__ import annotations
 
+import math
+
 ZERO_CELSIUS_IN_KELVIN = 273.15
 
 #: Ambient target used throughout the paper's experiments (Section III).
@@ -74,3 +76,20 @@ def mwh_to_joules(mwh: float) -> float:
 def minutes(count: float) -> float:
     """Return ``count`` minutes expressed in seconds."""
     return count * 60.0
+
+
+def require_finite(context: str, **fields: float) -> None:
+    """Reject NaN/infinite numbers at a construction boundary.
+
+    Range checks like ``value <= 0`` silently pass NaN (every comparison
+    with NaN is false), so configs must screen for finiteness *first*.
+    Raises :class:`~repro.errors.ConfigurationError` naming the offending
+    field, e.g. ``require_finite("AccubenchConfig", warmup_s=self.warmup_s)``.
+    """
+    from repro.errors import ConfigurationError
+
+    for name, value in fields.items():
+        if not math.isfinite(value):
+            raise ConfigurationError(
+                f"{context}.{name} must be a finite number, got {value!r}"
+            )

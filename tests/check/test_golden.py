@@ -1,0 +1,145 @@
+"""Golden store: build/write/load round-trips and drift detection."""
+
+import json
+
+import pytest
+
+from repro.check.golden import (
+    GOLDEN_FORMAT,
+    build_golden,
+    check_golden,
+    compare_golden,
+    config_from_document,
+    golden_config,
+    golden_path,
+    load_golden,
+    trace_fingerprint,
+    update_golden,
+    write_golden,
+)
+from repro.errors import CheckError
+
+MODEL = "Nexus 5"
+
+
+@pytest.fixture(scope="module")
+def document():
+    return build_golden(MODEL, golden_config(scale=0.02, iterations=1))
+
+
+class TestBuild:
+    def test_document_shape(self, document):
+        assert document["format"] == GOLDEN_FORMAT
+        assert document["model"] == MODEL
+        assert len(document["devices"]) == 4  # the paper's Nexus 5 fleet
+        iteration = document["devices"][0]["iterations"][0]
+        assert iteration["energy_j"] > 0.0
+        assert iteration["trace"]["samples"] > 0
+        assert "cpu_temp" in iteration["trace"]["channels"]
+        assert [name for name, _ in iteration["trace"]["phases"]] == [
+            "warmup", "cooldown", "workload",
+        ]
+
+    def test_config_round_trips_through_document(self, document):
+        rebuilt = config_from_document(document)
+        assert rebuilt.accubench.warmup_s == document["config"]["warmup_s"]
+        assert rebuilt.root_seed == document["config"]["root_seed"]
+        assert rebuilt.accubench.keep_traces
+
+    def test_missing_config_field_rejected(self, document):
+        crippled = {**document, "config": {}}
+        with pytest.raises(CheckError):
+            config_from_document(crippled)
+
+
+class TestStore:
+    def test_write_load_round_trip(self, document, tmp_path):
+        path = golden_path(str(tmp_path), MODEL)
+        write_golden(document, path)
+        assert load_golden(path) == document
+
+    def test_regeneration_is_byte_identical(self, document, tmp_path):
+        path_a = str(tmp_path / "a.json")
+        path_b = str(tmp_path / "b.json")
+        write_golden(document, path_a)
+        write_golden(
+            build_golden(MODEL, golden_config(scale=0.02, iterations=1)), path_b
+        )
+        assert open(path_a, "rb").read() == open(path_b, "rb").read()
+
+    def test_missing_file_is_a_clear_error(self, tmp_path):
+        with pytest.raises(CheckError, match="update-golden"):
+            load_golden(str(tmp_path / "absent.json"))
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fp:
+            json.dump({"format": "something-else"}, fp)
+        with pytest.raises(CheckError, match="format"):
+            load_golden(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fp:
+            fp.write("{not json")
+        with pytest.raises(CheckError, match="JSON"):
+            load_golden(path)
+
+    def test_update_then_check_passes(self, tmp_path):
+        update_golden(
+            str(tmp_path), [MODEL], golden_config(scale=0.02, iterations=1)
+        )
+        (report,) = check_golden(str(tmp_path), [MODEL])
+        assert report.passed, report.render()
+
+
+class TestDriftDetection:
+    def test_identical_documents_agree(self, document):
+        assert compare_golden(document, document).passed
+
+    def test_numeric_drift_detected_with_path(self, document):
+        drifted = json.loads(json.dumps(document))
+        drifted["devices"][0]["iterations"][0]["energy_j"] += 0.5
+        report = compare_golden(document, drifted)
+        assert not report.passed
+        divergence = report.first_divergence
+        assert divergence.field == "energy_j"
+        assert "devices[0]" in divergence.context
+
+    def test_trace_fingerprint_drift_detected(self, document):
+        drifted = json.loads(json.dumps(document))
+        drifted["devices"][0]["iterations"][0]["trace"]["channels"][
+            "cpu_temp"
+        ]["max"] += 1.0
+        assert not compare_golden(document, drifted).passed
+
+    def test_missing_key_detected(self, document):
+        crippled = json.loads(json.dumps(document))
+        del crippled["devices"][0]["iterations"][0]["energy_j"]
+        report = compare_golden(document, crippled)
+        assert not report.passed
+        assert report.first_divergence.field == "presence"
+
+    def test_device_count_change_detected(self, document):
+        crippled = json.loads(json.dumps(document))
+        crippled["devices"] = crippled["devices"][:-1]
+        report = compare_golden(document, crippled)
+        assert not report.passed
+        assert report.first_divergence.field == "len"
+
+    def test_string_change_detected(self, document):
+        drifted = json.loads(json.dumps(document))
+        drifted["workload"] = "SOMETHING-ELSE"
+        assert not compare_golden(document, drifted).passed
+
+
+class TestFingerprint:
+    def test_none_trace_fingerprints_to_none(self):
+        assert trace_fingerprint(None) is None
+
+    def test_checked_in_goldens_match_the_tree(self):
+        # The repository's own golden files must regenerate byte-identically
+        # (the acceptance criterion for "no silent drift in this checkout").
+        stored = load_golden(golden_path("tests/golden", MODEL))
+        fresh = build_golden(MODEL, config_from_document(stored))
+        assert compare_golden(stored, fresh).passed

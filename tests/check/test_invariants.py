@@ -1,0 +1,167 @@
+"""Invariant checkers: clean runs pass, sabotaged physics is caught."""
+
+import pytest
+
+from repro.check.invariants import (
+    EnergyConservation,
+    InvariantSuite,
+    MonotoneCooldown,
+    TemperatureBounds,
+    ThrottleConsistency,
+    TraceTimeMonotone,
+    default_invariants,
+)
+from repro.check.strategies import scenario_device, scenario_world
+from repro.errors import InvariantViolation, SimulationError
+from repro.soc.throttling import MitigationState
+
+
+def warm_world(**kwargs):
+    world = scenario_world(dt=0.2, trace_decimation=1, **kwargs)
+    world.device.acquire_wakelock()
+    world.device.start_load()
+    return world
+
+
+class TestObserverPlumbing:
+    def test_suite_observes_every_step(self):
+        world = warm_world()
+        suite = InvariantSuite()
+        world.attach_observer(suite)
+        world.run_for(4.0)
+        assert suite.steps_checked == 20
+
+    def test_double_attach_rejected(self):
+        world = warm_world()
+        world.attach_observer(InvariantSuite())
+        with pytest.raises(SimulationError):
+            world.attach_observer(InvariantSuite())
+
+    def test_detach_returns_observer(self):
+        world = warm_world()
+        suite = InvariantSuite()
+        world.attach_observer(suite)
+        assert world.detach_observer() is suite
+        assert world.observer is None
+        world.attach_observer(InvariantSuite())  # re-attach now fine
+
+    def test_default_invariants_are_fresh_instances(self):
+        first, second = default_invariants(), default_invariants()
+        assert len(first) == 5
+        assert all(a is not b for a, b in zip(first, second))
+
+
+class TestCleanRunsPass:
+    def test_full_suite_on_warm_run(self):
+        world = warm_world()
+        suite = InvariantSuite()
+        world.attach_observer(suite)
+        world.set_phase("warmup")
+        world.run_for(10.0)
+        world.close()
+        suite.finish(world)
+        assert suite.steps_checked > 0
+
+    def test_full_suite_through_fast_forwarded_cooldown(self):
+        world = scenario_world(
+            dt=0.2, thermal_solver="expm", sleep_fast_forward=True
+        )
+        world.device.thermal.settle_to(55.0)
+        suite = InvariantSuite()
+        world.attach_observer(suite)
+        world.set_phase("cooldown")
+        world.run_until(
+            lambda w: w.device.read_cpu_temp() <= 40.0,
+            check_every_s=5.0,
+            timeout_s=7200.0,
+        )
+        world.close()
+        suite.finish(world)
+        assert world.fast_forwards > 0
+        assert suite.steps_checked > 0
+
+
+class TestViolationsCaught:
+    def test_energy_meter_tampering_detected(self):
+        world = warm_world()
+        world.attach_observer(InvariantSuite([EnergyConservation()]))
+        world.run_for(2.0)
+        world.device.supply._energy_total_j += 5.0  # break the identity
+        with pytest.raises(InvariantViolation, match="energy-conservation"):
+            world.run_for(1.0)
+
+    def test_junction_ceiling_enforced(self):
+        world = warm_world()
+        world.attach_observer(
+            InvariantSuite([TemperatureBounds(junction_max_c=30.0)])
+        )
+        with pytest.raises(InvariantViolation, match="junction ceiling"):
+            world.run_for(60.0)
+
+    def test_cooling_below_every_boundary_detected(self):
+        world = scenario_world(dt=0.2, trace_decimation=1)
+        world.attach_observer(InvariantSuite([TemperatureBounds()]))
+        world.run_for(1.0)
+        for name, temp in world.device.thermal.temperatures().items():
+            world.device.thermal.set_temperature(name, temp - 40.0)
+        with pytest.raises(InvariantViolation, match="coldest boundary"):
+            world.run_for(1.0)
+
+    def test_sleeping_device_heating_detected(self):
+        world = scenario_world(dt=0.2, trace_decimation=1)
+        world.device.thermal.settle_to(55.0)
+        world.attach_observer(InvariantSuite([MonotoneCooldown()]))
+        world.run_for(2.0)  # asleep, cooling: fine
+        for name, temp in world.device.thermal.temperatures().items():
+            world.device.thermal.set_temperature(name, temp + 5.0)
+        with pytest.raises(InvariantViolation, match="monotone-cooldown"):
+            world.run_for(1.0)
+
+    def test_cold_throttle_step_detected(self):
+        world = scenario_world(dt=0.2, trace_decimation=1)
+        world.attach_observer(InvariantSuite([ThrottleConsistency()]))
+        world.run_for(1.0)
+        # Deepen mitigation while the die is at room temperature.
+        world.device.soc.mitigation = MitigationState(ceiling_steps=2)
+        with pytest.raises(InvariantViolation, match="throttle-consistency"):
+            world.run_for(1.0)
+
+    def test_stalled_trace_time_detected(self):
+        world = warm_world()
+        invariant = TraceTimeMonotone()
+        world.attach_observer(InvariantSuite([invariant]))
+        world.run_for(1.0)
+        # Force a duplicate-timestamp sample (Trace allows equal times).
+        world.trace.append(world.trace.times()[-1], (0.0,) * 9)
+        with pytest.raises(InvariantViolation, match="trace-time-monotone"):
+            world.run_for(1.0)
+
+    def test_violation_carries_context(self):
+        world = warm_world()
+        world.attach_observer(
+            InvariantSuite([TemperatureBounds(junction_max_c=30.0)])
+        )
+        world.set_phase("warmup")
+        with pytest.raises(InvariantViolation) as caught:
+            world.run_for(60.0)
+        message = str(caught.value)
+        assert "phase warmup" in message
+        assert "t=" in message
+        assert world.device.serial in message
+
+
+class TestProtocolIntegration:
+    def test_check_invariants_config_runs_clean(self, fast_config):
+        from dataclasses import replace
+
+        from repro.core.experiments import unconstrained
+        from repro.core.runner import CampaignConfig, CampaignRunner
+
+        config = CampaignConfig(
+            accubench=replace(fast_config, check_invariants=True),
+            use_thermabox=False,
+        )
+        result = CampaignRunner(config).run_device(
+            scenario_device(), unconstrained(), iterations=1
+        )
+        assert result.iterations[0].energy_j > 0.0

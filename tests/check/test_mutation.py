@@ -1,0 +1,54 @@
+"""Mutation smoke test: the harness must flag a perturbed solver.
+
+Monkeypatches a small systematic bias into the exact propagator and
+asserts the euler-vs-expm differential pairing reports the divergence.
+Runs serial (jobs=1) on both sides — a monkeypatch does not cross
+process-pool boundaries.
+"""
+
+import pytest
+
+from repro.check.differential import (
+    default_differential_config,
+    run_pairing,
+    solver_pairing,
+)
+from repro.thermal.propagator import ExpmPropagator
+
+MODEL = "Nexus 5"
+
+
+def tiny_base():
+    return default_differential_config(scale=0.02, root_seed=11)
+
+
+class TestMutationDetection:
+    def test_biased_propagator_is_flagged(self, monkeypatch):
+        original = ExpmPropagator.advance
+
+        def biased(self, temps, power, dt):
+            original(self, temps, power, dt)
+            # A cooling bias rather than a heating one: a heated mutant
+            # could stall the cooldown phase into its timeout instead of
+            # producing a clean numeric divergence.
+            temps[~self._boundary] -= 0.05
+
+        monkeypatch.setattr(ExpmPropagator, "advance", biased)
+        report = run_pairing(solver_pairing(tiny_base()), [MODEL], iterations=1)
+        assert not report.passed, (
+            "the differential harness failed to flag a mutated solver"
+        )
+        fields = {d.field for d in report.divergences}
+        assert fields & {
+            "max_cpu_temp_c",
+            "cooldown_s",
+            "energy_j",
+            "mean_power_w",
+            "mean_freq_mhz",
+            "time_throttled_s",
+            "iterations_completed",
+        }
+
+    def test_unmutated_run_passes(self):
+        report = run_pairing(solver_pairing(tiny_base()), [MODEL], iterations=1)
+        assert report.passed, report.render()

@@ -1,0 +1,91 @@
+"""Tolerance arithmetic and declarative spec comparison."""
+
+import pytest
+
+from repro.check import Divergence, Tolerance, ToleranceSpec
+from repro.errors import CheckError, ReproError
+
+
+class TestTolerance:
+    def test_default_is_exact(self):
+        exact = Tolerance()
+        assert exact.allows(1.0, 1.0)
+        assert not exact.allows(1.0, 1.0 + 1e-12)
+
+    def test_abs_tol(self):
+        assert Tolerance(abs_tol=0.5).allows(10.0, 10.4)
+        assert not Tolerance(abs_tol=0.5).allows(10.0, 10.6)
+
+    def test_rel_tol_scales_with_magnitude(self):
+        tolerance = Tolerance(rel_tol=0.01)
+        assert tolerance.allows(1000.0, 1009.0)
+        assert not tolerance.allows(10.0, 10.9)
+
+    def test_combined_is_additive(self):
+        tolerance = Tolerance(abs_tol=1.0, rel_tol=0.1)
+        # allowance = 1.0 + 0.1 * max(|a|, |b|)
+        assert tolerance.allows(100.0, 110.9)
+        assert not tolerance.allows(100.0, 115.0)
+
+    def test_nan_never_agrees(self):
+        loose = Tolerance(abs_tol=1e300)
+        assert not loose.allows(float("nan"), 1.0)
+        assert not loose.allows(1.0, float("nan"))
+        assert not loose.allows(float("nan"), float("nan"))
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -0.1])
+    def test_invalid_tolerances_rejected(self, bad):
+        with pytest.raises(CheckError):
+            Tolerance(abs_tol=bad)
+        with pytest.raises(CheckError):
+            Tolerance(rel_tol=bad)
+
+    def test_check_error_is_repro_error(self):
+        assert issubclass(CheckError, ReproError)
+
+
+class TestToleranceSpec:
+    def spec(self) -> ToleranceSpec:
+        return ToleranceSpec(
+            name="test",
+            fields=(("energy_j", Tolerance(rel_tol=0.01)),),
+            default=Tolerance(abs_tol=0.5),
+        )
+
+    def test_field_lookup_falls_back_to_default(self):
+        spec = self.spec()
+        assert spec.tolerance_for("energy_j").rel_tol == 0.01
+        assert spec.tolerance_for("anything_else").abs_tol == 0.5
+
+    def test_compare_scalar_returns_none_on_agreement(self):
+        assert self.spec().compare_scalar("energy_j", 100.0, 100.5) is None
+
+    def test_compare_scalar_reports_divergence(self):
+        found = self.spec().compare_scalar(
+            "energy_j", 100.0, 105.0, context="unit-a", sim_time_s=12.5, phase="workload"
+        )
+        assert found is not None
+        assert found.field == "energy_j"
+        assert found.abs_delta == pytest.approx(5.0)
+        described = found.describe()
+        assert "unit-a" in described
+        assert "t=12.5 s" in described
+        assert "workload" in described
+
+    def test_compare_mapping_shared_numeric_keys_only(self):
+        spec = self.spec()
+        found = spec.compare_mapping(
+            {"energy_j": 100.0, "only_in_a": 1.0, "label": "x"},
+            {"energy_j": 110.0, "label": "y"},
+        )
+        assert [d.field for d in found] == ["energy_j"]
+
+
+class TestDivergence:
+    def test_describe_without_time(self):
+        divergence = Divergence(
+            field="cooldown_s", context="iter-0", value_a=10.0, value_b=20.0
+        )
+        text = divergence.describe()
+        assert "cooldown_s" in text and "iter-0" in text
+        assert "t=" not in text

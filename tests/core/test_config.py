@@ -59,6 +59,39 @@ class TestValidation:
             AccubenchConfig(trace_decimation=0)
 
 
+class TestFiniteness:
+    """NaN/inf must fail at construction, not deep inside a campaign."""
+
+    NAN = float("nan")
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "warmup_s",
+            "workload_s",
+            "cooldown_target_c",
+            "cooldown_poll_s",
+            "cooldown_timeout_s",
+            "dt",
+        ],
+    )
+    def test_nan_rejected_with_field_name(self, field):
+        with pytest.raises(ConfigurationError, match=field):
+            AccubenchConfig(**{field: self.NAN})
+
+    @pytest.mark.parametrize("bad", [float("inf"), float("-inf")])
+    def test_infinite_duration_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            AccubenchConfig(warmup_s=bad)
+
+    def test_negative_cooldown_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccubenchConfig(cooldown_target_c=-5.0)
+
+    def test_check_invariants_defaults_off(self):
+        assert not AccubenchConfig().check_invariants
+
+
 class TestSolverFields:
     def test_euler_is_the_default(self):
         config = AccubenchConfig()

@@ -1,15 +1,13 @@
-"""Property tests for the crowd-study statistics."""
+"""Property tests for the crowd-study statistics.
+
+The ``values`` strategy is shared from :mod:`repro.check.strategies`.
+"""
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.check.strategies import values
 from repro.core.crowd import spearman_rank_correlation
-
-values = st.lists(
-    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
-    min_size=3,
-    max_size=25,
-)
 
 
 class TestSpearmanProperties:

@@ -36,7 +36,7 @@ def serial_fleet_digest() -> str:
 
 
 class TestDeterminism:
-    @pytest.mark.parametrize("jobs", [2, 4])
+    @pytest.mark.parametrize("jobs", [2, 3, 4, 8])
     def test_fleet_identical_across_worker_counts(self, serial_fleet_digest, jobs):
         runner = CampaignRunner(tiny_config())
         result = runner.run_fleet(MODEL, unconstrained(), iterations=2, jobs=jobs)
@@ -105,6 +105,26 @@ class TestDeterminism:
         for model in serial:
             for s, p in zip(serial[model], parallel[model]):
                 assert fleet_digest(s) == fleet_digest(p)
+
+
+class TestMergedTelemetry:
+    def counters_for(self, jobs: int):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        with use_registry(MetricsRegistry(enabled=True)) as registry:
+            runner = CampaignRunner(tiny_config())
+            runner.run_fleet(MODEL, unconstrained(), iterations=1, jobs=jobs)
+        return registry.snapshot()["counters"]
+
+    def test_merged_counters_identical_across_worker_counts(self):
+        # Worker registries are snapshotted and folded back into the
+        # parent; deterministic counts (steps, iterations, draws) must
+        # not depend on how the fleet was sharded.  Spans and histograms
+        # carry wall-clock durations, so only counters are comparable.
+        serial = self.counters_for(1)
+        assert serial, "expected the run to record at least one counter"
+        assert self.counters_for(3) == serial
+        assert self.counters_for(8) == serial
 
 
 class TestPlumbing:

@@ -93,3 +93,27 @@ class TestThermabox:
             device, unconstrained(), ambient_c=35.0, iterations=1
         )
         assert result.performance > 0
+
+
+class TestCampaignConfigValidation:
+    """NaN and unphysical environment values fail at construction."""
+
+    NAN = float("nan")
+
+    @pytest.mark.parametrize("field", ["ambient_c", "room_temp_c"])
+    def test_nan_environment_rejected_with_field_name(self, field):
+        with pytest.raises(ConfigurationError, match=field):
+            CampaignConfig(**{field: self.NAN})
+
+    @pytest.mark.parametrize("field", ["ambient_c", "room_temp_c"])
+    def test_negative_environment_rejected(self, field):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(**{field: -3.0})
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), 0.0, -3.8])
+    def test_bad_monsoon_voltage_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(monsoon_voltage=bad)
+
+    def test_none_monsoon_voltage_means_per_model_policy(self):
+        assert CampaignConfig(monsoon_voltage=None).monsoon_voltage is None

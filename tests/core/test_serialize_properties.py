@@ -1,57 +1,18 @@
-"""Property tests: serialization round-trips for arbitrary results."""
+"""Property tests: serialization round-trips for arbitrary results.
 
-from hypothesis import given, settings, strategies as st
+Result generators live in :mod:`repro.check.strategies`, shared with the
+crowd property tests and the check-harness suite.
+"""
 
-from repro.core.results import DeviceResult, ExperimentResult, IterationResult
+from hypothesis import given, settings
+
+from repro.check.strategies import experiments
 from repro.core.serialize import (
     dumps_experiment,
     experiment_from_dict,
     experiment_to_dict,
     load_experiment,
 )
-
-finite = st.floats(
-    min_value=0.001, max_value=1e6, allow_nan=False, allow_infinity=False
-)
-name = st.text(
-    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=16
-)
-
-
-@st.composite
-def iterations(draw, serial):
-    return IterationResult(
-        model="Nexus 5",
-        serial=serial,
-        workload="UNCONSTRAINED",
-        iterations_completed=draw(finite),
-        energy_j=draw(finite),
-        mean_power_w=draw(finite),
-        mean_freq_mhz=draw(finite),
-        max_cpu_temp_c=draw(st.floats(min_value=-20.0, max_value=120.0)),
-        cooldown_s=draw(st.floats(min_value=0.0, max_value=1e5)),
-        time_throttled_s=draw(st.floats(min_value=0.0, max_value=1e5)),
-    )
-
-
-@st.composite
-def experiments(draw):
-    serials = draw(st.lists(name, min_size=1, max_size=4, unique=True))
-    devices = []
-    for serial in serials:
-        its = tuple(
-            draw(iterations(serial))
-            for _ in range(draw(st.integers(min_value=1, max_value=3)))
-        )
-        devices.append(
-            DeviceResult(
-                model="Nexus 5", serial=serial,
-                workload="UNCONSTRAINED", iterations=its,
-            )
-        )
-    return ExperimentResult(
-        model="Nexus 5", workload="UNCONSTRAINED", devices=tuple(devices)
-    )
 
 
 class TestRoundTripProperties:

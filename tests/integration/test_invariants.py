@@ -3,7 +3,10 @@
 These hold for *any* parameterization, not just the calibrated catalog:
 energy conservation in the thermal network, monotone physics (more
 voltage → more power; hotter → leakier), and accounting identities in the
-instruments and engine.
+instruments and engine.  The engine-level identities run under the
+:mod:`repro.check` runtime invariant suite — the same checkers
+``repro-bench check --invariants`` attaches — so a drift fails here the
+same way it would fail in the field.
 """
 
 import math
@@ -12,6 +15,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.check import InvariantSuite, Tolerance, ToleranceSpec
 from repro.device.fleet import PAPER_FLEETS, build_device
 from repro.instruments.monsoon import MonsoonPowerMonitor
 from repro.sim.engine import World
@@ -87,18 +91,35 @@ class TestDevicePowerMonotonicity:
 
 
 class TestEngineAccountingIdentities:
+    #: Trace-integral vs instrument-accumulator drift budget.
+    ACCOUNTING_SPEC = ToleranceSpec(
+        name="engine-accounting",
+        fields=(("energy_j", Tolerance(rel_tol=0.01)),),
+    )
+
     def test_monsoon_energy_equals_power_time_integral(self):
         device = build_device(PAPER_FLEETS["Nexus 5"][0])
         monsoon = MonsoonPowerMonitor(3.8)
         device.connect_supply(monsoon)
         world = World(device, dt=0.1, trace_decimation=1)
+        # The runtime EnergyConservation checker asserts the same identity
+        # step by step while the run is still live.
+        suite = InvariantSuite()
+        world.attach_observer(suite)
         device.acquire_wakelock()
         device.start_load()
         world.run_for(20.0)
-        # The trace records supply power each step; its integral must match
-        # the Monsoon's accumulator.
+        assert suite.steps_checked == 200
+        # End-of-run: the trace records supply power each step; its
+        # integral must match the Monsoon's accumulator.
         powers = world.trace.column("power")
-        assert monsoon.energy_j == pytest.approx(float(powers.sum()) * 0.1, rel=0.01)
+        divergence = self.ACCOUNTING_SPEC.compare_scalar(
+            "energy_j",
+            monsoon.energy_j,
+            float(powers.sum()) * 0.1,
+            context="monsoon-vs-trace",
+        )
+        assert divergence is None, divergence.describe()
 
     def test_ops_total_matches_frequency_integral(self):
         device = build_device(PAPER_FLEETS["Nexus 5"][0])
@@ -118,6 +139,7 @@ class TestEngineAccountingIdentities:
         device = build_device(PAPER_FLEETS["Nexus 5"][3])
         device.connect_supply(MonsoonPowerMonitor(3.8))
         world = World(device, dt=0.1, trace_decimation=1)
+        world.attach_observer(InvariantSuite())
         device.acquire_wakelock()
         device.start_load()
         world.run_for(60.0)

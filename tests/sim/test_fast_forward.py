@@ -1,7 +1,12 @@
-"""Sleep-phase fast-forward: when it engages, and that it stays honest."""
+"""Sleep-phase fast-forward: when it engages, and that it stays honest.
+
+Fidelity is asserted through the same declarative tolerance specs the
+``repro check`` harness uses, so the allowed drift is written down once.
+"""
 
 import pytest
 
+from repro.check import Tolerance, ToleranceSpec
 from repro.device.fleet import PAPER_FLEETS, build_device
 from repro.instruments.monsoon import MonsoonPowerMonitor
 from repro.instruments.thermabox import Thermabox
@@ -60,19 +65,35 @@ class TestEngagement:
         assert world.fast_forwards == 0
 
 
+#: Euler-vs-expm cooldown drift budget: elapsed times must land within
+#: one poll window of each other; final temperatures within sensor scale;
+#: total supply energy tracks the (constant) asleep draw.
+COOLDOWN_SPEC = ToleranceSpec(
+    name="cooldown-fidelity",
+    fields=(
+        ("elapsed_s", Tolerance(abs_tol=POLL_S)),
+        ("final_temp_c", Tolerance(abs_tol=0.1)),
+        ("energy_j", Tolerance(rel_tol=1e-3)),
+    ),
+)
+
+
 class TestFidelity:
     @pytest.mark.parametrize("chamber", [False, True])
     def test_cooldown_agrees_with_euler(self, chamber):
-        # Same cooldown, two solvers: elapsed times land in the same poll
-        # window and the final temperatures agree closely.
-        elapsed = {}
-        temps = {}
+        # Same cooldown, two solvers: every drift within COOLDOWN_SPEC.
+        summaries = {}
         for solver in ("euler", "expm"):
             world = make_world(solver, chamber=chamber)
-            elapsed[solver] = run_cooldown(world)
-            temps[solver] = world.device.read_cpu_temp()
-        assert abs(elapsed["euler"] - elapsed["expm"]) <= POLL_S
-        assert temps["euler"] == pytest.approx(temps["expm"], abs=0.1)
+            elapsed = run_cooldown(world)
+            summaries[solver] = {
+                "elapsed_s": elapsed,
+                "final_temp_c": world.device.read_cpu_temp(),
+            }
+        divergences = COOLDOWN_SPEC.compare_mapping(
+            summaries["euler"], summaries["expm"], context="cooldown"
+        )
+        assert divergences == [], [d.describe() for d in divergences]
 
     def test_clock_and_trace_land_on_poll_boundaries(self):
         world = make_world("expm")
@@ -95,4 +116,7 @@ class TestFidelity:
             world = make_world(solver)
             run_cooldown(world)
             energy[solver] = world.device.supply.energy_j
-        assert energy["expm"] == pytest.approx(energy["euler"], rel=1e-3)
+        divergence = COOLDOWN_SPEC.compare_scalar(
+            "energy_j", energy["euler"], energy["expm"], context="cooldown"
+        )
+        assert divergence is None, divergence.describe()

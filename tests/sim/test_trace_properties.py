@@ -1,0 +1,85 @@
+"""Property tests for the trace buffer, driven by shared strategies.
+
+:func:`repro.check.strategies.trace_samples` generates time-ordered rows
+sized to cross the growth boundary when the test lowers the initial
+capacity, exercising the grow/copy path and the cached-view invalidation
+it must trigger.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.check.strategies import trace_samples
+from repro.sim.trace import Trace
+
+CHANNELS = ("temp", "power", "freq")
+
+
+def build(rows, capacity=2):
+    trace = Trace(CHANNELS, capacity=capacity)
+    for time_s, row in rows:
+        trace.append(time_s, row)
+    return trace
+
+
+class TestAppendGrow:
+    @settings(max_examples=50, deadline=None)
+    @given(trace_samples())
+    def test_every_sample_survives_growth(self, rows):
+        trace = build(rows)
+        assert len(trace) == len(rows)
+        for index, (time_s, row) in enumerate(rows):
+            assert trace.times()[index] == time_s
+            for channel, value in zip(CHANNELS, row):
+                assert trace.column(channel)[index] == value
+
+    @settings(max_examples=50, deadline=None)
+    @given(trace_samples(min_size=1))
+    def test_times_non_decreasing(self, rows):
+        trace = build(rows)
+        times = trace.times()
+        assert np.all(np.diff(times) >= 0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(trace_samples(min_size=2))
+    def test_out_of_order_append_rejected(self, rows):
+        from repro.errors import ConfigurationError
+
+        trace = build(rows)
+        last = float(trace.times()[-1])
+        with pytest.raises(ConfigurationError):
+            trace.append(last - 1.0, (0.0,) * len(CHANNELS))
+
+
+class TestColumnViews:
+    @settings(max_examples=50, deadline=None)
+    @given(trace_samples(min_size=1))
+    def test_views_are_read_only(self, rows):
+        trace = build(rows)
+        with pytest.raises((ValueError, RuntimeError)):
+            trace.times()[0] = -1.0
+        with pytest.raises((ValueError, RuntimeError)):
+            trace.column("temp")[0] = -1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(trace_samples(min_size=1))
+    def test_view_invalidated_on_append(self, rows):
+        # A cached view must never go stale: after an append the arrays
+        # reflect the new sample even if the buffer was reallocated.
+        trace = build(rows)
+        before = trace.column("temp")
+        assert before.shape[0] == len(rows)
+        last = float(trace.times()[-1])
+        trace.append(last + 1.0, (123.0, 0.0, 0.0))
+        after = trace.column("temp")
+        assert after.shape[0] == len(rows) + 1
+        assert after[-1] == 123.0
+        # The old view still describes the pre-append prefix.
+        np.testing.assert_array_equal(before, after[:-1])
+
+    @settings(max_examples=50, deadline=None)
+    @given(trace_samples(min_size=1))
+    def test_repeated_reads_are_cached(self, rows):
+        trace = build(rows)
+        assert trace.column("power") is trace.column("power")

@@ -241,3 +241,52 @@ class TestValidateCommand:
         assert "checks passed" in out
         assert code in (0, 1)  # report renders either way
         assert "Nexus 6 energy variation" in out
+
+
+class TestCheckCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["check"])
+        assert args.golden_dir == "tests/golden"
+        assert args.scale == 0.05
+        assert not args.differential
+        assert not args.update_golden
+
+    def test_differential_section_runs(self, capsys):
+        code = main([
+            "check", "--differential", "--models", "Nexus 5",
+            "--scale", "0.02",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "solver" in out
+        assert "PASS" in out
+
+    def test_invariants_section_runs(self, capsys):
+        code = main([
+            "check", "--invariants", "--models", "Nexus 5",
+            "--scale", "0.02", "--iterations", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "invariants" in out
+        assert "PASS" in out
+
+    def test_update_then_check_golden_round_trip(self, capsys, tmp_path):
+        assert main([
+            "check", "--update-golden", "--models", "Nexus 5",
+            "--golden-dir", str(tmp_path), "--scale", "0.02",
+        ]) == 0
+        assert "nexus-5.json" in capsys.readouterr().out
+        code = main([
+            "check", "--golden", "--models", "Nexus 5",
+            "--golden-dir", str(tmp_path),
+        ])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_missing_golden_fails_cleanly(self, capsys, tmp_path):
+        code = main([
+            "check", "--golden", "--models", "Nexus 5",
+            "--golden-dir", str(tmp_path / "void"),
+        ])
+        assert code == 1
