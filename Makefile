@@ -1,6 +1,6 @@
 # Convenience targets; all assume the package is installed (see README).
 
-.PHONY: test check check-update-golden bench bench-fast validate calibrate examples all
+.PHONY: test check check-update-golden bench bench-fast bench-batch validate calibrate examples all
 
 test:
 	pytest tests/
@@ -20,6 +20,11 @@ bench:
 # not hours); writes BENCH_campaign.json and BENCH_metrics.json.
 bench-fast:
 	pytest benchmarks/test_perf_campaign.py -q -s
+
+# Batched fleet engine A/B: 32-unit speedup + batch-size scaling sweep;
+# writes BENCH_batch.json.
+bench-batch:
+	pytest benchmarks/test_perf_batch.py -q -s
 
 validate:
 	repro-bench validate --scale 0.5 --iterations 2 --no-thermabox

@@ -1,0 +1,147 @@
+"""Batched fleet engine throughput: lock-step vectorization vs serial.
+
+Measures the tentpole claim of the batched engine: advancing N same-model
+units as one ``(N, nodes)`` matrix through a shared propagator must beat
+N independent per-unit worlds by a wide margin, *without* changing the
+physics.  Two benches:
+
+* end-to-end ``run_fleet`` on a 32-unit synthetic Nexus 5 fleet,
+  interleaved A/B (``batch=True`` vs ``batch=False``), best-of per arm;
+  unit-steps per second come from the ``engine.steps`` counter over the
+  measured wall time, so both arms are scored on the same work unit.
+  The speedup floor is asserted unless ``REPRO_BENCH_SKIP_RATE_ASSERT``
+  is set; per-unit agreement against :data:`~repro.check.BATCH_SPEC`
+  gates unconditionally — a fast engine that drifts is a bug, not a win.
+* batch-size scaling at N ∈ {1, 8, 32, 128}: batched vs serial rate at
+  each fleet size, recorded (never asserted) to document where the
+  vectorization pays for its per-step fixed cost.
+
+Results land in ``BENCH_batch.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.test_perf_campaign import _merge_results
+from repro.check.differential import BATCH_SPEC
+from repro.core.config import AccubenchConfig
+from repro.core.experiments import unconstrained
+from repro.core.runner import CampaignConfig, CampaignRunner
+from repro.device.fleet import synthetic_fleet
+from repro.obs import MetricsRegistry, use_registry
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_batch.json")
+
+MODEL = "Nexus 5"
+FLEET_N = 32
+MIN_BATCH_SPEEDUP = 5.0
+REPEATS = 3
+SCALE = 0.3
+SCALING_FLEET_SIZES = (1, 8, 32, 128)
+SCALING_SCALE = 0.15
+SCALING_REPEATS = 2
+
+
+def _config(batch: bool) -> CampaignConfig:
+    accubench = AccubenchConfig(
+        thermal_solver="expm", iterations=1, batch=batch
+    ).scaled(SCALE)
+    return CampaignConfig(accubench=accubench, jobs=1)
+
+
+def _fleet(count: int):
+    return synthetic_fleet(
+        MODEL, count, thermal_solver="expm", initial_temp_c=26.0
+    )
+
+
+def _fleet_rate(count: int, batch: bool, scale: float = SCALE):
+    """One fleet campaign; returns (unit-steps/sec, ExperimentResult)."""
+    accubench = AccubenchConfig(
+        thermal_solver="expm", iterations=1, batch=batch
+    ).scaled(scale)
+    runner = CampaignRunner(CampaignConfig(accubench=accubench, jobs=1))
+    registry = MetricsRegistry(enabled=True)
+    start = time.perf_counter()
+    with use_registry(registry):
+        result = runner.run_fleet(MODEL, unconstrained(), devices=_fleet(count))
+    wall = time.perf_counter() - start
+    steps = registry.snapshot()["counters"]["engine.steps"]
+    return steps / wall, result
+
+
+def test_batched_fleet_speedup():
+    # Interleaved A/B so host-load drift cancels; best-of per arm.  Both
+    # arms retire the same engine.steps (draw-for-draw replay), so the
+    # rate ratio is also the wall-clock ratio.
+    best = {"serial": 0.0, "batched": 0.0}
+    results = {}
+    for _ in range(REPEATS):
+        for arm, batch in (("serial", False), ("batched", True)):
+            rate, result = _fleet_rate(FLEET_N, batch)
+            best[arm] = max(best[arm], rate)
+            results[arm] = result
+    speedup = best["batched"] / best["serial"]
+    divergences = BATCH_SPEC.compare_experiment(
+        results["serial"], results["batched"]
+    )
+    _merge_results(
+        {
+            "batch_fleet_n": FLEET_N,
+            "batch_serial_steps_per_sec": round(best["serial"], 1),
+            "batch_batched_steps_per_sec": round(best["batched"], 1),
+            "batch_speedup": round(speedup, 3),
+            "batch_divergent_fields": len(divergences),
+        },
+        path=RESULTS_PATH,
+    )
+    print(
+        f"\n{FLEET_N}-unit fleet: serial {best['serial']:,.0f} "
+        f"unit-steps/s, batched {best['batched']:,.0f} ({speedup:.2f}x)"
+    )
+    # Physics agreement gates unconditionally, host speed never excuses it.
+    assert divergences == [], "\n".join(str(d) for d in divergences)
+    if os.environ.get("REPRO_BENCH_SKIP_RATE_ASSERT"):
+        pytest.skip("rate floor assertion disabled by environment")
+    assert speedup >= MIN_BATCH_SPEEDUP, (
+        f"batched engine speedup {speedup:.2f}x below "
+        f"{MIN_BATCH_SPEEDUP}x at N={FLEET_N}"
+    )
+
+
+def test_batch_size_scaling():
+    # Recorded, never asserted: where does lock-step stepping pay off?
+    # The batched arm's per-step fixed cost (mask bookkeeping, cohort
+    # checks) is amortized over N rows, so N=1 is expected to lose.
+    scaling = {}
+    for count in SCALING_FLEET_SIZES:
+        best = {"serial": 0.0, "batched": 0.0}
+        for _ in range(SCALING_REPEATS):
+            for arm, batch in (("serial", False), ("batched", True)):
+                rate, _ = _fleet_rate(count, batch, scale=SCALING_SCALE)
+                best[arm] = max(best[arm], rate)
+        scaling[count] = {
+            "serial": round(best["serial"], 1),
+            "batched": round(best["batched"], 1),
+            "speedup": round(best["batched"] / best["serial"], 3),
+        }
+        print(
+            f"\nN={count}: serial {best['serial']:,.0f} unit-steps/s, "
+            f"batched {best['batched']:,.0f} "
+            f"({scaling[count]['speedup']:.2f}x)"
+        )
+    _merge_results(
+        {
+            f"batch_scaling[{count}]": entry["speedup"]
+            for count, entry in scaling.items()
+        }
+        | {
+            f"batch_scaling_batched_steps_per_sec[{count}]": entry["batched"]
+            for count, entry in scaling.items()
+        },
+        path=RESULTS_PATH,
+    )

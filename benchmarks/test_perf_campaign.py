@@ -96,17 +96,24 @@ def _fleet_wall_time(jobs: int) -> float:
     return time.perf_counter() - start
 
 
-def _merge_results(update: dict) -> None:
+#: Sentinel for :func:`_merge_results`: remove the key from the document.
+#: Distinct from ``None``, which records a real JSON ``null`` — "measured,
+#: and the answer is 'not applicable'" — e.g. the parallel speedup on a
+#: single-CPU machine.
+RETRACT = object()
+
+
+def _merge_results(update: dict, path: str = RESULTS_PATH) -> None:
     payload = {}
-    if os.path.exists(RESULTS_PATH):
-        with open(RESULTS_PATH) as fp:
+    if os.path.exists(path):
+        with open(path) as fp:
             payload = json.load(fp)
     for key, value in update.items():
-        if value is None:
+        if value is RETRACT:
             payload.pop(key, None)  # retract a stale measurement
         else:
             payload[key] = value
-    with open(RESULTS_PATH, "w") as fp:
+    with open(path, "w") as fp:
         json.dump(payload, fp, indent=2, sort_keys=True)
         fp.write("\n")
 
@@ -179,9 +186,10 @@ def test_parallel_fleet_speedup():
         _merge_results(
             {
                 "cpu_count": cores,
-                "fleet_parallel_speedup": "skipped_single_cpu",
-                "fleet_serial_s": None,
-                f"fleet_jobs{PARALLEL_JOBS}_s": None,
+                "fleet_parallel_speedup": None,
+                "fleet_parallel_skipped_reason": "single_cpu",
+                "fleet_serial_s": RETRACT,
+                f"fleet_jobs{PARALLEL_JOBS}_s": RETRACT,
             }
         )
         pytest.skip("single-CPU machine; parallel A/B not meaningful")
@@ -193,6 +201,7 @@ def test_parallel_fleet_speedup():
             "fleet_serial_s": round(serial_s, 3),
             f"fleet_jobs{PARALLEL_JOBS}_s": round(parallel_s, 3),
             "fleet_parallel_speedup": round(speedup, 3),
+            "fleet_parallel_skipped_reason": RETRACT,
             "cpu_count": cores,
         }
     )

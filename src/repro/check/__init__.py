@@ -27,11 +27,13 @@ job.  See ``docs/testing.md``.
 """
 
 from repro.check.differential import (
+    BATCH_SPEC,
     Divergence,
     DifferentialReport,
     Pairing,
     Tolerance,
     ToleranceSpec,
+    batch_pairing,
     default_pairings,
     fast_forward_pairing,
     jobs_pairing,
@@ -61,11 +63,13 @@ from repro.check.invariants import (
 )
 
 __all__ = [
+    "BATCH_SPEC",
     "Divergence",
     "DifferentialReport",
     "Pairing",
     "Tolerance",
     "ToleranceSpec",
+    "batch_pairing",
     "default_pairings",
     "fast_forward_pairing",
     "jobs_pairing",

@@ -280,6 +280,31 @@ SOLVER_SPEC = ToleranceSpec(
     ),
 )
 
+#: Batched vs serial engine (both expm, fast-forward on): the batched
+#: step replays the serial control flow draw-for-draw, so the only real
+#: freedom is BLAS summation order — the stacked thermal update is a GEMM
+#: where the serial path runs per-unit GEMVs, and per-core power sums
+#: collapse behind vectorized reductions.  Those are ulp-level (~1e-13 °C
+#: on traces); the budgets below leave three orders of magnitude of
+#: headroom while still catching any real modelling drift.  The discrete
+#: fields stay effectively exact: a last-ulp temperature wiggle can only
+#: move a cooldown exit (or a throttle decision) if a quantized sensor
+#: read lands exactly on a rounding boundary, so one poll window / one
+#: trace sample of slack covers it.
+BATCH_SPEC = ToleranceSpec(
+    name="batched-vs-serial",
+    fields=(
+        ("iterations_completed", Tolerance(rel_tol=1e-9)),
+        ("energy_j", Tolerance(rel_tol=1e-9)),
+        ("mean_power_w", Tolerance(rel_tol=1e-9)),
+        ("mean_freq_mhz", Tolerance(rel_tol=1e-6)),
+        ("max_cpu_temp_c", Tolerance(abs_tol=1e-6)),
+        ("cooldown_s", Tolerance(abs_tol=5.01)),
+        ("time_throttled_s", Tolerance(abs_tol=2.0)),
+    ),
+    default=Tolerance(abs_tol=1e-9),
+)
+
 #: Fast-forward on vs off (both expm): the macro step is exact, so only
 #: sensor-noise draw alignment at poll boundaries may wiggle the cooldown
 #: end by one window; everything thermal/energetic must agree tightly.
@@ -380,13 +405,35 @@ def jobs_pairing(base: CampaignConfig, jobs: int) -> Pairing:
     )
 
 
+def batch_pairing(base: CampaignConfig) -> Pairing:
+    """Serial per-unit worlds vs the lock-step batched engine.
+
+    Both sides run the exact propagator with the sleep fast-forward on —
+    the configuration the batched engine requires — so the comparison
+    isolates the batching itself."""
+    return Pairing(
+        name="batch",
+        label_a="serial-engine",
+        label_b="batched-engine",
+        config_a=_with_protocol(
+            base, thermal_solver="expm", sleep_fast_forward=True, batch=False
+        ),
+        config_b=_with_protocol(
+            base, thermal_solver="expm", sleep_fast_forward=True, batch=True
+        ),
+        spec=BATCH_SPEC,
+    )
+
+
 def default_pairings(base: CampaignConfig) -> Tuple[Pairing, ...]:
-    """The standard battery: euler↔expm, serial↔{2,4} jobs, ff on↔off."""
+    """The standard battery: euler↔expm, serial↔{2,4} jobs, ff on↔off,
+    serial↔batched engine."""
     return (
         solver_pairing(base),
         jobs_pairing(base, 2),
         jobs_pairing(base, 4),
         fast_forward_pairing(base),
+        batch_pairing(base),
     )
 
 

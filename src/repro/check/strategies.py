@@ -118,6 +118,16 @@ def trace_samples(
     return rows
 
 
+def fleet_permutations(count: int):
+    """A permutation of fleet indices ``0..count-1``.
+
+    Drives order-invariance properties of the batched engine: a
+    :class:`~repro.sim.batch.BatchedWorld` built over any reordering of
+    the same units must produce each unit's exact per-serial results.
+    """
+    return st.permutations(tuple(range(count)))
+
+
 # -- deterministic scenario generators ---------------------------------------
 #
 # Not Hypothesis strategies: plain constructors for "a realistic world",

@@ -213,6 +213,14 @@ def _add_protocol_args(parser: argparse.ArgumentParser) -> None:
         "matrix-exponential propagator (enables the cooldown sleep "
         "fast-forward)",
     )
+    parser.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="lock-step batched fleet engine (requires --solver expm); "
+        "default: automatic for fleets of 4+ eligible units; "
+        "--no-batch forces the serial per-unit path",
+    )
 
 
 def _runner(args: argparse.Namespace) -> CampaignRunner:
@@ -224,6 +232,8 @@ def _runner(args: argparse.Namespace) -> CampaignRunner:
         overrides["iterations"] = args.iterations
     if getattr(args, "solver", None):
         overrides["thermal_solver"] = args.solver
+    if getattr(args, "batch", None) is not None:
+        overrides["batch"] = args.batch
     if overrides:
         protocol = replace(protocol, **overrides)
     return CampaignRunner(

@@ -1,0 +1,306 @@
+"""Batched fleet execution: one :class:`BatchedWorld` per (model, workload).
+
+The serial campaign path runs each unit's iteration batch through its own
+:class:`~repro.sim.engine.World`.  When every unit of a fleet shares one
+device model and the exact thermal solver, the whole fleet can instead
+advance in lock-step through :class:`repro.sim.batch.BatchedWorld` — one
+batched propagation and one vectorized power evaluation per engine step —
+while producing the same :class:`~repro.core.results.IterationResult`
+fields the protocol builds (within the ulp-level budget documented by
+``repro.check``'s ``BATCH_SPEC``).
+
+Eligibility is decided by :func:`batch_ineligibility_reason`; anything
+the batched engine does not model (Euler integration, invariant
+observers, skin throttles, memory-bounded workloads, mixed fleets) falls
+back to the serial per-unit path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.experiments import ExperimentSpec
+from repro.core.protocol import MIN_COOLDOWN_MARGIN_C
+from repro.core.results import DeviceResult, IterationResult
+from repro.device.phone import Device
+from repro.errors import ConfigurationError
+from repro.instruments.monsoon import MonsoonPowerMonitor
+from repro.instruments.thermabox import BatchedThermabox, ThermaboxConfig
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.sim.batch import BatchedWorld
+from repro.sim.trace import Trace
+from repro.soc.perf import iterations_from_ops
+
+if TYPE_CHECKING:  # circular at runtime, exactly like repro.core.parallel
+    from repro.core.runner import CampaignConfig
+
+#: Fleets below this size default to the serial path when batching is on
+#: "auto": the fixed per-step numpy overhead only amortizes across units.
+MIN_AUTO_BATCH_UNITS = 4
+
+
+def batch_ineligibility_reason(
+    config: "CampaignConfig",
+    experiment: ExperimentSpec,
+    devices: Sequence[Device],
+) -> Optional[str]:
+    """Why this fleet cannot run batched, or ``None`` if it can.
+
+    The reasons mirror the assumptions baked into
+    :class:`~repro.sim.batch.BatchedWorld`: exact propagation (one shared
+    (Φ, Ψ) pair), sleep fast-forward cooldowns, no per-step observers, and
+    per-unit physics that differs only in stacked parameters.
+    """
+    bench = config.accubench
+    if bench.thermal_solver != "expm":
+        return "thermal_solver is not 'expm'"
+    if not bench.sleep_fast_forward:
+        return "sleep_fast_forward is disabled"
+    if bench.check_invariants:
+        return "invariant observers need the per-step engine"
+    if not devices:
+        return "empty fleet"
+    models = {dev.spec.name for dev in devices}
+    if len(models) != 1:
+        return f"mixed device models {sorted(models)}"
+    reference = devices[0]
+    if not reference.thermal.is_exact:
+        return "device thermal network is not exact (expm)"
+    if reference.skin_throttle is not None:
+        return "skin-temperature throttle is not batched"
+    if any(
+        cluster.memory_boundedness != 0.0
+        for dev in devices
+        for cluster in dev.soc.clusters
+    ):
+        return "memory-bounded workloads are not batched"
+    return None
+
+
+def run_batch(
+    devices: Sequence[Device],
+    experiment: ExperimentSpec,
+    config: "CampaignConfig",
+    ambient_c: Optional[float] = None,
+    iterations: Optional[int] = None,
+    supply_voltage: Optional[float] = None,
+) -> List[DeviceResult]:
+    """Run one fleet's full iteration batch through a :class:`BatchedWorld`.
+
+    Mirrors :meth:`CampaignRunner.run_device` over every unit at once:
+    Monsoon per unit, one chamber (columnized) stabilized once, then
+    ``iterations`` back-to-back warmup → cooldown → workload passes.
+    Returns per-unit :class:`DeviceResult`\\ s in fleet order.
+    """
+    from repro.core.runner import CampaignRunner
+
+    reason = batch_ineligibility_reason(config, experiment, devices)
+    if reason is not None:
+        raise ConfigurationError(f"fleet is not batchable: {reason}")
+    runner = CampaignRunner(config)
+    bench = config.accubench
+    count = iterations if iterations is not None else bench.iterations
+    if count < 1:
+        raise ConfigurationError("iterations must be at least 1")
+    units = len(devices)
+    volts = (
+        supply_voltage
+        if supply_voltage is not None
+        else runner.monsoon_voltage_for(devices[0].spec)
+    )
+    for device in devices:
+        device.connect_supply(MonsoonPowerMonitor(volts))
+
+    target = ambient_c if ambient_c is not None else config.ambient_c
+    if config.use_thermabox:
+        chamber = BatchedThermabox(
+            ThermaboxConfig(target_c=target), count=units, initial_temp_c=target
+        )
+        room_temp = config.room_temp_c
+    else:
+        chamber = None
+        room_temp = target
+
+    registry = default_registry()
+    propagator = devices[0].thermal.propagator
+    hits_before = propagator.cache_hits if propagator is not None else 0
+    misses_before = propagator.cache_misses if propagator is not None else 0
+
+    results: List[List[IterationResult]] = [[] for _ in range(units)]
+    started_wall = time.perf_counter()
+    looped_total = 0
+    with registry.span(
+        "run_batch",
+        model=devices[0].spec.name,
+        units=units,
+        workload=experiment.name,
+        iterations=count,
+    ):
+        if chamber is not None:
+            chamber.wait_until_stable(config.room_temp_c)
+        world = BatchedWorld(
+            devices,
+            room_temp_c=room_temp,
+            chamber=chamber,
+            dt=bench.dt,
+            trace_decimation=bench.trace_decimation,
+        )
+        sim_clock = lambda: float(world.clock_now.max())  # noqa: E731
+        for _ in range(count):
+            world.begin_iteration()
+            if experiment.is_unconstrained:
+                world.unconstrain_frequency()
+            else:
+                assert experiment.fixed_freq_mhz is not None  # spec invariant
+                world.set_fixed_frequency(experiment.fixed_freq_mhz)
+
+            world.acquire_wakelock()
+            world.start_load()
+            world.set_phase("warmup")
+            with registry.span("phase.warmup", clock=sim_clock):
+                world.run_for(bench.warmup_s)
+
+            world.stop_load()
+            world.release_wakelock()
+            world.set_phase("cooldown")
+            targets = np.maximum(
+                bench.cooldown_target_c,
+                world.ambient_now() + MIN_COOLDOWN_MARGIN_C,
+            )
+            with registry.span("phase.cooldown", clock=sim_clock):
+                cooldown_s = world.run_cooldown(
+                    targets, bench.cooldown_poll_s, bench.cooldown_timeout_s
+                )
+
+            world.acquire_wakelock()
+            world.start_load()
+            energy_before = world.energy_drawn_j
+            ops_before = world.ops_total
+            world.set_phase("workload")
+            with registry.span("phase.workload", clock=sim_clock):
+                world.run_for(bench.workload_s)
+            energy_j = world.energy_drawn_j - energy_before
+            completed = world.ops_total - ops_before
+            world.stop_load()
+            world.release_wakelock()
+            world.close()
+            looped_total += int(world.looped_steps.sum())
+            _publish_iteration_metrics(registry, world)
+
+            for i, device in enumerate(devices):
+                trace = world.traces[i]
+                results[i].append(
+                    IterationResult(
+                        model=device.spec.name,
+                        serial=device.serial,
+                        workload=experiment.name,
+                        iterations_completed=iterations_from_ops(
+                            float(completed[i])
+                        ),
+                        energy_j=float(energy_j[i]),
+                        mean_power_w=float(energy_j[i]) / bench.workload_s,
+                        mean_freq_mhz=float(
+                            np.mean(trace.phase_column("workload", "freq"))
+                        ),
+                        max_cpu_temp_c=trace.max("cpu_temp"),
+                        cooldown_s=float(cooldown_s[i]),
+                        time_throttled_s=_throttled_time(trace),
+                        trace=trace if bench.keep_traces else None,
+                    )
+                )
+        world.finalize()
+    _publish_batch_metrics(
+        registry,
+        world,
+        chamber,
+        propagator,
+        hits_before,
+        misses_before,
+        looped_total,
+        time.perf_counter() - started_wall,
+    )
+    return [
+        DeviceResult(
+            model=device.spec.name,
+            serial=device.serial,
+            workload=experiment.name,
+            iterations=tuple(results[i]),
+        )
+        for i, device in enumerate(devices)
+    ]
+
+
+def _throttled_time(trace: Trace) -> float:
+    """Per-unit mirror of ``Accubench._throttled_time``."""
+    try:
+        steps = trace.phase_column("workload", "throttle_steps")
+    except Exception:  # no workload phase recorded
+        return 0.0
+    times = trace.times()
+    if times.size < 2 or steps.size == 0:
+        return 0.0
+    sample_spacing = float(times[1] - times[0])
+    return float((steps > 0).sum()) * sample_spacing
+
+
+def _publish_iteration_metrics(
+    registry: MetricsRegistry, world: BatchedWorld
+) -> None:
+    """One iteration's engine tallies, summed over units.
+
+    The counters land on the same keys ``Accubench._publish_world_metrics``
+    uses, so a metrics document reads identically whether the fleet ran
+    serially or batched.
+    """
+    if not registry.enabled:
+        return
+    registry.counter("engine.steps").add(int(world.looped_steps.sum()))
+    registry.counter("engine.fast_forward_steps").add(
+        int(world.fast_forward_steps.sum())
+    )
+    registry.counter("engine.fast_forward_windows").add(
+        int(world.fast_forward_windows.sum())
+    )
+    registry.counter("engine.sim_time_s").add(float(world.clock_now.sum()))
+    throttle = sum(log.count("throttle-step") for log in world.event_logs)
+    offline = sum(log.count("core-offline") for log in world.event_logs)
+    registry.counter("engine.throttle_events").add(throttle)
+    registry.counter("engine.core_offline_events").add(offline)
+    registry.counter("protocol.iterations").add(world.count)
+
+
+def _publish_batch_metrics(
+    registry: MetricsRegistry,
+    world: BatchedWorld,
+    chamber: Optional[BatchedThermabox],
+    propagator,
+    hits_before: int,
+    misses_before: int,
+    looped_total: int,
+    wall_s: float,
+) -> None:
+    """Batch-level telemetry: instrument tallies plus batching gauges."""
+    if not registry.enabled:
+        return
+    hits = propagator.cache_hits - hits_before if propagator is not None else 0
+    misses = (
+        propagator.cache_misses - misses_before if propagator is not None else 0
+    )
+    registry.counter("propagator.cache_hits").add(hits)
+    registry.counter("propagator.cache_misses").add(misses)
+    registry.counter("thermabox.heater_duty_s").add(
+        float(chamber.heater_duty_seconds.sum()) if chamber is not None else 0.0
+    )
+    registry.counter("thermabox.cooler_duty_s").add(
+        float(chamber.cooler_duty_seconds.sum()) if chamber is not None else 0.0
+    )
+    registry.counter("thermabox.elapsed_s").add(
+        float(chamber.elapsed_s.sum()) if chamber is not None else 0.0
+    )
+    registry.gauge("batch.size").set(world.count)
+    registry.counter("batch.cohort_splits").add(world.cohort_splits)
+    if wall_s > 0:
+        registry.gauge("batch.steps_per_sec").set(looped_total / wall_s)

@@ -10,6 +10,7 @@ qualitatively identical at shorter durations, just noisier.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.units import minutes, require_finite
@@ -56,6 +57,15 @@ class AccubenchConfig:
         :class:`~repro.errors.InvariantViolation` the step the physics
         stops being plausible.  Off by default — an observed run takes
         the engine's per-step path instead of the inlined hot loop.
+    batch:
+        Whether fleet runs use the lock-step batched engine
+        (:mod:`repro.sim.batch`).  ``None`` (the default) batches
+        automatically when a fleet has at least four eligible units;
+        ``True`` batches whenever the fleet is eligible; ``False`` forces
+        the serial per-unit path.  Ineligible fleets (Euler solver,
+        invariant observers, skin throttles, mixed models) always fall
+        back to the serial path — see
+        :func:`repro.core.batch_runner.batch_ineligibility_reason`.
     """
 
     warmup_s: float = minutes(3)
@@ -70,6 +80,7 @@ class AccubenchConfig:
     thermal_solver: str = "euler"
     sleep_fast_forward: bool = True
     check_invariants: bool = False
+    batch: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.thermal_solver not in ("euler", "expm"):

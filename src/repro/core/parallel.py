@@ -45,7 +45,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.experiments import ExperimentSpec
 from repro.core.results import DeviceResult
@@ -86,14 +86,42 @@ class DeviceTask:
 
 
 @dataclass(frozen=True)
+class BatchTask:
+    """One fleet shard's full iteration batch, run through a BatchedWorld.
+
+    The shard's units advance in lock-step inside a single worker (see
+    :mod:`repro.core.batch_runner`); the payload carries one
+    :class:`DeviceResult` per unit, in shard order.  Shards are contiguous
+    fleet slices, so flattening payloads in submission order reassembles
+    the fleet ordering a serial run would produce.
+    """
+
+    devices: tuple
+    experiment: ExperimentSpec
+    config: "CampaignConfig"
+    ambient_c: Optional[float] = None
+    iterations: Optional[int] = None
+    supply_voltage: Optional[float] = None
+
+    @property
+    def result_count(self) -> int:
+        return len(self.devices)
+
+
+#: Anything :func:`run_tasks` accepts.
+Task = Union[DeviceTask, BatchTask]
+
+
+@dataclass(frozen=True)
 class TaskPayload:
-    """What a worker returns: the result plus its telemetry.
+    """What a worker returns: the results plus its telemetry.
 
     Attributes
     ----------
-    result:
-        The task's :class:`DeviceResult` — unaffected by whether metrics
-        were collected.
+    results:
+        The task's :class:`DeviceResult` list — one entry for a
+        :class:`DeviceTask`, one per unit (in shard order) for a
+        :class:`BatchTask`.  Unaffected by whether metrics were collected.
     wall_s:
         Wall-clock execution time of the task, measured in the process
         that ran it.
@@ -103,55 +131,69 @@ class TaskPayload:
         parent was not collecting.
     """
 
-    result: DeviceResult
+    results: List[DeviceResult]
     wall_s: float
     metrics: Optional[Dict[str, Any]] = None
 
 
 def execute_device_task(task: DeviceTask) -> DeviceResult:
     """Run one task to completion without telemetry (legacy entry point)."""
-    return execute_task_payload(task, collect_metrics=False).result
+    return execute_task_payload(task, collect_metrics=False).results[0]
 
 
 def execute_task_payload(
-    task: DeviceTask, collect_metrics: bool = False
+    task: "Task", collect_metrics: bool = False
 ) -> TaskPayload:
     """Run one task to completion (the worker-process entry point).
 
     With ``collect_metrics``, the task runs against a fresh enabled
     registry scoped to this call, and the payload carries its snapshot —
     the worker-side half of cross-process metric aggregation.  Collection
-    never touches the simulation's random streams, so the result is
+    never touches the simulation's random streams, so the results are
     identical either way.
     """
-    from repro.core.runner import CampaignRunner
-
     started = time.perf_counter()
     if collect_metrics:
         registry = MetricsRegistry(enabled=True)
         with use_registry(registry):
-            result = _run(CampaignRunner(task.config), task)
+            results = _run(task)
         snapshot = registry.snapshot()
     else:
-        result = _run(CampaignRunner(task.config), task)
+        results = _run(task)
         snapshot = None
     return TaskPayload(
-        result=result, wall_s=time.perf_counter() - started, metrics=snapshot
+        results=results, wall_s=time.perf_counter() - started, metrics=snapshot
     )
 
 
-def _run(runner: "Any", task: DeviceTask) -> DeviceResult:
-    return runner.run_device(
-        task.device,
-        task.experiment,
-        ambient_c=task.ambient_c,
-        iterations=task.iterations,
-        supply_voltage=task.supply_voltage,
-    )
+def _run(task: "Task") -> List[DeviceResult]:
+    from repro.core.runner import CampaignRunner
+
+    if isinstance(task, BatchTask):
+        from repro.core.batch_runner import run_batch
+
+        return run_batch(
+            list(task.devices),
+            task.experiment,
+            task.config,
+            ambient_c=task.ambient_c,
+            iterations=task.iterations,
+            supply_voltage=task.supply_voltage,
+        )
+    runner = CampaignRunner(task.config)
+    return [
+        runner.run_device(
+            task.device,
+            task.experiment,
+            ambient_c=task.ambient_c,
+            iterations=task.iterations,
+            supply_voltage=task.supply_voltage,
+        )
+    ]
 
 
 def run_tasks(
-    tasks: Sequence[DeviceTask],
+    tasks: Sequence["Task"],
     jobs: int,
     progress: Optional[ProgressCallback] = None,
 ) -> List[DeviceResult]:
@@ -162,22 +204,31 @@ def run_tasks(
     job or one task the pool is bypassed and everything runs in-process.
 
     Completions are consumed as they land: worker metric snapshots merge
-    into the parent's default registry and ``progress`` fires per task,
-    while the returned list stays in submission order.
+    into the parent's default registry and ``progress`` fires per unit
+    result, while the returned list stays in submission order — a
+    :class:`BatchTask`'s per-unit results flatten in place of the shard.
     """
     if jobs < 1:
         raise ConfigurationError("jobs must be at least 1")
     items = list(tasks)
-    total = len(items)
+    sizes = [
+        task.result_count if isinstance(task, BatchTask) else 1 for task in items
+    ]
+    offsets = [0] * len(items)
+    for i in range(1, len(items)):
+        offsets[i] = offsets[i - 1] + sizes[i - 1]
+    total = sum(sizes)
     registry = default_registry()
     collect = registry.enabled
-    payloads: List[Optional[TaskPayload]] = [None] * total
-    workers = min(jobs, total)
+    payloads: List[Optional[TaskPayload]] = [None] * len(items)
+    workers = min(jobs, len(items))
     if workers <= 1:
+        completed = 0
         for index, task in enumerate(items):
             payload = execute_task_payload(task, collect_metrics=collect)
             payloads[index] = payload
-            _absorb(registry, payload, progress, index, index + 1, total)
+            completed += sizes[index]
+            _absorb(registry, payload, progress, offsets[index], completed, total)
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
@@ -189,16 +240,22 @@ def run_tasks(
                 index = futures[future]
                 payload = future.result()
                 payloads[index] = payload
-                completed += 1
-                _absorb(registry, payload, progress, index, completed, total)
-    return [payload.result for payload in payloads]  # type: ignore[union-attr]
+                completed += sizes[index]
+                _absorb(
+                    registry, payload, progress, offsets[index], completed, total
+                )
+    return [
+        result
+        for payload in payloads  # type: ignore[union-attr]
+        for result in payload.results
+    ]
 
 
 def _absorb(
     registry: MetricsRegistry,
     payload: TaskPayload,
     progress: Optional[ProgressCallback],
-    index: int,
+    base_index: int,
     completed: int,
     total: int,
 ) -> None:
@@ -209,15 +266,15 @@ def _absorb(
         registry.histogram("task.wall_s").observe(payload.wall_s)
         registry.counter("tasks.completed").inc()
     if progress is not None:
-        result = payload.result
-        progress(
-            TaskProgress(
-                index=index,
-                completed=completed,
-                total=total,
-                model=result.model,
-                serial=result.serial,
-                workload=result.workload,
-                wall_s=payload.wall_s,
+        for offset, result in enumerate(payload.results):
+            progress(
+                TaskProgress(
+                    index=base_index + offset,
+                    completed=completed,
+                    total=total,
+                    model=result.model,
+                    serial=result.serial,
+                    workload=result.workload,
+                    wall_s=payload.wall_s,
+                )
             )
-        )

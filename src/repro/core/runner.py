@@ -14,9 +14,10 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.batch_runner import MIN_AUTO_BATCH_UNITS, batch_ineligibility_reason
 from repro.core.config import AccubenchConfig
 from repro.core.experiments import ExperimentSpec, fixed_frequency, unconstrained
-from repro.core.parallel import DeviceTask, run_tasks
+from repro.core.parallel import BatchTask, DeviceTask, Task, run_tasks
 from repro.core.protocol import Accubench
 from repro.core.results import DeviceResult, ExperimentResult
 from repro.device.catalog import DeviceSpec
@@ -192,16 +193,9 @@ class CampaignRunner:
         """
         resolved = self._resolve_jobs(jobs)
         fleet = self._build_fleet(model, devices, ambient_c)
-        tasks = [
-            DeviceTask(
-                device=device,
-                experiment=experiment,
-                config=self.config,
-                ambient_c=ambient_c,
-                iterations=iterations,
-            )
-            for device in fleet
-        ]
+        tasks = self._fleet_tasks(
+            fleet, experiment, resolved, ambient_c=ambient_c, iterations=iterations
+        )
         results = tuple(run_tasks(tasks, resolved, progress=self.progress))
         return ExperimentResult(model=model, workload=experiment.name, devices=results)
 
@@ -293,6 +287,63 @@ class CampaignRunner:
             thermal_solver=self.config.accubench.thermal_solver,
         )
 
+    def _fleet_tasks(
+        self,
+        fleet: Sequence[Device],
+        experiment: ExperimentSpec,
+        jobs: int,
+        ambient_c: Optional[float] = None,
+        iterations: Optional[int] = None,
+    ) -> List[Task]:
+        """Shape one fleet into work items: batched shards or per-unit tasks.
+
+        The tri-state ``accubench.batch`` knob decides: ``False`` never
+        batches, ``True`` batches any eligible fleet, ``None`` (auto)
+        batches eligible fleets of at least ``MIN_AUTO_BATCH_UNITS`` units.
+        Ineligible fleets silently fall back to the serial per-unit path —
+        batching is a performance choice, never a correctness one.
+
+        Batched fleets are cut into at most ``jobs`` contiguous shards (one
+        :class:`BatchTask` each, at least ``MIN_AUTO_BATCH_UNITS`` units per
+        shard) so a multi-process run keeps every worker fed while each
+        shard still amortizes the batched step's fixed cost.
+        """
+        mode = self.config.accubench.batch
+        eligible = (
+            mode is not False
+            and batch_ineligibility_reason(self.config, experiment, fleet) is None
+        )
+        if mode is None:
+            use_batch = eligible and len(fleet) >= MIN_AUTO_BATCH_UNITS
+        else:
+            use_batch = mode and eligible
+        if not use_batch:
+            return [
+                DeviceTask(
+                    device=device,
+                    experiment=experiment,
+                    config=self.config,
+                    ambient_c=ambient_c,
+                    iterations=iterations,
+                )
+                for device in fleet
+            ]
+        shard_count = max(1, min(jobs, len(fleet) // MIN_AUTO_BATCH_UNITS))
+        bounds = [
+            round(i * len(fleet) / shard_count) for i in range(shard_count + 1)
+        ]
+        return [
+            BatchTask(
+                devices=tuple(fleet[bounds[i] : bounds[i + 1]]),
+                experiment=experiment,
+                config=self.config,
+                ambient_c=ambient_c,
+                iterations=iterations,
+            )
+            for i in range(shard_count)
+            if bounds[i + 1] > bounds[i]
+        ]
+
     def _run_experiments(
         self, plan: Sequence[Tuple[str, ExperimentSpec]], jobs: int
     ) -> List[ExperimentResult]:
@@ -302,15 +353,12 @@ class CampaignRunner:
         experiment boundaries, then reassembles per-experiment results in
         plan order.
         """
-        tasks: List[DeviceTask] = []
+        tasks: List[Task] = []
         counts: List[int] = []
         for model, experiment in plan:
             fleet = self._build_fleet(model, None, None)
             counts.append(len(fleet))
-            tasks.extend(
-                DeviceTask(device=device, experiment=experiment, config=self.config)
-                for device in fleet
-            )
+            tasks.extend(self._fleet_tasks(fleet, experiment, jobs))
         results = run_tasks(tasks, jobs, progress=self.progress)
         experiments: List[ExperimentResult] = []
         cursor = 0

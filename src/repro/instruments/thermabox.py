@@ -223,3 +223,181 @@ class Thermabox:
             if self._cooler_on:
                 self._cooler_on = False
                 self._cooler_off_since_s = self._time_s
+
+
+class BatchedThermabox:
+    """A column of independent THERMABOXes advanced with array arithmetic.
+
+    The batched fleet engine gives every unit its own chamber (exactly as
+    the serial runner builds one :class:`Thermabox` per device), but holds
+    all of their state in ``(units,)`` arrays so one engine step costs a
+    handful of vector operations instead of ``units`` Python calls.  Units
+    whose simulation is frozen (e.g. already past their cooldown target
+    while others still cool) are excluded via the boolean ``mask`` — a
+    masked-out chamber does not advance at all, matching a serial world
+    that simply is not being stepped.
+
+    Deterministic only: the serial runner builds chambers with ``rng=None``
+    (noiseless probe), and that is the only configuration the batch path
+    accepts — per-unit probe noise would reintroduce per-unit draw loops.
+    Step-for-step, each column reproduces a serial :class:`Thermabox`
+    bit-exactly (same float operation order per unit).
+    """
+
+    def __init__(
+        self,
+        config: ThermaboxConfig = ThermaboxConfig(),
+        count: int = 1,
+        initial_temp_c: Optional[float] = None,
+    ) -> None:
+        if count < 1:
+            raise ConfigurationError("count must be at least 1")
+        self.config = config
+        base = config.target_c if initial_temp_c is None else initial_temp_c
+        probe = ThermistorProbe(noise_sigma_c=0.0, initial_temp_c=base)
+        self._probe_tau = probe._tau
+        self._probe_quantum = probe._quantum
+        self._count = count
+        self._air = np.full(count, float(base))
+        self._element = np.full(count, float(base))
+        self._time = np.zeros(count)
+        self._next_control = np.zeros(count)
+        self._heater = np.zeros(count, dtype=bool)
+        self._cooler = np.zeros(count, dtype=bool)
+        self._off_since = np.full(count, -config.compressor_min_off_s)
+        self._heater_seconds = np.zeros(count)
+        self._cooler_seconds = np.zeros(count)
+
+    @property
+    def count(self) -> int:
+        """Number of chamber columns."""
+        return self._count
+
+    @property
+    def air_temps_c(self) -> np.ndarray:
+        """True per-unit chamber air temperatures, °C (read-only view)."""
+        view = self._air.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def heater_duty_seconds(self) -> np.ndarray:
+        """Per-unit heater on-time so far, seconds."""
+        return self._heater_seconds.copy()
+
+    @property
+    def cooler_duty_seconds(self) -> np.ndarray:
+        """Per-unit compressor on-time so far, seconds."""
+        return self._cooler_seconds.copy()
+
+    @property
+    def elapsed_s(self) -> np.ndarray:
+        """Per-unit chamber time simulated so far, seconds."""
+        return self._time.copy()
+
+    def step_masked(
+        self,
+        mask: np.ndarray,
+        room_temp_c: float,
+        dt: float,
+        load_w: np.ndarray,
+    ) -> None:
+        """Advance the masked chamber columns by ``dt`` seconds.
+
+        ``load_w`` is each unit's device waste heat; entries outside the
+        mask are ignored.
+        """
+        if dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        alpha = 1.0 - math.exp(-dt / self._probe_tau)
+        self._element[mask] += alpha * (self._air[mask] - self._element[mask])
+        self._time[mask] += dt
+        due = mask & (self._time >= self._next_control)
+        while due.any():
+            self._next_control[due] += self.config.controller_period_s
+            self._control(due)
+            due = mask & (self._time >= self._next_control)
+        heating = mask & self._heater
+        cooling = mask & self._cooler
+        self._heater_seconds[heating] += dt
+        self._cooler_seconds[cooling] += dt
+        power = (
+            np.asarray(load_w, dtype=float)
+            + heating * self.config.heater_w
+            - cooling * self.config.cooler_w
+        )
+        leak = (self._air - room_temp_c) / self.config.wall_resistance
+        delta = dt * (power - leak) / self.config.air_heat_capacity
+        self._air[mask] += delta[mask]
+
+    def run_for_masked(
+        self,
+        mask: np.ndarray,
+        room_temp_c: float,
+        duration_s: float,
+        load_w: np.ndarray,
+    ) -> None:
+        """Advance masked columns by ``duration_s`` in controller-period
+        chunks — the batched mirror of :meth:`Thermabox.run_for`."""
+        if duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        period = self.config.controller_period_s
+        chunks = max(1, math.ceil(duration_s / period - 1e-9))
+        h = duration_s / chunks
+        for _ in range(chunks):
+            self.step_masked(mask, room_temp_c, h, load_w)
+
+    def wait_until_stable(
+        self, room_temp_c: float, dt: float = 1.0, timeout_s: float = 3600.0
+    ) -> np.ndarray:
+        """Run every column until it holds the band for 60 s; returns the
+        per-unit settling times.  Each column advances only until *its own*
+        settle completes, exactly like serial chambers settled one by one."""
+        pending = np.ones(self._count, dtype=bool)
+        settled = np.zeros(self._count)
+        waited = np.zeros(self._count)
+        no_load = np.zeros(self._count)
+        while pending.any():
+            if (waited[pending] >= timeout_s).any():
+                raise InstrumentError(
+                    f"THERMABOX failed to stabilize within {timeout_s} s"
+                )
+            self.step_masked(pending, room_temp_c, dt, no_load)
+            waited[pending] += dt
+            in_band = (
+                np.abs(self._air - self.config.target_c) <= self.config.tolerance_c
+            )
+            settled[pending] = np.where(
+                in_band[pending], settled[pending] + dt, 0.0
+            )
+            pending &= settled < 60.0
+        return waited
+
+    def _control(self, due: np.ndarray) -> None:
+        """One control decision for every due column (vector bang-bang)."""
+        reading = self._element
+        if self._probe_quantum > 0:
+            reading = (
+                np.rint(self._element / self._probe_quantum) * self._probe_quantum
+            )
+        low = self.config.target_c - self.config.deadband_c
+        high = self.config.target_c + self.config.deadband_c
+        heat = due & (reading < low)
+        chill = due & (reading > high)
+        band = due & ~heat & ~chill
+
+        self._heater[heat] = True
+        stop_cool = heat & self._cooler
+        self._cooler[stop_cool] = False
+        self._off_since[stop_cool] = self._time[stop_cool]
+
+        self._heater[chill] = False
+        can_start = chill & ~self._cooler & (
+            self._time - self._off_since >= self.config.compressor_min_off_s
+        )
+        self._cooler[can_start] = True
+
+        self._heater[band] = False
+        stop_band = band & self._cooler
+        self._cooler[stop_band] = False
+        self._off_since[stop_band] = self._time[stop_band]

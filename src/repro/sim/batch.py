@@ -1,0 +1,798 @@
+"""Lock-step batched simulation of many same-model device units.
+
+A fleet experiment runs the *same* protocol over N units of one device
+model; the serial path builds N worlds and steps them one after another,
+re-deriving identical control flow N times per engine step.
+:class:`BatchedWorld` instead advances all units in lock-step through
+stacked state: one ``(N, nodes)`` temperature matrix propagated by a
+single batched (Φ, Ψ) application per step, vectorized per-unit power
+evaluation over stacked silicon parameters, and masked cohort updates for
+the places units genuinely diverge (throttle polls, cooldown exits).
+
+Fidelity contract
+-----------------
+The batched step mirrors the serial ``World.run_for`` / ``Device.step`` /
+``Soc.step`` bodies operation for operation, per unit:
+
+* every per-unit random draw (OS steal resample, background-noise sample,
+  sensor read) comes from that unit's own generator in the same order the
+  serial path would draw it — so stochastic trajectories are reproducible
+  against the serial engine, not merely statistically similar;
+* device-local time is *accumulated* (``now += dt``) while clock time is
+  *derived* (``steps * dt``), matching ``Device._now_s`` vs ``SimClock``
+  exactly;
+* throttle polls replay the serial catch-up ``while`` loop under a mask,
+  so the burst of missed polls after a long cooldown lands identically.
+
+The only tolerated deviations are ulp-level: the batched thermal update is
+a GEMM where the serial path runs per-unit GEMVs, and per-core power sums
+collapse behind BLAS summation order.  ``repro.check``'s ``BATCH_SPEC``
+pairing budget covers exactly that.
+
+Divergence handling
+-------------------
+Units stay in one cohort while they share control flow.  During cooldown,
+units that reach their target temperature freeze (their clocks, chambers
+and supplies stop advancing — a serial world that simply is not stepped)
+while the still-cooling cohort fast-forwards whole poll windows; each
+shrink of the active cohort is counted as a *cohort split* for the
+observability layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.device.phone import Device
+from repro.errors import SimulationError
+from repro.instruments.thermabox import BatchedThermabox
+from repro.sim.engine import TRACE_CHANNELS
+from repro.sim.events import EventLog
+from repro.sim.trace import Trace
+from repro.soc.throttling import MitigationState
+
+
+class _ClusterBatch:
+    """Stacked runtime state of one cluster across all units."""
+
+    __slots__ = (
+        "spec",
+        "ladder",
+        "core_count",
+        "c_eff",
+        "leak_vref",
+        "leak_volt_slope",
+        "leak_temp_slope",
+        "leak_coeff",
+        "volt_table",
+        "freq",
+        "voltage_adjust",
+        "fixed_index",
+        "external_index",
+        "ipc",
+    )
+
+    def __init__(self, devices: Sequence[Device], cluster_index: int) -> None:
+        reference = devices[0].soc.clusters[cluster_index]
+        spec = reference.spec
+        self.spec = spec
+        self.ladder = np.asarray(spec.freq_table_mhz, dtype=float)
+        self.core_count = spec.core_count
+        self.ipc = spec.ipc
+        self.c_eff = spec.c_eff_f
+        self.leak_vref = spec.leak_ref_voltage_v
+        process = devices[0].soc.spec.process
+        self.leak_volt_slope = process.leak_volt_slope
+        self.leak_temp_slope = process.leak_temp_slope
+        # Serial leakage computes ``leak_ref_w * leak_factor`` first every
+        # step; hoisting that product keeps the op order (and result) exact.
+        self.leak_coeff = np.array(
+            [spec.leak_ref_w * dev.profile.leak_factor for dev in devices]
+        )
+        # Per-unit binned table voltage for every ladder rung, volts.
+        self.volt_table = np.array(
+            [
+                [
+                    spec.vf_table.voltage_v(dev.soc.clusters[cluster_index].bin_index, f)
+                    for f in spec.freq_table_mhz
+                ]
+                for dev in devices
+            ]
+        )
+        self.freq = np.array(
+            [dev.soc.clusters[cluster_index].freq_mhz for dev in devices]
+        )
+        self.voltage_adjust = np.array(
+            [dev.soc.clusters[cluster_index].voltage_adjust_v for dev in devices]
+        )
+        #: Userspace pin as a ladder index, or ``None`` for the performance
+        #: governor.  Resolving pins/ceilings to *indices* up front turns
+        #: the hot loop's frequency choice into pure integer minima.
+        self.fixed_index: Optional[int] = None
+        #: Nearest-ladder index of the OS input-voltage cap, if any.
+        self.external_index: Optional[int] = None
+
+    def nearest_index(self, freq_mhz: float) -> int:
+        """Ladder index of ``ClusterSpec.nearest_freq_mhz(freq_mhz)``."""
+        index = int(np.searchsorted(self.ladder, freq_mhz, side="right")) - 1
+        return max(index, 0)
+
+
+class BatchedWorld:
+    """N same-model device units advanced in lock-step.
+
+    Construction adopts the units' current device state (fresh devices
+    start pristine, exactly like the serial runner's); :meth:`finalize`
+    writes the evolved state back into the :class:`Device` objects so
+    anything inspecting them afterwards sees what a serial run would have
+    left behind.  One instance persists across protocol iterations —
+    :meth:`begin_iteration` plays the role of the serial path's fresh
+    ``World`` per iteration (new traces, clock at zero, chamber retained).
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[Device],
+        room_temp_c: float,
+        chamber: Optional[BatchedThermabox] = None,
+        dt: float = 0.1,
+        trace_decimation: int = 5,
+    ) -> None:
+        if not devices:
+            raise SimulationError("a batched world needs at least one unit")
+        if trace_decimation < 1:
+            raise SimulationError("trace_decimation must be at least 1")
+        spec_names = {dev.spec.name for dev in devices}
+        if len(spec_names) != 1:
+            raise SimulationError(
+                f"batched units must share one device model, got {sorted(spec_names)}"
+            )
+        if chamber is not None and chamber.count != len(devices):
+            raise SimulationError("chamber column count must match unit count")
+        self.devices = list(devices)
+        count = len(devices)
+        self._count = count
+        self._dt = dt
+        self._decimation = trace_decimation
+        self._room_temp = float(room_temp_c)
+        self._chamber = chamber
+        spec = devices[0].spec
+
+        reference = devices[0]
+        thermal = reference.thermal
+        if not thermal.is_exact or thermal.propagator is None:
+            raise SimulationError("batched worlds require the expm thermal solver")
+        self._propagator = thermal.propagator
+        self._node_count = len(thermal.node_names)
+        self._idx_ambient = thermal.node_index("ambient")
+        self._idx_cpu, self._idx_case, self._idx_pkg = thermal.injection_indices(
+            ("cpu", "case", "pkg")
+        )
+        self._temps = np.array(
+            [
+                [dev.thermal.temperature_at(i) for i in range(self._node_count)]
+                for dev in devices
+            ]
+        )
+        self._power_buf = np.zeros((count, self._node_count))
+
+        # -- per-unit device-persistent state --------------------------------
+        self._now_dev = np.array([dev.now_s for dev in devices])
+        stepwise = reference.soc.throttle.stepwise
+        self._stw_interval = stepwise.poll_interval_s
+        self._stw_hot = stepwise.throttle_temp_c
+        self._stw_cold = stepwise.clear_temp_c
+        self._stw_max = stepwise.max_steps
+        self._stw_steps = np.array(
+            [dev.soc.throttle.stepwise.steps for dev in devices], dtype=np.int64
+        )
+        self._stw_next = np.array(
+            [dev.soc.throttle.stepwise._next_poll_s for dev in devices]
+        )
+        shutdown = reference.soc.throttle.shutdown
+        self._has_shutdown = shutdown is not None
+        if shutdown is not None:
+            self._shd_interval = shutdown.poll_interval_s
+            self._shd_hot = shutdown.critical_temp_c
+            self._shd_cold = shutdown.restore_temp_c
+            self._shd_max = shutdown.max_offline
+            self._shd_offline = np.array(
+                [dev.soc.throttle.shutdown.offline for dev in devices],
+                dtype=np.int64,
+            )
+            self._shd_next = np.array(
+                [dev.soc.throttle.shutdown._next_poll_s for dev in devices]
+            )
+        else:
+            self._shd_offline = np.zeros(count, dtype=np.int64)
+            self._shd_next = np.zeros(count)
+
+        os_ref = reference.os
+        self._bg_power = os_ref.background_power_w
+        self._bg_sigma = os_ref.background_sigma_w
+        self._steal_mean = os_ref.steal_mean
+        self._steal_sigma = os_ref.steal_sigma
+        self._steal_max = os_ref.steal_max
+        self._steal_interval = os_ref.steal_interval_s
+        self._steal_frac = np.array([dev.os._steal_frac for dev in devices])
+        self._steal_until = np.array([dev.os._steal_until_s for dev in devices])
+        self._os_rng = [dev.os.rng for dev in devices]
+        # The serial OsBehavior draws nothing when its terms are disabled;
+        # matching the gates keeps per-unit RNG streams aligned draw-for-draw.
+        self._steal_enabled = os_ref.rng is not None and not (
+            self._steal_sigma == 0 and self._steal_mean == 0
+        )
+        self._noise_enabled = self._bg_sigma > 0 and os_ref.rng is not None
+
+        sensor = reference.sensor
+        self._sensor_quantum = sensor.quantization_c
+        self._sensor_sigma = sensor.noise_sigma_c
+        self._sensor_offset = sensor.offset_c
+        self._sensor_rng = [dev.sensor.rng for dev in devices]
+
+        self._awake_idle = spec.rails.awake_idle_w
+        self._asleep_w = spec.rails.asleep_w
+        self._efficiency = spec.rails.regulator_efficiency
+
+        voltages = {dev.supply.output_voltage_v for dev in devices}
+        if len(voltages) != 1:
+            raise SimulationError("batched units must share one supply voltage")
+        self._voltage = voltages.pop()
+        self._external_mhz = reference.os.cpu_ceiling_mhz(self._voltage)
+        self._elapsed = np.array([dev.supply.elapsed_s for dev in devices])
+        self._energy_win = np.array([dev.supply.energy_j for dev in devices])
+        self._energy_total = np.array(
+            [dev.supply.energy_drawn_j for dev in devices]
+        )
+        self._charge = np.array([dev.supply.charge_c for dev in devices])
+        self._peak = np.array([dev.supply.peak_current_a for dev in devices])
+
+        self._rbcpr = reference.soc.rbcpr
+        if self._rbcpr is not None:
+            block = self._rbcpr
+            self._rbcpr_comp = np.array(
+                [
+                    block.compensation_factor
+                    * block.process.volt_per_vth
+                    * dev.profile.vth_delta
+                    for dev in devices
+                ]
+            )
+        self._clusters = [
+            _ClusterBatch(devices, k) for k in range(len(reference.soc.clusters))
+        ]
+        if self._external_mhz is not None:
+            for batch in self._clusters:
+                batch.external_index = batch.nearest_index(self._external_mhz)
+        self._online_big = np.array(
+            [dev.soc.clusters[0].online_count for dev in devices], dtype=np.int64
+        )
+        self._online_big_full = np.full(
+            count, self._clusters[0].core_count, dtype=np.int64
+        )
+        self._other_cores = sum(c.core_count for c in self._clusters[1:])
+        self._leak_temp_slope = reference.soc.spec.process.leak_temp_slope
+        self._rows = np.arange(count)
+        self._all_units = np.ones(count, dtype=bool)
+        # Hot-loop scratch (one allocation per batch, reused every step).
+        self._scr_soc = np.zeros(count)
+        self._scr_ops = np.zeros(count)
+        self._scr_noise = np.empty(count)
+        self._room_ambient = np.full(count, self._room_temp)
+        self._noise_const = np.full(count, max(0.0, self._bg_power))
+        self._os_normal = [rng.normal if rng is not None else None for rng in self._os_rng]
+
+        # -- batch-global benchmark-app state --------------------------------
+        self._load_active = False
+        self._wakelock = False
+        self._utilization = 1.0
+        self._fixed_mhz: Optional[float] = None
+        self._apply_governors()
+
+        # -- per-iteration world state (see begin_iteration) -----------------
+        self.traces: List[Trace] = []
+        self.event_logs: List[EventLog] = []
+        self._clock_steps = np.zeros(count, dtype=np.int64)
+        self._last_mit = np.zeros(count, dtype=np.int64)
+        self._last_online = self._online_totals()
+        self._prev_supply = np.zeros(count)
+        self._ops_total = np.zeros(count)
+        self._ff_windows = np.zeros(count, dtype=np.int64)
+        self._ff_steps = np.zeros(count, dtype=np.int64)
+        self._phase: Optional[str] = None
+        #: Times the active cohort shrank mid-phase (cooldown divergence).
+        self.cohort_splits = 0
+        self.begin_iteration()
+
+    # -- protocol surface ---------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of units in the batch."""
+        return self._count
+
+    @property
+    def dt(self) -> float:
+        """Engine step, seconds."""
+        return self._dt
+
+    @property
+    def ops_total(self) -> np.ndarray:
+        """Per-unit work retired this iteration, ops."""
+        return self._ops_total.copy()
+
+    @property
+    def energy_drawn_j(self) -> np.ndarray:
+        """Per-unit cumulative supply energy, joules."""
+        return self._energy_total.copy()
+
+    @property
+    def clock_now(self) -> np.ndarray:
+        """Per-unit iteration clock time, seconds."""
+        return self._clock_steps * self._dt
+
+    @property
+    def looped_steps(self) -> np.ndarray:
+        """Per-unit engine steps actually looped (clock minus macro steps)."""
+        return self._clock_steps - self._ff_steps
+
+    @property
+    def fast_forward_steps(self) -> np.ndarray:
+        """Per-unit clock steps covered by macro propagations."""
+        return self._ff_steps.copy()
+
+    @property
+    def fast_forward_windows(self) -> np.ndarray:
+        """Per-unit macro windows taken this iteration."""
+        return self._ff_windows.copy()
+
+    def ambient_now(self) -> np.ndarray:
+        """Per-unit ambient the devices currently see, °C."""
+        if self._chamber is not None:
+            return self._chamber.air_temps_c.copy()
+        return np.full(self._count, self._room_temp)
+
+    def begin_iteration(self) -> None:
+        """Reset per-iteration world state (the serial path's fresh World)."""
+        count = self._count
+        self.traces = [Trace(TRACE_CHANNELS) for _ in range(count)]
+        self.event_logs = [EventLog() for _ in range(count)]
+        self._clock_steps = np.zeros(count, dtype=np.int64)
+        # Serial World.__init__ starts the event edge-detector at zero steps
+        # but at the device's *actual* online count.
+        self._last_mit = np.zeros(count, dtype=np.int64)
+        self._last_online = self._online_totals()
+        self._prev_supply = np.zeros(count)
+        self._ops_total = np.zeros(count)
+        self._ff_windows = np.zeros(count, dtype=np.int64)
+        self._ff_steps = np.zeros(count, dtype=np.int64)
+        self._phase = None
+
+    def acquire_wakelock(self) -> None:
+        """Hold every unit awake."""
+        self._wakelock = True
+
+    def release_wakelock(self) -> None:
+        """Let every unit suspend."""
+        self._wakelock = False
+
+    def start_load(self, utilization: float = 1.0) -> None:
+        """Load every core on every unit (the π loop on all CPUs)."""
+        self._load_active = True
+        self._utilization = utilization
+        self._apply_governors()
+
+    def stop_load(self) -> None:
+        """Stop the benchmark load on every unit."""
+        self._load_active = False
+        self._apply_governors()
+
+    def set_fixed_frequency(self, freq_mhz: float) -> None:
+        """Pin all clusters at their nearest ladder step below a frequency."""
+        self._fixed_mhz = freq_mhz
+        self._apply_governors()
+
+    def unconstrain_frequency(self) -> None:
+        """Restore the performance governor."""
+        self._fixed_mhz = None
+        self._apply_governors()
+
+    def set_phase(self, name: Optional[str]) -> None:
+        """Annotate every unit's trace with a protocol phase from now on."""
+        dt = self._dt
+        for i in range(self._count):
+            now = self._clock_steps[i] * dt
+            if self._phase is not None:
+                self.traces[i].end_phase(now)
+            if name is not None:
+                self.traces[i].begin_phase(name, now)
+                self.event_logs[i].log(now, "phase", name=name)
+        self._phase = name
+
+    def close(self) -> None:
+        """End any open phase annotation."""
+        self.set_phase(None)
+
+    # -- engine -------------------------------------------------------------
+
+    def run_for(self, duration_s: float) -> None:
+        """Advance every unit, awake, for a fixed duration."""
+        if duration_s <= 0:
+            raise SimulationError("duration_s must be positive")
+        steps = round(duration_s / self._dt)
+        if steps < 1:
+            raise SimulationError("duration shorter than one clock step")
+        if not (self._wakelock or self._load_active):
+            raise SimulationError(
+                "batched run_for requires awake units; use run_cooldown for sleep"
+            )
+        for _ in range(steps):
+            self._step_awake()
+
+    def run_cooldown(
+        self, targets_c: np.ndarray, poll_s: float, timeout_s: float
+    ) -> np.ndarray:
+        """Cooldown every unit to its target; returns per-unit elapsed time.
+
+        The batched mirror of the serial ``run_until(read <= target)`` loop:
+        per unit, the sensor is polled first (its noise draw included), then
+        the still-cooling cohort fast-forwards one poll window as a single
+        exact propagation.  Units that pass freeze in place until the whole
+        cohort is done.  Raises :class:`SimulationError` when any unit's
+        cooldown exceeds ``timeout_s``, matching the serial failure mode.
+        """
+        if poll_s < self._dt:
+            raise SimulationError("check_every_s must be at least one clock step")
+        if self._wakelock or self._load_active:
+            raise SimulationError("cooldown requires suspended units")
+        dt = self._dt
+        count = self._count
+        active = np.ones(count, dtype=bool)
+        started = self._clock_steps * dt
+        elapsed = np.zeros(count)
+        cohort = count
+        while True:
+            for i in range(count):
+                if active[i] and self._read_sensor(i) <= targets_c[i]:
+                    elapsed[i] = self._clock_steps[i] * dt - started[i]
+                    active[i] = False
+            remaining = int(active.sum())
+            if remaining == 0:
+                return elapsed
+            if remaining != cohort:
+                self.cohort_splits += 1
+                cohort = remaining
+            overdue = active & (self._clock_steps * dt - started >= timeout_s)
+            if overdue.any():
+                raise SimulationError(f"run_until timed out after {timeout_s} s")
+            self._fast_forward(active, poll_s)
+
+    def finalize(self) -> None:
+        """Write the batched state back into the per-unit Device objects."""
+        for i, dev in enumerate(self.devices):
+            for node in range(self._node_count):
+                dev.thermal.set_temperature_at(node, float(self._temps[i, node]))
+            dev._now_s = float(self._now_dev[i])
+            dev.os._steal_frac = float(self._steal_frac[i])
+            dev.os._steal_until_s = float(self._steal_until[i])
+            stepwise = dev.soc.throttle.stepwise
+            stepwise._steps = int(self._stw_steps[i])
+            stepwise._next_poll_s = float(self._stw_next[i])
+            if self._has_shutdown:
+                shutdown = dev.soc.throttle.shutdown
+                shutdown._offline = int(self._shd_offline[i])
+                shutdown._next_poll_s = float(self._shd_next[i])
+            dev.soc.mitigation = MitigationState(
+                ceiling_steps=int(self._stw_steps[i]),
+                offline_cores=int(self._shd_offline[i]),
+            )
+            dev.soc.external_ceiling_mhz = self._external_mhz
+            for k, batch in enumerate(self._clusters):
+                cluster = dev.soc.clusters[k]
+                cluster.set_frequency(float(batch.freq[i]))
+                cluster.voltage_adjust_v = float(batch.voltage_adjust[i])
+            dev.soc.clusters[0].set_online_count(int(self._online_big[i]))
+            supply = dev.supply
+            supply._elapsed_s = float(self._elapsed[i])
+            supply._energy_j = float(self._energy_win[i])
+            supply._energy_total_j = float(self._energy_total[i])
+            supply._charge_c = float(self._charge[i])
+            supply._peak_current_a = float(self._peak[i])
+
+    # -- internals ----------------------------------------------------------
+
+    def _apply_governors(self) -> None:
+        """Resolve each cluster's pinned target, mirroring Device governors.
+
+        ``None`` means the performance governor (chase the ceiling); an
+        index is the userspace pin.  Because the pin and the mitigated
+        ceiling are both exact ladder rungs, ``nearest(min(pin, ceiling))``
+        collapses to ``ladder[min(pin_index, ceiling_index)]``, so the hot
+        loop never needs a searchsorted.
+        """
+        for batch in self._clusters:
+            if not self._load_active:
+                batch.fixed_index = 0  # UserspaceGovernor(min_freq_mhz)
+            elif self._fixed_mhz is not None:
+                batch.fixed_index = batch.nearest_index(self._fixed_mhz)
+            else:
+                batch.fixed_index = None
+
+    def _online_totals(self) -> np.ndarray:
+        return self._online_big + self._other_cores
+
+    def _read_sensor(self, unit: int) -> float:
+        """One unit's CPU sensor read — the serial TemperatureSensor, inline."""
+        value = float(self._temps[unit, self._idx_cpu]) + self._sensor_offset
+        rng = self._sensor_rng[unit]
+        if self._sensor_sigma > 0 and rng is not None:
+            value += float(rng.normal(0.0, self._sensor_sigma))
+        if self._sensor_quantum > 0:
+            value = round(value / self._sensor_quantum) * self._sensor_quantum
+        return value
+
+    @staticmethod
+    def _poll_policy(die, now, state, next_poll, interval, hot_t, cold_t, cap):
+        """Masked replay of the serial sampled-mitigation ``while`` loop.
+
+        Returns whether any unit's poll fired — when none did, mitigation
+        state cannot have changed, which lets the caller skip edge checks.
+        """
+        due = now >= next_poll
+        if not due.any():
+            return False
+        while True:
+            next_poll[due] += interval
+            hot = due & (die >= hot_t)
+            cold = due & (die <= cold_t)
+            state[hot] = np.minimum(state[hot] + 1, cap)
+            state[cold] = np.maximum(state[cold] - 1, 0)
+            due = now >= next_poll
+            if not due.any():
+                return True
+
+    def _step_awake(self) -> None:
+        """One lock-step awake engine step for every unit."""
+        dt = self._dt
+        count = self._count
+        temps = self._temps
+        now = self._now_dev
+
+        # 1. Chamber absorbs last step's waste heat; units see its air.
+        if self._chamber is not None:
+            self._chamber.step_masked(
+                self._all_units, self._room_temp, dt, self._prev_supply
+            )
+            ambient = self._chamber.air_temps_c.copy()
+        else:
+            ambient = self._room_ambient
+        temps[:, self._idx_ambient] = ambient
+        die = temps[:, self._idx_cpu].copy()
+
+        # 2. Thermal mitigation polls (stepwise + optional hard-limit).
+        polled = self._poll_policy(
+            die, now, self._stw_steps, self._stw_next,
+            self._stw_interval, self._stw_hot, self._stw_cold, self._stw_max,
+        )
+        if self._has_shutdown:
+            polled |= self._poll_policy(
+                die, now, self._shd_offline, self._shd_next,
+                self._shd_interval, self._shd_hot, self._shd_cold, self._shd_max,
+            )
+        mit_steps = self._stw_steps
+
+        # 3. RBCPR: one evaluation serves every cluster this step.
+        if self._rbcpr is not None:
+            block = self._rbcpr
+            recovered = block.margin_recovery_mv_per_c * np.maximum(
+                0.0, die - block.reference_temp_c
+            )
+            margin = np.maximum(block.min_margin_mv, block.base_margin_mv - recovered)
+            adjust = self._rbcpr_comp + margin / 1000.0
+        else:
+            adjust = None
+
+        # 4. Per-cluster governor, voltage, power and retire rate.
+        util = self._utilization if self._load_active else 0.0
+        soc_power = self._scr_soc
+        ops_rate_total = self._scr_ops
+        soc_power.fill(0.0)
+        ops_rate_total.fill(0.0)
+        any_offline = self._has_shutdown and self._shd_offline.any()
+        temp_term = np.exp(self._leak_temp_slope * (die - 40.0))
+        for k, batch in enumerate(self._clusters):
+            ladder = batch.ladder
+            # Frequency choice in pure index space (see _apply_governors).
+            freq_index = ladder.size - 1 - mit_steps
+            np.maximum(freq_index, 0, out=freq_index)
+            if batch.external_index is not None:
+                binds = self._external_mhz < ladder[freq_index]
+                freq_index[binds] = batch.external_index
+            if batch.fixed_index is not None:
+                np.minimum(freq_index, batch.fixed_index, out=freq_index)
+            freq = ladder[freq_index]
+            batch.freq = freq
+            if adjust is not None:
+                batch.voltage_adjust = adjust
+            voltage = (
+                batch.volt_table[self._rows, freq_index] + batch.voltage_adjust
+            )
+            base = batch.c_eff * voltage * voltage * (freq * 1e6)
+            per_core_dyn = base if util == 1.0 else base * util
+            per_core_ops = (freq * 1e6 * batch.ipc) * util
+            # Left-to-right per-core accumulation, exactly as the serial
+            # cluster sums its online cores (repeated addition, not a
+            # multiply — they differ at the last ulp for 3+ cores).
+            if k == 0 and any_offline:
+                online = np.maximum(0, batch.core_count - self._shd_offline)
+                self._online_big = online
+                dynamic = np.zeros(count)
+                retire = np.zeros(count)
+                for core in range(batch.core_count):
+                    member = core < online
+                    dynamic[member] += per_core_dyn[member]
+                    retire[member] += per_core_ops[member]
+                soc_leak_cores = online
+            else:
+                if k == 0:
+                    self._online_big = self._online_big_full
+                dynamic = per_core_dyn.copy()
+                retire = per_core_ops.copy()
+                for _ in range(batch.core_count - 1):
+                    dynamic += per_core_dyn
+                    retire += per_core_ops
+                soc_leak_cores = batch.core_count
+            volt_term = (voltage / batch.leak_vref) * np.exp(
+                batch.leak_volt_slope * (voltage - batch.leak_vref)
+            )
+            leak_per_core = batch.leak_coeff * volt_term * temp_term
+            soc_power += dynamic + leak_per_core * soc_leak_cores
+            ops_rate_total += retire
+        ops = ops_rate_total * dt
+
+        # 5. OS: cycle steal (piecewise-constant, resampled per interval)
+        # then residual background noise — one draw per unit per step, in
+        # the serial order, from each unit's own stream.
+        if self._steal_enabled:
+            due = now >= self._steal_until
+            if due.any():
+                for i in np.flatnonzero(due):
+                    sampled = float(
+                        self._os_rng[i].normal(self._steal_mean, self._steal_sigma)
+                    )
+                    self._steal_frac[i] = min(max(sampled, 0.0), self._steal_max)
+                    self._steal_until[i] = now[i] + self._steal_interval
+            ops *= 1.0 - self._steal_frac
+        if self._noise_enabled:
+            noise = self._scr_noise
+            bg_power = self._bg_power
+            bg_sigma = self._bg_sigma
+            draws = self._os_normal
+            for i in range(count):
+                noise[i] = bg_power + draws[i](0.0, bg_sigma)
+            np.maximum(noise, 0.0, out=noise)
+        else:
+            noise = self._noise_const
+
+        # 6. Rails, supply metering, thermal injection.
+        load = soc_power + self._awake_idle + noise
+        supply = load / self._efficiency
+        current = supply / self._voltage
+        self._elapsed += dt
+        energy = supply * dt
+        self._energy_win += energy
+        self._energy_total += energy
+        self._charge += current * dt
+        np.maximum(self._peak, current, out=self._peak)
+        power = self._power_buf
+        power[:, self._idx_cpu] = soc_power
+        power[:, self._idx_case] = 0.0
+        power[:, self._idx_pkg] = supply - soc_power
+        self._propagator.advance_batch(temps, power, dt)
+        self._now_dev = now + dt
+        self._ops_total += ops
+
+        # 7. Events, decimated trace, tick.  Mitigation and hotplug state
+        # only move when a policy poll fired, so the edge detectors (and the
+        # clock-time materialisation they need) are skipped on quiet steps.
+        clock_now = None
+        if polled:
+            online_total = self._online_totals()
+            if (mit_steps != self._last_mit).any() or (
+                online_total != self._last_online
+            ).any():
+                clock_now = self._clock_steps * dt
+                self._record_events(clock_now, mit_steps, online_total)
+        rec_mask = self._clock_steps % self._decimation == 0
+        if rec_mask.any():
+            if clock_now is None:
+                clock_now = self._clock_steps * dt
+            self._record_traces(
+                np.flatnonzero(rec_mask), clock_now, ambient, supply, soc_power, 0.0
+            )
+        self._clock_steps += 1
+        self._prev_supply = supply
+
+    def _fast_forward(self, active: np.ndarray, window_s: float) -> None:
+        """Advance the sleeping active cohort one poll window exactly."""
+        dt = self._dt
+        steps = round(window_s / dt)
+        duration = steps * dt
+        if self._chamber is not None:
+            self._chamber.run_for_masked(
+                active, self._room_temp, duration, self._prev_supply
+            )
+            ambient = self._chamber.air_temps_c.copy()
+        else:
+            ambient = self._room_ambient
+        temps = self._temps
+        temps[active, self._idx_ambient] = ambient[active]
+        supply = self._asleep_w / self._efficiency
+        current = supply / self._voltage
+        self._elapsed[active] += duration
+        energy = supply * duration
+        self._energy_win[active] += energy
+        self._energy_total[active] += energy
+        self._charge[active] += current * duration
+        self._peak[active] = np.maximum(self._peak[active], current)
+        sub = temps[active]
+        power = np.zeros_like(sub)
+        power[:, self._idx_pkg] = supply
+        self._propagator.advance_batch(sub, power, duration)
+        temps[active] = sub
+        self._now_dev[active] += duration
+        self._clock_steps[active] += steps
+        self._ff_windows[active] += 1
+        self._ff_steps[active] += steps
+        self._prev_supply[active] = supply
+        # Macro windows always leave a trace sample at the poll boundary;
+        # mitigation and hotplug cannot change while asleep, so no events.
+        clock_now = self._clock_steps * dt
+        supply_arr = np.full(self._count, supply)
+        self._record_traces(
+            np.flatnonzero(active), clock_now, ambient, supply_arr,
+            np.zeros(self._count), 1.0,
+        )
+
+    def _record_events(
+        self, clock_now: np.ndarray, mit_steps: np.ndarray, online: np.ndarray
+    ) -> None:
+        for i in np.flatnonzero(mit_steps != self._last_mit):
+            kind = (
+                "throttle-step"
+                if mit_steps[i] > self._last_mit[i]
+                else "throttle-clear"
+            )
+            self.event_logs[i].log(float(clock_now[i]), kind, steps=int(mit_steps[i]))
+            self._last_mit[i] = mit_steps[i]
+        for i in np.flatnonzero(online != self._last_online):
+            kind = "core-offline" if online[i] < self._last_online[i] else "core-online"
+            self.event_logs[i].log(float(clock_now[i]), kind, online=int(online[i]))
+            self._last_online[i] = online[i]
+
+    def _record_traces(
+        self,
+        units: np.ndarray,
+        clock_now: np.ndarray,
+        ambient: np.ndarray,
+        supply: np.ndarray,
+        soc_power: np.ndarray,
+        asleep: float,
+    ) -> None:
+        temps = self._temps
+        data = np.empty((units.size, 9))
+        data[:, 0] = temps[units, self._idx_cpu]
+        data[:, 1] = temps[units, self._idx_case]
+        data[:, 2] = ambient[units]
+        data[:, 3] = supply[units]
+        data[:, 4] = soc_power[units]
+        data[:, 5] = self._clusters[0].freq[units]
+        data[:, 6] = self._online_totals()[units]
+        data[:, 7] = self._stw_steps[units]
+        data[:, 8] = asleep
+        times = clock_now[units]
+        traces = self.traces
+        for j, i in enumerate(units):
+            traces[i].append(times[j], data[j])

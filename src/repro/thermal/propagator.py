@@ -13,11 +13,16 @@ propagation is *exact* for any ``h`` — no stability bound, no sub-stepping
 — so an engine step, a chamber sub-step and a whole cooldown poll window
 all cost the same two small matvecs.
 
-The pair (Φ, Ψ) depends only on the topology and the step size, so
-:class:`ExpmPropagator` precomputes it per ``dt`` and keeps the results in
-a small LRU cache.  The matrix exponential is evaluated through the
-symmetrized system ``M = C^{-1/2}·L_ff·C^{-1/2}`` (similar to ``−A``, and
-symmetric positive semi-definite), whose stable eigendecomposition
+The pair (Φ, Ψ) depends only on the topology and the step size, so the
+decomposition and the per-``dt`` pair cache are shared *process-wide*:
+every :class:`ExpmPropagator` built over the same (conductance, capacity,
+boundary, cache_size) arrays references one :class:`_SharedDecomposition`.
+A fleet of same-model devices therefore pays for one ``eigh`` and one
+(Φ, Ψ) build per step size, no matter how many device instances exist —
+and the batched fleet engine reuses the very same pair for its stacked
+update.  The matrix exponential is evaluated through the symmetrized
+system ``M = C^{-1/2}·L_ff·C^{-1/2}`` (similar to ``−A``, and symmetric
+positive semi-definite), whose stable eigendecomposition
 ``numpy.linalg.eigh`` provides — no SciPy dependency, and the modal decay
 rates it yields are exact.
 """
@@ -25,7 +30,7 @@ rates it yields are exact.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
@@ -36,6 +41,95 @@ from repro.errors import ConfigurationError, SimulationError
 DEFAULT_CACHE_SIZE = 8
 
 
+class _SharedDecomposition:
+    """One topology's eigendecomposition plus its (Φ, Ψ) pair cache.
+
+    Keyed process-wide by the raw constructor arrays, so every propagator
+    over the same network shares both the spectral data and the per-``dt``
+    cache.  Hit/miss accounting stays on the *instances* (each device still
+    reports its own ``cache_hit_rate``); the shared object only stores the
+    reusable math.
+    """
+
+    __slots__ = (
+        "finite",
+        "boundary",
+        "coupling",
+        "rates",
+        "to_modal",
+        "from_modal",
+        "cache",
+        "cache_size",
+    )
+
+    def __init__(
+        self,
+        conductance: np.ndarray,
+        capacity: np.ndarray,
+        boundary: np.ndarray,
+        cache_size: int,
+    ) -> None:
+        self.finite = np.flatnonzero(~boundary)
+        self.boundary = np.flatnonzero(boundary)
+        if self.finite.size == 0:
+            raise ConfigurationError("propagator needs at least one finite node")
+        if self.boundary.size == 0:
+            raise ConfigurationError("propagator needs at least one boundary node")
+
+        row = conductance.sum(axis=1)
+        laplacian = np.diag(row) - conductance
+        reduced = laplacian[np.ix_(self.finite, self.finite)]
+        #: G_fb — heat admittance from boundary nodes into finite ones.
+        self.coupling = conductance[np.ix_(self.finite, self.boundary)]
+
+        sqrt_c = np.sqrt(capacity[self.finite])
+        sym = reduced / np.outer(sqrt_c, sqrt_c)
+        eigenvalues, eigenvectors = np.linalg.eigh(sym)
+        # L_ff is PSD, so negative eigenvalues are pure round-off; clipping
+        # keeps Φ from growing on a ~1e-18 wobble.
+        self.rates = np.clip(eigenvalues, 0.0, None)
+        self.to_modal = eigenvectors.T * sqrt_c          # Qᵀ·C^{1/2}
+        self.from_modal = eigenvectors / sqrt_c[:, None]  # C^{-1/2}·Q
+        self.cache: "OrderedDict[float, Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+        self.cache_size = cache_size
+
+
+#: Process-level decomposition registry, keyed by the raw topology bytes.
+_SHARED: Dict[Tuple[bytes, bytes, bytes, int], _SharedDecomposition] = {}
+
+
+def _shared_decomposition(
+    conductance: np.ndarray,
+    capacity: np.ndarray,
+    boundary: np.ndarray,
+    cache_size: int,
+) -> _SharedDecomposition:
+    key = (
+        conductance.tobytes(),
+        capacity.tobytes(),
+        boundary.tobytes(),
+        cache_size,
+    )
+    shared = _SHARED.get(key)
+    if shared is None:
+        shared = _SHARED[key] = _SharedDecomposition(
+            conductance, capacity, boundary, cache_size
+        )
+    return shared
+
+
+def clear_shared_cache() -> None:
+    """Drop every process-level decomposition (test isolation hook).
+
+    Propagators built afterwards recompute their decomposition and start
+    from an empty (Φ, Ψ) cache; already-built instances keep referencing
+    the shared objects they registered with.
+    """
+    _SHARED.clear()
+
+
 class ExpmPropagator:
     """Discrete exact propagator ``T' = Φ·T + Ψ·u`` for one topology.
 
@@ -43,7 +137,8 @@ class ExpmPropagator:
     assembles: the symmetric conductance matrix (W/K), per-node heat
     capacities (J/K, ``inf`` at boundary nodes) and the boundary mask.
     :meth:`advance` updates the full-size temperature vector in place,
-    leaving boundary entries untouched.
+    leaving boundary entries untouched; :meth:`advance_batch` does the same
+    for a stacked ``(units, nodes)`` matrix with one GEMM per term.
     """
 
     def __init__(
@@ -58,33 +153,43 @@ class ExpmPropagator:
         conductance = np.asarray(conductance, dtype=float)
         capacity = np.asarray(capacity, dtype=float)
         boundary = np.asarray(boundary, dtype=bool)
-        self._finite = np.flatnonzero(~boundary)
-        self._boundary = np.flatnonzero(boundary)
-        if self._finite.size == 0:
-            raise ConfigurationError("propagator needs at least one finite node")
-        if self._boundary.size == 0:
-            raise ConfigurationError("propagator needs at least one boundary node")
-
-        row = conductance.sum(axis=1)
-        laplacian = np.diag(row) - conductance
-        reduced = laplacian[np.ix_(self._finite, self._finite)]
-        #: G_fb — heat admittance from boundary nodes into finite ones.
-        self._coupling = conductance[np.ix_(self._finite, self._boundary)]
-
-        sqrt_c = np.sqrt(capacity[self._finite])
-        sym = reduced / np.outer(sqrt_c, sqrt_c)
-        eigenvalues, eigenvectors = np.linalg.eigh(sym)
-        # L_ff is PSD, so negative eigenvalues are pure round-off; clipping
-        # keeps Φ from growing on a ~1e-18 wobble.
-        self._rates = np.clip(eigenvalues, 0.0, None)
-        self._to_modal = eigenvectors.T * sqrt_c          # Qᵀ·C^{1/2}
-        self._from_modal = eigenvectors / sqrt_c[:, None]  # C^{-1/2}·Q
-        self._cache: "OrderedDict[float, Tuple[np.ndarray, np.ndarray]]" = (
-            OrderedDict()
-        )
+        # Constructor arrays are kept so pickled propagators re-register
+        # against the worker process's shared cache on unpickle.
+        self._conductance = conductance
+        self._capacity = capacity
+        self._boundary_mask = boundary
         self._cache_size = cache_size
+        shared = _shared_decomposition(conductance, capacity, boundary, cache_size)
+        self._shared = shared
+        self._finite = shared.finite
+        self._boundary = shared.boundary
+        self._coupling = shared.coupling
+        self._rates = shared.rates
+        self._to_modal = shared.to_modal
+        self._from_modal = shared.from_modal
+        self._cache = shared.cache
         self.cache_hits = 0
         self.cache_misses = 0
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {
+            "conductance": self._conductance,
+            "capacity": self._capacity,
+            "boundary": self._boundary_mask,
+            "cache_size": self._cache_size,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__init__(
+            state["conductance"],
+            state["capacity"],
+            state["boundary"],
+            state["cache_size"],
+        )
+        self.cache_hits = state["cache_hits"]
+        self.cache_misses = state["cache_misses"]
 
     @property
     def finite_count(self) -> int:
@@ -95,7 +200,9 @@ class ExpmPropagator:
     def cache_hit_rate(self) -> float:
         """Fraction of :meth:`pair` calls served from the (Φ, Ψ) cache
         (0.0 before the first call).  A healthy run sits near 1.0 — the
-        simulator only ever asks for a handful of distinct step sizes."""
+        simulator only ever asks for a handful of distinct step sizes, and
+        the cache is shared across every same-topology propagator in the
+        process, so fleet runs warm it once."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
@@ -142,3 +249,17 @@ class ExpmPropagator:
         finite = self._finite
         forcing = power[finite] + self._coupling @ temps[self._boundary]
         temps[finite] = phi @ temps[finite] + psi @ forcing
+
+    def advance_batch(self, temps: np.ndarray, power: np.ndarray, dt: float) -> None:
+        """Propagate a stacked ``(units, nodes)`` temperature matrix in place.
+
+        Row ``i`` of ``temps``/``power`` is unit ``i``'s full node vector,
+        exactly as :meth:`advance` takes them; all rows share one (Φ, Ψ)
+        pair, so the whole fleet advances with two GEMMs instead of
+        ``units`` pairs of matvecs.  Results match :meth:`advance` row for
+        row up to BLAS summation order (ulp-level).
+        """
+        phi, psi = self.pair(dt)
+        finite = self._finite
+        forcing = power[:, finite] + temps[:, self._boundary] @ self._coupling.T
+        temps[:, finite] = temps[:, finite] @ phi.T + forcing @ psi.T

@@ -1,0 +1,97 @@
+"""Property: batch construction order does not affect per-unit results.
+
+A :class:`~repro.sim.batch.BatchedWorld` stacks per-unit state along its
+first axis; nothing about a unit's physics may depend on which row it
+landed in.  Hypothesis drives the fleet ordering: for any permutation of
+the same units, every unit's trace, retired work and drawn energy must be
+*exactly* what the identity ordering produced — per-unit RNG streams are
+keyed by serial, so row position is the only thing a permutation changes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.check.strategies import fleet_permutations
+from repro.device.fleet import synthetic_fleet
+from repro.instruments.monsoon import MonsoonPowerMonitor
+from repro.sim.batch import BatchedWorld
+
+UNITS = 5
+VOLTS = 3.8
+AMBIENT = 26.0
+
+
+def build_fleet():
+    devices = synthetic_fleet(
+        "Nexus 5", UNITS, thermal_solver="expm", initial_temp_c=AMBIENT
+    )
+    for device in devices:
+        device.connect_supply(MonsoonPowerMonitor(VOLTS))
+    return devices
+
+
+def run_short_protocol(devices):
+    """One abbreviated warmup → cooldown → workload pass; per-serial facts."""
+    world = BatchedWorld(
+        devices, room_temp_c=AMBIENT, dt=0.1, trace_decimation=5
+    )
+    world.unconstrain_frequency()
+    world.acquire_wakelock()
+    world.start_load()
+    world.set_phase("warmup")
+    world.run_for(8.0)
+    world.stop_load()
+    world.release_wakelock()
+    world.set_phase("cooldown")
+    targets = np.maximum(38.0, world.ambient_now() + 6.0)
+    cooldown = world.run_cooldown(targets, 5.0, 2700.0)
+    world.acquire_wakelock()
+    world.start_load()
+    world.set_phase("workload")
+    world.run_for(8.0)
+    world.close()
+    world.finalize()
+    return {
+        device.serial: {
+            "times": world.traces[i].times().copy(),
+            "cpu_temp": world.traces[i].column("cpu_temp").copy(),
+            "power": world.traces[i].column("power").copy(),
+            "freq": world.traces[i].column("freq").copy(),
+            "cooldown_s": float(cooldown[i]),
+            "ops": float(world.ops_total[i]),
+            "energy_j": float(device.supply.energy_drawn_j),
+            "events": [
+                (event.time_s, event.kind, event.detail)
+                for event in world.event_logs[i]
+            ],
+        }
+        for i, device in enumerate(devices)
+    }
+
+
+@pytest.fixture(scope="module")
+def identity_run():
+    return run_short_protocol(build_fleet())
+
+
+class TestPermutationInvariance:
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(order=fleet_permutations(UNITS))
+    def test_unit_results_independent_of_row_order(self, identity_run, order):
+        devices = build_fleet()
+        permuted = run_short_protocol([devices[i] for i in order])
+        assert set(permuted) == set(identity_run)
+        for serial, expected in identity_run.items():
+            got = permuted[serial]
+            np.testing.assert_array_equal(got["times"], expected["times"])
+            for channel in ("cpu_temp", "power", "freq"):
+                np.testing.assert_array_equal(got[channel], expected[channel])
+            assert got["cooldown_s"] == expected["cooldown_s"]
+            assert got["ops"] == expected["ops"]
+            assert got["energy_j"] == expected["energy_j"]
+            assert got["events"] == expected["events"]

@@ -55,7 +55,7 @@ class TestPairings:
 
     def test_default_battery_covers_all_fast_paths(self):
         names = [pairing.name for pairing in default_pairings(tiny_base())]
-        assert names == ["solver", "jobs-2", "jobs-4", "fast-forward"]
+        assert names == ["solver", "jobs-2", "jobs-4", "fast-forward", "batch"]
 
 
 class TestRunPairing:

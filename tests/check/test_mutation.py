@@ -2,17 +2,20 @@
 
 Monkeypatches a small systematic bias into the exact propagator and
 asserts the euler-vs-expm differential pairing reports the divergence.
-Runs serial (jobs=1) on both sides — a monkeypatch does not cross
-process-pool boundaries.
+A second mutant biases the *batched* engine's power path and asserts the
+serial-vs-batched pairing catches it.  Runs serial (jobs=1) on both
+sides — a monkeypatch does not cross process-pool boundaries.
 """
 
 import pytest
 
 from repro.check.differential import (
+    batch_pairing,
     default_differential_config,
     run_pairing,
     solver_pairing,
 )
+from repro.sim.batch import _ClusterBatch
 from repro.thermal.propagator import ExpmPropagator
 
 MODEL = "Nexus 5"
@@ -51,4 +54,33 @@ class TestMutationDetection:
 
     def test_unmutated_run_passes(self):
         report = run_pairing(solver_pairing(tiny_base()), [MODEL], iterations=1)
+        assert report.passed, report.render()
+
+    def test_biased_batched_power_is_flagged(self, monkeypatch):
+        # Inflate only the batched engine's per-unit leakage coefficients:
+        # the serial A side is untouched, so the serial-vs-batched pairing
+        # must report the drift in the power/energy family of fields.
+        original = _ClusterBatch.__init__
+
+        def biased(self, devices, cluster_index):
+            original(self, devices, cluster_index)
+            self.leak_coeff = self.leak_coeff * 1.10
+
+        monkeypatch.setattr(_ClusterBatch, "__init__", biased)
+        report = run_pairing(batch_pairing(tiny_base()), [MODEL], iterations=1)
+        assert not report.passed, (
+            "the differential harness failed to flag a mutated batched engine"
+        )
+        fields = {d.field for d in report.divergences}
+        assert fields & {
+            "energy_j",
+            "mean_power_w",
+            "max_cpu_temp_c",
+            "iterations_completed",
+            "mean_freq_mhz",
+            "time_throttled_s",
+        }
+
+    def test_unmutated_batch_pairing_passes(self):
+        report = run_pairing(batch_pairing(tiny_base()), [MODEL], iterations=1)
         assert report.passed, report.render()

@@ -9,7 +9,7 @@ from repro.check import Tolerance, ToleranceSpec
 from repro.errors import ConfigurationError, SimulationError
 from repro.thermal.integrator import StableEuler
 from repro.thermal.network import ThermalLink, ThermalNetwork, ThermalNode
-from repro.thermal.propagator import ExpmPropagator
+from repro.thermal.propagator import ExpmPropagator, clear_shared_cache
 
 #: Exact-vs-fine-Euler drift budget per node; the semigroup identity
 #: (one macro step == many small steps) is held to numerical noise.
@@ -161,6 +161,9 @@ class TestStiffness:
 
 class TestCache:
     def make(self) -> ExpmPropagator:
+        # The (Φ, Ψ) cache is shared process-wide per topology; clear it so
+        # each test observes per-instance hit/miss counts from a cold start.
+        clear_shared_cache()
         return ExpmPropagator(
             conductance=np.array([[0.0, 0.5], [0.5, 0.0]]),
             capacity=np.array([10.0, math.inf]),
@@ -191,6 +194,59 @@ class TestCache:
         phi_small, _ = propagator.pair(0.1)
         phi_large, _ = propagator.pair(10.0)
         assert not np.allclose(phi_small, phi_large)
+
+    def test_same_topology_instances_share_pairs(self):
+        # A fleet of same-model devices should pay for each (Φ, Ψ) once:
+        # the second instance's first pair() call is already a hit.
+        first = self.make()
+        pair = first.pair(0.1)
+        twin = ExpmPropagator(
+            conductance=np.array([[0.0, 0.5], [0.5, 0.0]]),
+            capacity=np.array([10.0, math.inf]),
+            boundary=np.array([False, True]),
+            cache_size=2,
+        )
+        assert twin.pair(0.1) is pair
+        assert twin.cache_hits == 1 and twin.cache_misses == 0
+        # Per-instance accounting: the first instance saw only its own miss.
+        assert first.cache_hits == 0 and first.cache_misses == 1
+
+    def test_pickle_round_trip_reregisters(self):
+        import pickle
+
+        propagator = self.make()
+        propagator.pair(0.1)
+        clone = pickle.loads(pickle.dumps(propagator))
+        assert clone.cache_misses == 1  # counters travel with the instance
+        # The clone shares this process's cache, so the pair is a hit.
+        clone.pair(0.1)
+        assert clone.cache_hits == 1
+
+
+class TestBatchAdvance:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_serial_rows(self, seed):
+        rng = np.random.default_rng(seed)
+        nodes, links, names = random_topology(rng)
+        net = ThermalNetwork(nodes=nodes, links=links, solver="expm")
+        propagator = net.propagator
+        units = 6
+        temps = rng.uniform(20.0, 80.0, size=(units, len(names)))
+        power = np.zeros((units, len(names)))
+        boundary = np.array([node.is_boundary for node in nodes])
+        power[:, ~boundary] = rng.uniform(0.0, 5.0, size=(units, int((~boundary).sum())))
+        batched = temps.copy()
+        propagator.advance_batch(batched, power, 0.5)
+        for row in range(units):
+            serial = temps[row].copy()
+            propagator.advance(serial, power[row], 0.5)
+            np.testing.assert_allclose(batched[row], serial, rtol=0, atol=1e-9)
+
+    def test_boundary_rows_untouched(self):
+        propagator = TestCache().make()
+        temps = np.array([[80.0, 25.0], [60.0, 31.0]])
+        propagator.advance_batch(temps, np.zeros((2, 2)), 1.0)
+        assert temps[0, 1] == 25.0 and temps[1, 1] == 31.0
 
 
 class TestValidation:
