@@ -1,6 +1,6 @@
 # Convenience targets; all assume the package is installed (see README).
 
-.PHONY: test check check-update-golden bench bench-fast bench-batch validate calibrate examples all
+.PHONY: test check check-update-golden bench bench-fast bench-batch bench-crowd validate calibrate examples all
 
 test:
 	pytest tests/
@@ -25,6 +25,12 @@ bench-fast:
 # writes BENCH_batch.json.
 bench-batch:
 	pytest benchmarks/test_perf_batch.py -q -s
+
+# Streaming crowd campaign: streamed-vs-serial A/B at N=256, O(cohort)
+# memory check, 10^5-user headline (REPRO_BENCH_CROWD_USERS to shrink,
+# REPRO_BENCH_CROWD_FULL=1 for the 10^6 run); writes BENCH_crowd.json.
+bench-crowd:
+	pytest benchmarks/test_perf_crowd.py -q -s
 
 validate:
 	repro-bench validate --scale 0.5 --iterations 2 --no-thermabox

@@ -28,12 +28,15 @@ job.  See ``docs/testing.md``.
 
 from repro.check.differential import (
     BATCH_SPEC,
+    CROWD_SPEC,
     Divergence,
     DifferentialReport,
     Pairing,
     Tolerance,
     ToleranceSpec,
     batch_pairing,
+    crowd_stream_pairing_report,
+    default_crowd_differential_config,
     default_pairings,
     fast_forward_pairing,
     jobs_pairing,
@@ -64,12 +67,15 @@ from repro.check.invariants import (
 
 __all__ = [
     "BATCH_SPEC",
+    "CROWD_SPEC",
     "Divergence",
     "DifferentialReport",
     "Pairing",
     "Tolerance",
     "ToleranceSpec",
     "batch_pairing",
+    "crowd_stream_pairing_report",
+    "default_crowd_differential_config",
     "default_pairings",
     "fast_forward_pairing",
     "jobs_pairing",

@@ -305,6 +305,36 @@ BATCH_SPEC = ToleranceSpec(
     default=Tolerance(abs_tol=1e-9),
 )
 
+#: Streamed crowd engine vs the serial §VI reference.  Per-submission
+#: fields replay draw-for-draw (the probe's observe window is one exact
+#: macro propagation per poll, and the sensor quantizes to 0.1 °C, so the
+#: fitted ambient estimates are usually *bit*-identical); the only real
+#: drift is the battery's energy integral, accumulated per-step serially
+#: but per-poll-window batched — ulp-level, budgeted like BATCH_SPEC.
+#: Streaming estimator outputs are exact where the math guarantees it
+#: (moments fold the same values in the same order; a non-overflowed
+#: reservoir holds the full stream) and within a calibrated band where it
+#: does not (P² quantiles are approximations beyond five samples).
+CROWD_SPEC = ToleranceSpec(
+    name="streamed-vs-serial-crowd",
+    fields=(
+        ("score", Tolerance(rel_tol=1e-9)),
+        ("energy_j", Tolerance(rel_tol=1e-9)),
+        ("ambient_c", Tolerance(abs_tol=1e-9)),
+        ("time_constant_s", Tolerance(abs_tol=1e-6)),
+        ("r_squared", Tolerance(abs_tol=1e-9)),
+        ("true_ambient_c", Tolerance()),
+        ("true_leak_factor", Tolerance()),
+        ("score_mean", Tolerance(rel_tol=1e-9)),
+        ("score_std", Tolerance(rel_tol=1e-9, abs_tol=1e-12)),
+        ("energy_mean_j", Tolerance(rel_tol=1e-9)),
+        ("quantile", Tolerance(rel_tol=0.15)),
+        ("ranking_quality_raw", Tolerance(abs_tol=1e-12)),
+        ("ranking_quality_filtered", Tolerance(abs_tol=1e-12)),
+        ("bin_ordering_quality", Tolerance(abs_tol=1e-12)),
+    ),
+)
+
 #: Fast-forward on vs off (both expm): the macro step is exact, so only
 #: sensor-noise draw alignment at poll boundaries may wiggle the cooldown
 #: end by one window; everything thermal/energetic must agree tightly.
@@ -548,3 +578,210 @@ def default_differential_config(
     if root_seed is not None:
         kwargs["root_seed"] = root_seed
     return CampaignConfig(**kwargs)
+
+
+# -- crowd: streamed vs serial ---------------------------------------------
+
+def default_crowd_differential_config(user_count: int = 12):
+    """A field-protocol :class:`~repro.core.crowd.CrowdConfig` small enough
+    for an unconditional CI gate: exact solver (the streamed engine's
+    requirement), short probe and workload windows."""
+    from repro.core.crowd import CrowdConfig
+
+    protocol = AccubenchConfig(
+        warmup_s=20.0,
+        workload_s=30.0,
+        cooldown_target_c=40.0,
+        cooldown_timeout_s=3600.0,
+        iterations=1,
+        dt=0.5,
+        trace_decimation=20,
+        thermal_solver="expm",
+    )
+    return CrowdConfig(
+        user_count=user_count,
+        protocol=protocol,
+        probe_heat_s=30.0,
+        probe_observe_s=120.0,
+    )
+
+
+def crowd_stream_pairing_report(
+    config=None,
+    cohort_size: int = 4,
+    reservoir_capacity: Optional[int] = None,
+) -> DifferentialReport:
+    """Streamed crowd campaign vs the serial §VI reference, one report.
+
+    Runs :func:`~repro.core.crowd.run_crowd_study` and
+    :func:`~repro.core.crowd_stream.run_streaming_crowd_study` on the same
+    configuration and diffs (a) every submission field pair, in population
+    order, (b) the drop accounting, and (c) every streaming-estimator
+    output against its exact in-memory computation over the serial
+    submissions.  ``reservoir_capacity`` defaults to the population size,
+    keeping the ranking reservoirs exact so those fields gate tightly.
+    """
+    import numpy as np
+
+    from repro.core.crowd import (
+        run_crowd_study,
+        silicon_ranking_quality,
+        spearman_rank_correlation,
+        strict_filters,
+    )
+    from repro.core.crowd_stream import run_streaming_crowd_study
+    from repro.errors import AnalysisError
+
+    if config is None:
+        config = default_crowd_differential_config()
+    if reservoir_capacity is None:
+        reservoir_capacity = max(3, config.user_count)
+
+    serial = run_crowd_study(config)
+    collected = []
+    stream = run_streaming_crowd_study(
+        config,
+        cohort_size=cohort_size,
+        reservoir_capacity=reservoir_capacity,
+        on_submission=collected.append,
+    )
+
+    spec = CROWD_SPEC
+    divergences: List[Divergence] = []
+    compared = 0
+
+    def check(field_name: str, a: float, b: float, context: str) -> None:
+        nonlocal compared
+        compared += 1
+        found = spec.compare_scalar(field_name, a, b, context=context)
+        if found is not None:
+            divergences.append(found)
+
+    check(
+        "submission_count",
+        float(len(serial)),
+        float(len(collected)),
+        "crowd/yield",
+    )
+    for reason in sorted(set(serial.dropped) | set(stream.dropped)):
+        check(
+            f"dropped.{reason}",
+            float(serial.dropped.get(reason, 0)),
+            float(stream.dropped.get(reason, 0)),
+            "crowd/yield",
+        )
+    for a, b in zip(serial, collected):
+        if a.serial != b.serial:
+            raise CheckError(
+                f"streamed submissions out of population order: "
+                f"{a.serial} vs {b.serial}"
+            )
+        context = f"{config.model}/{a.serial}"
+        check("score", a.score, b.score, context)
+        check("energy_j", a.energy_j, b.energy_j, context)
+        check(
+            "ambient_c",
+            a.ambient_estimate.ambient_c,
+            b.ambient_estimate.ambient_c,
+            context,
+        )
+        check(
+            "time_constant_s",
+            a.ambient_estimate.time_constant_s,
+            b.ambient_estimate.time_constant_s,
+            context,
+        )
+        check(
+            "r_squared",
+            a.ambient_estimate.r_squared,
+            b.ambient_estimate.r_squared,
+            context,
+        )
+        check(
+            "sample_count",
+            float(a.ambient_estimate.sample_count),
+            float(b.ambient_estimate.sample_count),
+            context,
+        )
+        check("true_ambient_c", a.true_ambient_c, b.true_ambient_c, context)
+        check(
+            "true_leak_factor", a.true_leak_factor, b.true_leak_factor, context
+        )
+
+    # Streaming estimates vs exact in-memory computation.
+    if len(serial) > 0:
+        scores = np.array([s.score for s in serial])
+        energies = np.array([s.energy_j for s in serial])
+        context = "crowd/estimators"
+        check("score_mean", float(scores.mean()), stream.score_mean, context)
+        check("score_std", float(scores.std()), stream.score_std, context)
+        check(
+            "energy_mean_j", float(energies.mean()), stream.energy_mean_j, context
+        )
+        for key, estimate in stream.score_quantiles.items():
+            exact = float(np.quantile(scores, int(key[1:]) / 100.0))
+            compared += 1
+            found = spec.compare_scalar(
+                "quantile", exact, estimate, context=f"{context}/{key}"
+            )
+            if found is not None:
+                divergences.append(found)
+        if len(serial) >= 3 and stream.ranking_quality_raw is not None:
+            check(
+                "ranking_quality_raw",
+                silicon_ranking_quality(serial.submissions),
+                stream.ranking_quality_raw,
+                context,
+            )
+        kept = strict_filters(serial.submissions)
+        if len(kept) >= 3 and stream.ranking_quality_filtered is not None:
+            check(
+                "ranking_quality_filtered",
+                silicon_ranking_quality(kept),
+                stream.ranking_quality_filtered,
+                context,
+            )
+        if stream.bin_ordering_quality is not None:
+            by_bin: Dict[int, List[float]] = {}
+            for submission, bin_index in zip(
+                collected, _streamed_bin_indices(config, collected)
+            ):
+                by_bin.setdefault(bin_index, []).append(submission.score)
+            indices = sorted(by_bin)
+            try:
+                exact_quality = spearman_rank_correlation(
+                    [float(i) for i in indices],
+                    [float(np.mean(by_bin[i])) for i in indices],
+                )
+                check(
+                    "bin_ordering_quality",
+                    exact_quality,
+                    stream.bin_ordering_quality,
+                    context,
+                )
+            except AnalysisError:
+                pass
+
+    return DifferentialReport(
+        name="crowd-stream",
+        label_a="serial-crowd",
+        label_b="streamed-crowd",
+        models=(config.model,),
+        compared_fields=compared,
+        divergences=tuple(divergences),
+    )
+
+
+def _streamed_bin_indices(config, submissions) -> List[int]:
+    """Ground-truth voltage bins for submissions, recomputed from serials.
+
+    Unit silicon is keyed by serial alone, so rebuilding the devices (no
+    simulation) recovers exactly the bins the streamed engine recorded.
+    """
+    from repro.core.crowd import crowd_fleet
+
+    fleet = crowd_fleet(config)
+    bins = {
+        device.serial: device.soc.clusters[0].bin_index for device in fleet
+    }
+    return [bins[s.serial] for s in submissions]

@@ -103,6 +103,59 @@ def build_parser() -> argparse.ArgumentParser:
     crowd.add_argument("--users", type=int, default=12)
     crowd.add_argument("--scale", type=float, default=1.0)
     crowd.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
+    crowd.add_argument(
+        "--stream",
+        action="store_true",
+        help="run the cohort-batched streaming engine (O(cohort) memory, "
+        "expm solver) instead of the serial per-user reference",
+    )
+    crowd.add_argument(
+        "--cohort-size",
+        type=int,
+        default=256,
+        help="users advanced per lock-step batch (streamed mode)",
+    )
+    crowd.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for cohort execution (streamed mode)",
+    )
+    crowd.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="checkpoint file: resume from it if present, update it as "
+        "cohorts complete (implies --stream)",
+    )
+    crowd.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="write the checkpoint every N folded cohorts",
+    )
+    crowd.add_argument(
+        "--stop-after-cohorts",
+        type=int,
+        default=None,
+        help="fold at most N new cohorts then exit (resume later from "
+        "the checkpoint)",
+    )
+    crowd.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line to stderr per completed cohort, live",
+    )
+    crowd.add_argument(
+        "--json", metavar="PATH", help="also dump the campaign summary as JSON"
+    )
+    crowd.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="collect campaign telemetry and write it as a metrics JSON "
+        "document",
+    )
 
     validate = sub.add_parser(
         "validate", help="check the calibrated build against the paper's bands"
@@ -366,14 +419,23 @@ def _cmd_crowd(args: argparse.Namespace) -> int:
     )
 
     protocol = CrowdConfig().protocol.scaled(args.scale)
+    if args.stream or args.checkpoint:
+        return _cmd_crowd_stream(args, protocol)
     config = CrowdConfig(
         model=args.model,
         user_count=args.users,
         protocol=protocol,
         root_seed=args.seed,
     )
-    submissions = run_crowd_study(config)
+    result = run_crowd_study(config)
+    submissions = list(result)
     print(f"{len(submissions)} submissions from {args.users} users")
+    if result.dropped_total:
+        reasons = ", ".join(
+            f"{reason}: {count}"
+            for reason, count in sorted(result.dropped.items())
+        )
+        print(f"dropped {result.dropped_total} users ({reasons})")
     raw_quality = silicon_ranking_quality(submissions)
     filtered = strict_filters(submissions)
     print(f"raw ranking quality (Spearman ρ):      {raw_quality:+.2f}")
@@ -385,6 +447,86 @@ def _cmd_crowd(args: argparse.Namespace) -> int:
         )
     else:
         print(f"after strict filters: only {len(filtered)} kept — need ≥3")
+    return 0
+
+
+def _cmd_crowd_stream(args: argparse.Namespace, protocol) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.core.crowd import CrowdConfig
+    from repro.core.crowd_stream import run_streaming_crowd_study
+    from repro.obs import ProgressPrinter
+
+    config = CrowdConfig(
+        model=args.model,
+        user_count=args.users,
+        protocol=dc_replace(protocol, thermal_solver="expm"),
+        root_seed=args.seed,
+    )
+    scope, registry = _metrics_scope(args)
+    with scope:
+        result = run_streaming_crowd_study(
+            config,
+            cohort_size=args.cohort_size,
+            jobs=args.jobs,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            stop_after_cohorts=args.stop_after_cohorts,
+            progress=ProgressPrinter() if args.progress else None,
+        )
+    print(
+        f"{result.submission_count} submissions from "
+        f"{result.users_simulated} users "
+        f"({result.cohorts_completed}/{result.cohorts_total} cohorts "
+        f"of {result.cohort_size})"
+    )
+    if result.dropped:
+        total = sum(result.dropped.values())
+        reasons = ", ".join(
+            f"{reason}: {count}"
+            for reason, count in sorted(result.dropped.items())
+        )
+        print(f"dropped {total} users ({reasons})")
+    if result.ranking_quality_raw is not None:
+        print(
+            "raw ranking quality (Spearman ρ):      "
+            f"{result.ranking_quality_raw:+.2f}"
+        )
+    if result.ranking_quality_filtered is not None:
+        print(
+            f"after strict filters ({result.filtered_count} kept):      "
+            f"{result.ranking_quality_filtered:+.2f}"
+        )
+    elif result.submission_count:
+        print(
+            f"after strict filters: only {result.filtered_count} kept — "
+            "need ≥3"
+        )
+    if result.score_quantiles:
+        quantiles = " ".join(
+            f"{name}={value:.1f}"
+            for name, value in sorted(result.score_quantiles.items())
+        )
+        print(f"score quantiles (streamed): {quantiles}")
+    print(
+        f"{result.wall_s:.1f} s wall, {result.users_per_sec:.1f} users/s"
+    )
+    if not result.complete and args.checkpoint:
+        print(
+            f"campaign paused at cohort {result.cohorts_completed}; "
+            f"resume with --checkpoint {args.checkpoint}"
+        )
+    if registry is not None:
+        from repro.obs import write_metrics
+
+        write_metrics(registry, args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fp:
+            json.dump(result.to_dict(), fp, indent=2)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -450,6 +592,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
         ):
             print(report.render())
             failed = failed or not report.passed
+        from repro.check import crowd_stream_pairing_report
+
+        report = crowd_stream_pairing_report()
+        print(report.render())
+        failed = failed or not report.passed
 
     if args.invariants or run_all:
         print("== runtime invariants ==")

@@ -41,11 +41,22 @@ from repro.core.comparison import (
 )
 from repro.core.crowd import (
     CrowdConfig,
+    CrowdStudyResult,
     Submission,
+    UserSample,
+    average_ranks,
+    passes_strict_filters,
     run_crowd_study,
     silicon_ranking_quality,
     spearman_rank_correlation,
     strict_filters,
+)
+from repro.core.crowd_stream import (
+    CohortResult,
+    CrowdEstimators,
+    CrowdStreamResult,
+    execute_cohort,
+    run_streaming_crowd_study,
 )
 from repro.core.distributions import (
     DistributionSummary,
@@ -93,10 +104,15 @@ __all__ = [
     "CampaignConfig",
     "CampaignRunner",
     "ClusterResult",
+    "CohortResult",
     "ConfidenceInterval",
     "CrowdConfig",
+    "CrowdEstimators",
+    "CrowdStreamResult",
+    "CrowdStudyResult",
     "GenerationComparison",
     "Submission",
+    "UserSample",
     "DeviceResult",
     "DistributionSummary",
     "EfficiencyPoint",
@@ -109,6 +125,7 @@ __all__ = [
     "Series",
     "Study",
     "UNCONSTRAINED",
+    "average_ranks",
     "bar_series",
     "choose_k",
     "compare_generations",
@@ -123,6 +140,7 @@ __all__ = [
     "energy_variation_ci",
     "estimate_ambient",
     "estimate_from_trace",
+    "execute_cohort",
     "expected_variation",
     "experiment_from_dict",
     "experiment_to_dict",
@@ -134,6 +152,7 @@ __all__ = [
     "kmeans",
     "load_experiment",
     "normalize",
+    "passes_strict_filters",
     "performance_variation",
     "performance_variation_ci",
     "place_unit",
@@ -142,6 +161,7 @@ __all__ = [
     "relative_standard_deviation",
     "relative_to_first",
     "run_crowd_study",
+    "run_streaming_crowd_study",
     "run_study",
     "sd805_regression",
     "silhouette_score",

@@ -32,6 +32,16 @@ DEFAULT_SKIP_FRACTION = 0.25
 #: Fewest post-skip samples a fit will accept.
 MIN_SAMPLES = 8
 
+#: The field probe's sensor polling period (the 5-second polls the
+#: cooldown phase already performs); shared with the batched probe in
+#: :mod:`repro.core.crowd_stream`.
+DEFAULT_PROBE_POLL_S = 5.0
+
+#: The field probe's head-skip fraction — more aggressive than the trace
+#: fit's :data:`DEFAULT_SKIP_FRACTION` because the probe's observe window
+#: starts right at wakelock release, deep in the die transient.
+DEFAULT_PROBE_SKIP_FRACTION = 0.4
+
 
 @dataclass(frozen=True)
 class AmbientEstimate:
@@ -115,9 +125,9 @@ def cooldown_probe(
     room,
     heat_s: float = 120.0,
     observe_s: float = 900.0,
-    poll_s: float = 5.0,
+    poll_s: float = DEFAULT_PROBE_POLL_S,
     dt: float = 0.2,
-    skip_fraction: float = 0.4,
+    skip_fraction: float = DEFAULT_PROBE_SKIP_FRACTION,
 ) -> AmbientEstimate:
     """Run a dedicated heat-then-observe cycle and estimate the room.
 

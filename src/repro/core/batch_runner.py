@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.config import AccubenchConfig
 from repro.core.experiments import ExperimentSpec
 from repro.core.protocol import MIN_COOLDOWN_MARGIN_C
 from repro.core.results import DeviceResult, IterationResult
@@ -148,47 +149,11 @@ def run_batch(
             dt=bench.dt,
             trace_decimation=bench.trace_decimation,
         )
-        sim_clock = lambda: float(world.clock_now.max())  # noqa: E731
         for _ in range(count):
-            world.begin_iteration()
-            if experiment.is_unconstrained:
-                world.unconstrain_frequency()
-            else:
-                assert experiment.fixed_freq_mhz is not None  # spec invariant
-                world.set_fixed_frequency(experiment.fixed_freq_mhz)
-
-            world.acquire_wakelock()
-            world.start_load()
-            world.set_phase("warmup")
-            with registry.span("phase.warmup", clock=sim_clock):
-                world.run_for(bench.warmup_s)
-
-            world.stop_load()
-            world.release_wakelock()
-            world.set_phase("cooldown")
-            targets = np.maximum(
-                bench.cooldown_target_c,
-                world.ambient_now() + MIN_COOLDOWN_MARGIN_C,
+            cooldown_s, energy_j, completed = run_batch_iteration(
+                world, bench, experiment, registry
             )
-            with registry.span("phase.cooldown", clock=sim_clock):
-                cooldown_s = world.run_cooldown(
-                    targets, bench.cooldown_poll_s, bench.cooldown_timeout_s
-                )
-
-            world.acquire_wakelock()
-            world.start_load()
-            energy_before = world.energy_drawn_j
-            ops_before = world.ops_total
-            world.set_phase("workload")
-            with registry.span("phase.workload", clock=sim_clock):
-                world.run_for(bench.workload_s)
-            energy_j = world.energy_drawn_j - energy_before
-            completed = world.ops_total - ops_before
-            world.stop_load()
-            world.release_wakelock()
-            world.close()
             looped_total += int(world.looped_steps.sum())
-            _publish_iteration_metrics(registry, world)
 
             for i, device in enumerate(devices):
                 trace = world.traces[i]
@@ -231,6 +196,62 @@ def run_batch(
         )
         for i, device in enumerate(devices)
     ]
+
+
+def run_batch_iteration(
+    world: BatchedWorld,
+    bench: "AccubenchConfig",
+    experiment: ExperimentSpec,
+    registry: MetricsRegistry,
+):
+    """One warmup → cooldown → workload pass over an existing batched world.
+
+    The batched mirror of :meth:`Accubench.run_iteration`'s phase machine,
+    shared by the campaign fleet runner above and the streaming crowd
+    engine (:mod:`repro.core.crowd_stream`).  Returns per-unit
+    ``(cooldown_s, energy_j, completed_ops)`` arrays; traces for the
+    iteration are left on ``world.traces``.
+    """
+    sim_clock = lambda: float(world.clock_now.max())  # noqa: E731
+    world.begin_iteration()
+    if experiment.is_unconstrained:
+        world.unconstrain_frequency()
+    else:
+        assert experiment.fixed_freq_mhz is not None  # spec invariant
+        world.set_fixed_frequency(experiment.fixed_freq_mhz)
+
+    world.acquire_wakelock()
+    world.start_load()
+    world.set_phase("warmup")
+    with registry.span("phase.warmup", clock=sim_clock):
+        world.run_for(bench.warmup_s)
+
+    world.stop_load()
+    world.release_wakelock()
+    world.set_phase("cooldown")
+    targets = np.maximum(
+        bench.cooldown_target_c,
+        world.ambient_now() + MIN_COOLDOWN_MARGIN_C,
+    )
+    with registry.span("phase.cooldown", clock=sim_clock):
+        cooldown_s = world.run_cooldown(
+            targets, bench.cooldown_poll_s, bench.cooldown_timeout_s
+        )
+
+    world.acquire_wakelock()
+    world.start_load()
+    energy_before = world.energy_drawn_j
+    ops_before = world.ops_total
+    world.set_phase("workload")
+    with registry.span("phase.workload", clock=sim_clock):
+        world.run_for(bench.workload_s)
+    energy_j = world.energy_drawn_j - energy_before
+    completed = world.ops_total - ops_before
+    world.stop_load()
+    world.release_wakelock()
+    world.close()
+    _publish_iteration_metrics(registry, world)
+    return cooldown_s, energy_j, completed
 
 
 def _throttled_time(trace: Trace) -> float:

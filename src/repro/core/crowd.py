@@ -17,12 +17,21 @@ This module simulates exactly that pipeline:
 3. apply the paper's "strict filters" (ambient-estimate band, clean decay
    fits) and measure how well the filtered ranking recovers the true
    silicon ranking.
+
+:func:`run_crowd_study` is the serial reference implementation — one user
+at a time through the per-unit engine.  The cohort planner primitives it
+is built from (:func:`draw_user_params`, :func:`plan_users`,
+:func:`crowd_fleet`) are shared with :mod:`repro.core.crowd_stream`, the
+cohort-batched streaming engine that scales the same campaign to millions
+of users.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.ambient_estimation import AmbientEstimate, cooldown_probe
 from repro.core.config import AccubenchConfig
@@ -30,9 +39,15 @@ from repro.core.experiments import unconstrained
 from repro.core.protocol import Accubench
 from repro.device.battery import Battery
 from repro.device.fleet import synthetic_fleet
+from repro.device.phone import Device
 from repro.errors import AnalysisError, ConfigurationError
+from repro.obs.metrics import default_registry
 from repro.rng import DEFAULT_ROOT_SEED, derive_stream
 from repro.thermal.ambient import ConstantAmbient
+
+#: Lot name shared by the serial and streamed crowd paths; unit serials
+#: (and therefore their silicon and noise streams) derive from it.
+CROWD_LOT_NAME = "crowd"
 
 
 @dataclass(frozen=True)
@@ -114,26 +129,172 @@ class Submission:
     true_leak_factor: float
 
 
-def run_crowd_study(config: Optional[CrowdConfig] = None) -> List[Submission]:
-    """Simulate the full §VI crowd campaign and return all submissions."""
-    config = config if config is not None else CrowdConfig()
-    rng = derive_stream(config.root_seed, "crowd", config.model)
-    fleet = synthetic_fleet(
-        config.model,
-        config.user_count,
-        lot_name="crowd",
-        root_seed=config.root_seed,
-    )
-    bench = Accubench(config.protocol)
-    submissions = []
-    for device in fleet:
-        ambient = float(rng.uniform(*config.ambient_range_c))
-        charge = float(rng.uniform(*config.charge_range))
-        device.reboot(soak_temp_c=ambient)
-        device.connect_supply(
-            Battery(device.spec.battery, state_of_charge=charge)
+@dataclass(frozen=True)
+class UserSample:
+    """One planned participant: population index plus field conditions.
+
+    The crowd parameter stream draws exactly two uniforms per user
+    (ambient, then charge) in population order — the invariant both the
+    serial loop and the streamed cohort planner rely on for draw-for-draw
+    agreement and for checkpointable RNG cursors.
+    """
+
+    index: int
+    serial: str
+    ambient_c: float
+    charge: float
+
+
+def crowd_param_stream(config: CrowdConfig) -> np.random.Generator:
+    """The population parameter stream ``run_crowd_study`` consumes."""
+    return derive_stream(config.root_seed, CROWD_LOT_NAME, config.model)
+
+
+def draw_user_params(
+    config: CrowdConfig, rng: np.random.Generator
+) -> Tuple[float, float]:
+    """Draw one user's (ambient °C, state of charge), in the serial order."""
+    ambient = float(rng.uniform(*config.ambient_range_c))
+    charge = float(rng.uniform(*config.charge_range))
+    return ambient, charge
+
+
+def plan_users(
+    config: CrowdConfig,
+    rng: np.random.Generator,
+    start: int,
+    count: int,
+) -> List[UserSample]:
+    """Materialize ``count`` users from population index ``start`` on.
+
+    Consumes ``2 * count`` uniforms from ``rng`` — the caller owns the
+    cursor (and may checkpoint the generator state between calls).
+    """
+    users = []
+    for index in range(start, start + count):
+        ambient, charge = draw_user_params(config, rng)
+        users.append(
+            UserSample(
+                index=index,
+                serial=f"{CROWD_LOT_NAME}-{index:03d}",
+                ambient_c=ambient,
+                charge=charge,
+            )
         )
-        room = ConstantAmbient(ambient)
+    return users
+
+
+def crowd_fleet(
+    config: CrowdConfig, start: int = 0, count: Optional[int] = None
+) -> List[Device]:
+    """Build the crowd's devices for population indices [start, start+count).
+
+    Unit silicon is keyed per serial, so any slice of the population can
+    be materialized independently; the thermal solver follows the field
+    protocol's.
+    """
+    return synthetic_fleet(
+        config.model,
+        count if count is not None else config.user_count,
+        lot_name=CROWD_LOT_NAME,
+        root_seed=config.root_seed,
+        thermal_solver=config.protocol.thermal_solver,
+        start_index=start,
+    )
+
+
+def prepare_field_device(device: Device, user: UserSample) -> None:
+    """Put one unit into its user's field state: soaked to the room,
+    running on a partially-charged battery."""
+    device.reboot(soak_temp_c=user.ambient_c)
+    device.connect_supply(
+        Battery(device.spec.battery, state_of_charge=user.charge)
+    )
+
+
+def probe_drop_reason(error: AnalysisError) -> str:
+    """Classify why a cooldown probe produced no usable estimate.
+
+    The keys are stable telemetry labels (``crowd.dropped.<reason>``),
+    derived from the :func:`estimate_ambient` failure modes.
+    """
+    text = str(error)
+    if "samples after skipping" in text:
+        return "too_few_samples"
+    if "uniform sampling" in text or "strictly increasing" in text:
+        return "nonuniform_sampling"
+    if "barely moves" in text:
+        return "already_at_ambient"
+    if "do not describe a decay" in text:
+        return "no_clean_decay"
+    return "probe_failed"
+
+
+class CrowdStudyResult(Sequence):
+    """Submissions plus the yield accounting a list silently discarded.
+
+    Behaves as a sequence of :class:`Submission` (indexing, iteration,
+    ``len``) for drop-in compatibility with the historical ``List``
+    return, and additionally exposes which users uploaded nothing and
+    why.
+    """
+
+    def __init__(
+        self,
+        submissions: Sequence[Submission],
+        dropped: Optional[Dict[str, int]] = None,
+        users: Optional[int] = None,
+    ) -> None:
+        self.submissions: Tuple[Submission, ...] = tuple(submissions)
+        #: Users whose probe produced nothing, keyed by drop reason.
+        self.dropped: Dict[str, int] = dict(dropped or {})
+        #: Participants simulated (submissions + drops).
+        self.users = (
+            users
+            if users is not None
+            else len(self.submissions) + sum(self.dropped.values())
+        )
+
+    @property
+    def dropped_total(self) -> int:
+        """Users who uploaded nothing."""
+        return sum(self.dropped.values())
+
+    def __len__(self) -> int:
+        return len(self.submissions)
+
+    def __getitem__(self, index):
+        return self.submissions[index]
+
+    def __iter__(self) -> Iterator[Submission]:
+        return iter(self.submissions)
+
+    def __repr__(self) -> str:
+        return (
+            f"CrowdStudyResult({len(self.submissions)} submissions, "
+            f"{self.dropped_total} dropped of {self.users} users)"
+        )
+
+
+def run_crowd_study(config: Optional[CrowdConfig] = None) -> CrowdStudyResult:
+    """Simulate the full §VI crowd campaign, one user at a time.
+
+    The serial reference path: exact but O(users) in both time and
+    memory.  Large populations should stream through
+    :func:`repro.core.crowd_stream.run_streaming_crowd_study`, which this
+    function's cohort-planner helpers also feed.
+    """
+    config = config if config is not None else CrowdConfig()
+    rng = crowd_param_stream(config)
+    fleet = crowd_fleet(config)
+    users = plan_users(config, rng, 0, config.user_count)
+    bench = Accubench(config.protocol)
+    registry = default_registry()
+    submissions = []
+    dropped: Dict[str, int] = {}
+    for device, user in zip(fleet, users):
+        prepare_field_device(device, user)
+        room = ConstantAmbient(user.ambient_c)
         try:
             estimate = cooldown_probe(
                 device,
@@ -142,9 +303,13 @@ def run_crowd_study(config: Optional[CrowdConfig] = None) -> List[Submission]:
                 observe_s=config.probe_observe_s,
                 dt=config.protocol.dt,
             )
-        except AnalysisError:
+        except AnalysisError as error:
             # An unusable decay (e.g. someone's balcony in the wind);
-            # the app uploads nothing.
+            # the app uploads nothing — but the study should know how
+            # much of its population it lost, and to what.
+            reason = probe_drop_reason(error)
+            dropped[reason] = dropped.get(reason, 0) + 1
+            registry.counter(f"crowd.dropped.{reason}").inc()
             continue
         result = bench.run_iteration(device, unconstrained(), room=room)
         submissions.append(
@@ -153,11 +318,15 @@ def run_crowd_study(config: Optional[CrowdConfig] = None) -> List[Submission]:
                 score=result.iterations_completed,
                 energy_j=result.energy_j,
                 ambient_estimate=estimate,
-                true_ambient_c=ambient,
+                true_ambient_c=user.ambient_c,
                 true_leak_factor=device.profile.leak_factor,
             )
         )
-    return submissions
+    registry.counter("crowd.users").add(config.user_count)
+    registry.counter("crowd.submissions").add(len(submissions))
+    return CrowdStudyResult(
+        submissions, dropped=dropped, users=config.user_count
+    )
 
 
 def strict_filters(
@@ -181,6 +350,47 @@ def strict_filters(
     ]
 
 
+def passes_strict_filters(
+    submission: Submission,
+    ambient_band_c: Tuple[float, float] = (22.0, 30.0),
+    min_r_squared: float = 0.9,
+) -> bool:
+    """One submission's :func:`strict_filters` verdict (streaming form)."""
+    low, high = ambient_band_c
+    if low >= high:
+        raise AnalysisError("ambient_band_c must be (low, high)")
+    return (
+        submission.ambient_estimate.is_confident(min_r_squared)
+        and low <= submission.ambient_estimate.ambient_c <= high
+    )
+
+
+def average_ranks(values: Sequence[float]) -> np.ndarray:
+    """1-based ranks with ties sharing their group's mean rank.
+
+    The vectorized (``scipy``-free) equivalent of ``rankdata(values,
+    method="average")``: a stable argsort, group boundaries where the
+    sorted values change, and each group's mean rank scattered back.
+    Tie semantics are exact — equal floats share one rank.
+    """
+    values = np.asarray(values, dtype=float)
+    n = values.size
+    order = np.argsort(values, kind="stable")
+    sorted_values = values[order]
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    np.not_equal(sorted_values[1:], sorted_values[:-1], out=boundary[1:])
+    group = np.cumsum(boundary) - 1
+    counts = np.bincount(group)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    # First and last 0-based positions of each group average to
+    # (start + (count-1)/2); +1 converts to 1-based ranks.
+    mean_rank = starts + (counts - 1) / 2.0 + 1.0
+    ranks = np.empty(n)
+    ranks[order] = mean_rank[group]
+    return ranks
+
+
 def spearman_rank_correlation(
     first: Sequence[float], second: Sequence[float]
 ) -> float:
@@ -189,33 +399,15 @@ def spearman_rank_correlation(
         raise AnalysisError("sequences must be paired")
     if len(first) < 3:
         raise AnalysisError("need at least 3 pairs for a rank correlation")
-
-    def ranks(values: Sequence[float]) -> List[float]:
-        order = sorted(range(len(values)), key=lambda i: values[i])
-        result = [0.0] * len(values)
-        i = 0
-        while i < len(order):
-            j = i
-            while (
-                j + 1 < len(order)
-                and values[order[j + 1]] == values[order[i]]
-            ):
-                j += 1
-            mean_rank = (i + j) / 2.0 + 1.0
-            for k in range(i, j + 1):
-                result[order[k]] = mean_rank
-            i = j + 1
-        return result
-
-    ra, rb = ranks(list(first)), ranks(list(second))
-    mean_a = sum(ra) / len(ra)
-    mean_b = sum(rb) / len(rb)
-    cov = sum((a - mean_a) * (b - mean_b) for a, b in zip(ra, rb))
-    var_a = sum((a - mean_a) ** 2 for a in ra)
-    var_b = sum((b - mean_b) ** 2 for b in rb)
+    ra = average_ranks(first)
+    rb = average_ranks(second)
+    da = ra - ra.mean()
+    db = rb - rb.mean()
+    var_a = float(da @ da)
+    var_b = float(db @ db)
     if var_a == 0 or var_b == 0:
         raise AnalysisError("rank correlation undefined for constant input")
-    return cov / (var_a * var_b) ** 0.5
+    return float(da @ db) / (var_a * var_b) ** 0.5
 
 
 def silicon_ranking_quality(submissions: Sequence[Submission]) -> float:

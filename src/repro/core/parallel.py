@@ -108,8 +108,29 @@ class BatchTask:
         return len(self.devices)
 
 
+@dataclass(frozen=True)
+class CrowdCohortTask:
+    """One crowd cohort's probe + field ACCUBENCH pass, batched.
+
+    The cohort's devices are built *inside* the worker (unit silicon and
+    noise streams are keyed by serial, so construction needs no parent
+    state beyond the :class:`~repro.core.crowd.UserSample` plan), keeping
+    the pickled task small enough to ship a million-user campaign as
+    thousands of lightweight cohort descriptions.  The payload carries a
+    single :class:`~repro.core.crowd_stream.CohortResult`.
+    """
+
+    cohort_index: int
+    config: Any  # CrowdConfig; untyped to keep this module import-light
+    users: tuple  # of UserSample, in population order
+
+    @property
+    def result_count(self) -> int:
+        return 1
+
+
 #: Anything :func:`run_tasks` accepts.
-Task = Union[DeviceTask, BatchTask]
+Task = Union[DeviceTask, BatchTask, CrowdCohortTask]
 
 
 @dataclass(frozen=True)
@@ -169,6 +190,10 @@ def execute_task_payload(
 def _run(task: "Task") -> List[DeviceResult]:
     from repro.core.runner import CampaignRunner
 
+    if isinstance(task, CrowdCohortTask):
+        from repro.core.crowd_stream import execute_cohort
+
+        return [execute_cohort(task.config, task.cohort_index, task.users)]
     if isinstance(task, BatchTask):
         from repro.core.batch_runner import run_batch
 

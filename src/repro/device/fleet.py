@@ -175,19 +175,27 @@ def synthetic_fleet(
     root_seed: int = DEFAULT_ROOT_SEED,
     initial_temp_c: float = 25.0,
     thermal_solver: str = "euler",
+    start_index: int = 0,
 ) -> List[Device]:
     """Sample ``count`` units of a model from the manufacturing lottery.
 
     Unlike :func:`paper_fleet`, silicon here is randomly drawn — the fleets
-    a crowdsourced study (paper §VI) would encounter.
+    a crowdsourced study (paper §VI) would encounter.  Each unit's silicon
+    stream is keyed by its serial alone, so ``start_index`` slices a
+    larger lot without replaying its predecessors: the units of
+    ``synthetic_fleet(m, 4, start_index=4)`` are identical to units 4–7
+    of ``synthetic_fleet(m, 8)`` — which is what lets a streaming crowd
+    campaign materialize one cohort at a time.
     """
     if count < 1:
         raise ConfigurationError("count must be at least 1")
+    if start_index < 0:
+        raise ConfigurationError("start_index must be non-negative")
     spec = device_spec(model)
     soc = soc_by_name(spec.soc_name)
     sampler = VariationSampler(process=soc.process, root_seed=root_seed)
     devices = []
-    for index in range(count):
+    for index in range(start_index, start_index + count):
         serial = f"{lot_name}-{index:03d}"
         profile = sampler.sample(spec.name, lot_name, serial)
         bin_index = assign_bin_index(soc.process, soc.bin_count, profile)

@@ -41,10 +41,11 @@ observability layer.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.device.battery import Battery
 from repro.device.phone import Device
 from repro.errors import SimulationError
 from repro.instruments.thermabox import BatchedThermabox
@@ -135,7 +136,7 @@ class BatchedWorld:
     def __init__(
         self,
         devices: Sequence[Device],
-        room_temp_c: float,
+        room_temp_c: Union[float, np.ndarray],
         chamber: Optional[BatchedThermabox] = None,
         dt: float = 0.1,
         trace_decimation: int = 5,
@@ -156,7 +157,23 @@ class BatchedWorld:
         self._count = count
         self._dt = dt
         self._decimation = trace_decimation
-        self._room_temp = float(room_temp_c)
+        room = np.asarray(room_temp_c, dtype=float)
+        if room.ndim == 0:
+            self._room_temp = float(room)
+        else:
+            # Per-unit room temperatures: every unit cools toward its own
+            # uncontrolled ambient (the crowd-study setting).  A chamber
+            # regulates all columns toward one exterior, so the two are
+            # mutually exclusive.
+            if room.shape != (count,):
+                raise SimulationError(
+                    "room_temp_c array must have one entry per unit"
+                )
+            if chamber is not None:
+                raise SimulationError(
+                    "per-unit room temperatures require chamber=None"
+                )
+            self._room_temp = float(room[0])
         self._chamber = chamber
         spec = devices[0].spec
 
@@ -236,18 +253,67 @@ class BatchedWorld:
         self._asleep_w = spec.rails.asleep_w
         self._efficiency = spec.rails.regulator_efficiency
 
-        voltages = {dev.supply.output_voltage_v for dev in devices}
-        if len(voltages) != 1:
-            raise SimulationError("batched units must share one supply voltage")
-        self._voltage = voltages.pop()
-        self._external_mhz = reference.os.cpu_ceiling_mhz(self._voltage)
-        self._elapsed = np.array([dev.supply.elapsed_s for dev in devices])
-        self._energy_win = np.array([dev.supply.energy_j for dev in devices])
+        batteries = [isinstance(dev.supply, Battery) for dev in devices]
+        self._battery_mode = all(batteries)
+        if any(batteries) and not self._battery_mode:
+            raise SimulationError(
+                "batched units must all be battery-powered or all metered"
+            )
         self._energy_total = np.array(
             [dev.supply.energy_drawn_j for dev in devices]
         )
-        self._charge = np.array([dev.supply.charge_c for dev in devices])
-        self._peak = np.array([dev.supply.peak_current_a for dev in devices])
+        if self._battery_mode:
+            # Vectorized battery bank: stacked SoC / last-load state with
+            # the serial Battery.draw arithmetic replayed element-wise.
+            bat_specs = {dev.supply.spec for dev in devices}
+            if len(bat_specs) != 1:
+                raise SimulationError(
+                    "batched batteries must share one BatterySpec"
+                )
+            bat_spec = bat_specs.pop()
+            self._bat_capacity = bat_spec.energy_capacity_j
+            self._bat_resistance = bat_spec.internal_resistance_ohm
+            self._bat_curve_soc = np.array(
+                [soc for soc, _ in bat_spec.ocv_curve]
+            )
+            self._bat_curve_v = np.array([v for _, v in bat_spec.ocv_curve])
+            self._bat_soc = np.array(
+                [dev.supply.state_of_charge for dev in devices]
+            )
+            self._bat_last_load = np.array(
+                [dev.supply._last_load_w for dev in devices]
+            )
+            self._voltage = None
+            self._external_mhz = None
+            throttle = reference.os.voltage_throttle
+            self._vt_threshold = (
+                throttle.threshold_v if throttle is not None else None
+            )
+            self._vt_ceiling = (
+                throttle.ceiling_mhz if throttle is not None else None
+            )
+            self._capped = np.zeros(count, dtype=bool)
+            self._elapsed = np.zeros(count)
+            self._energy_win = np.zeros(count)
+            self._charge = np.zeros(count)
+            self._peak = np.zeros(count)
+        else:
+            voltages = {dev.supply.output_voltage_v for dev in devices}
+            if len(voltages) != 1:
+                raise SimulationError(
+                    "batched units must share one supply voltage"
+                )
+            self._voltage = voltages.pop()
+            self._external_mhz = reference.os.cpu_ceiling_mhz(self._voltage)
+            self._vt_threshold = None
+            self._vt_ceiling = None
+            self._capped = np.zeros(count, dtype=bool)
+            self._elapsed = np.array([dev.supply.elapsed_s for dev in devices])
+            self._energy_win = np.array([dev.supply.energy_j for dev in devices])
+            self._charge = np.array([dev.supply.charge_c for dev in devices])
+            self._peak = np.array(
+                [dev.supply.peak_current_a for dev in devices]
+            )
 
         self._rbcpr = reference.soc.rbcpr
         if self._rbcpr is not None:
@@ -266,6 +332,12 @@ class BatchedWorld:
         if self._external_mhz is not None:
             for batch in self._clusters:
                 batch.external_index = batch.nearest_index(self._external_mhz)
+        elif self._vt_ceiling is not None:
+            # Battery-powered units: the cap engages per unit, per step,
+            # as each terminal voltage sags past the threshold; the ladder
+            # index of the capped frequency is still a batch constant.
+            for batch in self._clusters:
+                batch.external_index = batch.nearest_index(self._vt_ceiling)
         self._online_big = np.array(
             [dev.soc.clusters[0].online_count for dev in devices], dtype=np.int64
         )
@@ -280,7 +352,10 @@ class BatchedWorld:
         self._scr_soc = np.zeros(count)
         self._scr_ops = np.zeros(count)
         self._scr_noise = np.empty(count)
-        self._room_ambient = np.full(count, self._room_temp)
+        if room.ndim == 0:
+            self._room_ambient = np.full(count, self._room_temp)
+        else:
+            self._room_ambient = room.astype(float).copy()
         self._noise_const = np.full(count, max(0.0, self._bg_power))
         self._os_normal = [rng.normal if rng is not None else None for rng in self._os_rng]
 
@@ -352,7 +427,7 @@ class BatchedWorld:
         """Per-unit ambient the devices currently see, °C."""
         if self._chamber is not None:
             return self._chamber.air_temps_c.copy()
-        return np.full(self._count, self._room_temp)
+        return self._room_ambient.copy()
 
     def begin_iteration(self) -> None:
         """Reset per-iteration world state (the serial path's fresh World)."""
@@ -469,6 +544,29 @@ class BatchedWorld:
                 raise SimulationError(f"run_until timed out after {timeout_s} s")
             self._fast_forward(active, poll_s)
 
+    def run_asleep(self, duration_s: float) -> None:
+        """Advance every unit, suspended, as a single exact macro window.
+
+        The batched mirror of the serial per-poll ``world.run_for`` calls
+        in :func:`repro.core.ambient_estimation.cooldown_probe`: a
+        sleeping unit's power draw is constant and it draws no randomness,
+        so a whole observation window collapses into one zero-order-hold
+        propagation per unit without perturbing any RNG stream.
+        """
+        if duration_s <= 0:
+            raise SimulationError("duration_s must be positive")
+        if self._wakelock or self._load_active:
+            raise SimulationError("run_asleep requires suspended units")
+        if round(duration_s / self._dt) < 1:
+            raise SimulationError("duration shorter than one clock step")
+        self._fast_forward(self._all_units, duration_s)
+
+    def read_sensors(self) -> np.ndarray:
+        """Poll every unit's CPU temperature sensor, one draw per unit."""
+        return np.array(
+            [self._read_sensor(i) for i in range(self._count)]
+        )
+
     def finalize(self) -> None:
         """Write the batched state back into the per-unit Device objects."""
         for i, dev in enumerate(self.devices):
@@ -488,18 +586,28 @@ class BatchedWorld:
                 ceiling_steps=int(self._stw_steps[i]),
                 offline_cores=int(self._shd_offline[i]),
             )
-            dev.soc.external_ceiling_mhz = self._external_mhz
+            if self._battery_mode and self._vt_ceiling is not None:
+                dev.soc.external_ceiling_mhz = (
+                    self._vt_ceiling if self._capped[i] else None
+                )
+            else:
+                dev.soc.external_ceiling_mhz = self._external_mhz
             for k, batch in enumerate(self._clusters):
                 cluster = dev.soc.clusters[k]
                 cluster.set_frequency(float(batch.freq[i]))
                 cluster.voltage_adjust_v = float(batch.voltage_adjust[i])
             dev.soc.clusters[0].set_online_count(int(self._online_big[i]))
             supply = dev.supply
-            supply._elapsed_s = float(self._elapsed[i])
-            supply._energy_j = float(self._energy_win[i])
-            supply._energy_total_j = float(self._energy_total[i])
-            supply._charge_c = float(self._charge[i])
-            supply._peak_current_a = float(self._peak[i])
+            if self._battery_mode:
+                supply._soc = float(self._bat_soc[i])
+                supply._last_load_w = float(self._bat_last_load[i])
+                supply._energy_drawn_j = float(self._energy_total[i])
+            else:
+                supply._elapsed_s = float(self._elapsed[i])
+                supply._energy_j = float(self._energy_win[i])
+                supply._energy_total_j = float(self._energy_total[i])
+                supply._charge_c = float(self._charge[i])
+                supply._peak_current_a = float(self._peak[i])
 
     # -- internals ----------------------------------------------------------
 
@@ -532,6 +640,66 @@ class BatchedWorld:
         if self._sensor_quantum > 0:
             value = round(value / self._sensor_quantum) * self._sensor_quantum
         return value
+
+    # -- battery bank -------------------------------------------------------
+
+    def _battery_ocv(self, soc: np.ndarray) -> np.ndarray:
+        """Piecewise-linear OCV, bracket-for-bracket with ``BatterySpec.ocv_v``."""
+        xs = self._bat_curve_soc
+        ys = self._bat_curve_v
+        hi = np.searchsorted(xs, soc, side="left")
+        np.clip(hi, 1, xs.size - 1, out=hi)
+        lo = hi - 1
+        frac = (soc - xs[lo]) / (xs[hi] - xs[lo])
+        return ys[lo] + frac * (ys[hi] - ys[lo])
+
+    def _battery_terminal_v(
+        self, power: np.ndarray, soc: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Vector mirror of ``Battery._terminal_voltage``."""
+        soc = self._bat_soc if soc is None else soc
+        ocv = self._battery_ocv(soc)
+        r = self._bat_resistance
+        if r == 0.0:
+            return ocv
+        volts = ocv.copy()
+        need = power != 0.0
+        if need.any():
+            open_v = ocv[need]
+            disc = open_v * open_v - 4.0 * power[need] * r
+            if (disc <= 0.0).any():
+                worst = float(np.asarray(power)[need].max())
+                raise SimulationError(
+                    f"load {worst} W exceeds what the battery can deliver"
+                )
+            volts[need] = 0.5 * (open_v + np.sqrt(disc))
+        return volts
+
+    def _battery_draw_awake(self, supply: np.ndarray, dt: float) -> None:
+        """Every unit's ``Battery.draw`` for one awake step, vectorized."""
+        soc = self._bat_soc
+        if (soc <= 0.0).any():
+            raise SimulationError("battery is empty")
+        self._battery_terminal_v(supply)  # deliverability check
+        self._bat_last_load = supply.copy()
+        self._energy_total += supply * dt
+        np.maximum(
+            0.0, soc - supply * dt / self._bat_capacity, out=self._bat_soc
+        )
+
+    def _battery_draw_masked(
+        self, active: np.ndarray, power_w: float, duration: float
+    ) -> None:
+        """The active cohort's ``Battery.draw`` for one sleeping macro window."""
+        soc = self._bat_soc[active]
+        if (soc <= 0.0).any():
+            raise SimulationError("battery is empty")
+        self._battery_terminal_v(np.full(soc.size, power_w), soc)
+        self._bat_last_load[active] = power_w
+        self._energy_total[active] += power_w * duration
+        self._bat_soc[active] = np.maximum(
+            0.0, soc - power_w * duration / self._bat_capacity
+        )
 
     @staticmethod
     def _poll_policy(die, now, state, next_poll, interval, hot_t, cold_t, cap):
@@ -602,13 +770,24 @@ class BatchedWorld:
         ops_rate_total.fill(0.0)
         any_offline = self._has_shutdown and self._shd_offline.any()
         temp_term = np.exp(self._leak_temp_slope * (die - 40.0))
+        if self._battery_mode and self._vt_threshold is not None:
+            # Serial Device.step consults the supply's terminal voltage
+            # (last step's load, current SoC) before Soc.step each step.
+            self._capped = (
+                self._battery_terminal_v(self._bat_last_load)
+                <= self._vt_threshold
+            )
+        capped = self._capped
         for k, batch in enumerate(self._clusters):
             ladder = batch.ladder
             # Frequency choice in pure index space (see _apply_governors).
             freq_index = ladder.size - 1 - mit_steps
             np.maximum(freq_index, 0, out=freq_index)
             if batch.external_index is not None:
-                binds = self._external_mhz < ladder[freq_index]
+                if self._battery_mode:
+                    binds = capped & (self._vt_ceiling < ladder[freq_index])
+                else:
+                    binds = self._external_mhz < ladder[freq_index]
                 freq_index[binds] = batch.external_index
             if batch.fixed_index is not None:
                 np.minimum(freq_index, batch.fixed_index, out=freq_index)
@@ -679,13 +858,16 @@ class BatchedWorld:
         # 6. Rails, supply metering, thermal injection.
         load = soc_power + self._awake_idle + noise
         supply = load / self._efficiency
-        current = supply / self._voltage
-        self._elapsed += dt
-        energy = supply * dt
-        self._energy_win += energy
-        self._energy_total += energy
-        self._charge += current * dt
-        np.maximum(self._peak, current, out=self._peak)
+        if self._battery_mode:
+            self._battery_draw_awake(supply, dt)
+        else:
+            current = supply / self._voltage
+            self._elapsed += dt
+            energy = supply * dt
+            self._energy_win += energy
+            self._energy_total += energy
+            self._charge += current * dt
+            np.maximum(self._peak, current, out=self._peak)
         power = self._power_buf
         power[:, self._idx_cpu] = soc_power
         power[:, self._idx_case] = 0.0
@@ -730,13 +912,16 @@ class BatchedWorld:
         temps = self._temps
         temps[active, self._idx_ambient] = ambient[active]
         supply = self._asleep_w / self._efficiency
-        current = supply / self._voltage
-        self._elapsed[active] += duration
-        energy = supply * duration
-        self._energy_win[active] += energy
-        self._energy_total[active] += energy
-        self._charge[active] += current * duration
-        self._peak[active] = np.maximum(self._peak[active], current)
+        if self._battery_mode:
+            self._battery_draw_masked(active, supply, duration)
+        else:
+            current = supply / self._voltage
+            self._elapsed[active] += duration
+            energy = supply * duration
+            self._energy_win[active] += energy
+            self._energy_total[active] += energy
+            self._charge[active] += current * duration
+            self._peak[active] = np.maximum(self._peak[active], current)
         sub = temps[active]
         power = np.zeros_like(sub)
         power[:, self._idx_pkg] = supply

@@ -1,0 +1,50 @@
+"""The streamed↔serial crowd gate: unconditional, CI-sized.
+
+This is the acceptance gate for the streaming crowd engine — it runs the
+full differential report (submission-by-submission pairing plus every
+streaming estimator against its exact in-memory computation) at a small
+population and requires a clean pass.  No environment switch disables it;
+a physics or estimator regression fails CI here, not in a benchmark.
+"""
+
+import pytest
+
+from repro.check import CROWD_SPEC, crowd_stream_pairing_report
+from repro.check.differential import default_crowd_differential_config
+
+
+@pytest.fixture(scope="module")
+def report():
+    return crowd_stream_pairing_report()
+
+
+class TestCrowdStreamGate:
+    def test_streamed_agrees_with_serial(self, report):
+        assert report.passed, report.render()
+
+    def test_compares_a_meaningful_surface(self, report):
+        # Submission fields for every user plus the estimator battery;
+        # a refactor that silently compares nothing must fail loudly.
+        assert report.compared_fields >= 8 * 8
+
+    def test_report_identity(self, report):
+        assert report.name == "crowd-stream"
+        assert report.models == ("Nexus 5",)
+        assert "PASS" in report.render()
+
+
+class TestCrowdSpec:
+    def test_submission_fields_gate_tightly(self):
+        # The per-submission replay budget is BATCH_SPEC-tight: ulp-level,
+        # not a physics tolerance.  Guard against silent loosening.
+        assert CROWD_SPEC.tolerance_for("score").rel_tol <= 1e-9
+        assert CROWD_SPEC.tolerance_for("energy_j").rel_tol <= 1e-9
+        assert CROWD_SPEC.tolerance_for("ambient_c").abs_tol <= 1e-9
+        # Drop accounting and sample counts are exact by default.
+        assert CROWD_SPEC.tolerance_for("sample_count").abs_tol == 0.0
+        assert CROWD_SPEC.tolerance_for("dropped.too_few_samples").rel_tol == 0.0
+
+    def test_small_default_population(self):
+        config = default_crowd_differential_config()
+        assert config.user_count <= 16
+        assert config.protocol.thermal_solver == "expm"

@@ -3,11 +3,54 @@
 The ``values`` strategy is shared from :mod:`repro.check.strategies`.
 """
 
+from typing import List, Sequence
+
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.check.strategies import values
-from repro.core.crowd import spearman_rank_correlation
+from repro.core.crowd import average_ranks, spearman_rank_correlation
+from repro.errors import AnalysisError
+
+
+def _reference_spearman(
+    first: Sequence[float], second: Sequence[float]
+) -> float:
+    """The previous pure-Python implementation, kept verbatim as the
+    equivalence oracle for the vectorized replacement (exact tie
+    semantics included)."""
+    if len(first) != len(second):
+        raise AnalysisError("sequences must be paired")
+    if len(first) < 3:
+        raise AnalysisError("need at least 3 pairs for a rank correlation")
+
+    def ranks(values: Sequence[float]) -> List[float]:
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        result = [0.0] * len(values)
+        i = 0
+        while i < len(order):
+            j = i
+            while (
+                j + 1 < len(order)
+                and values[order[j + 1]] == values[order[i]]
+            ):
+                j += 1
+            mean_rank = (i + j) / 2.0 + 1.0
+            for k in range(i, j + 1):
+                result[order[k]] = mean_rank
+            i = j + 1
+        return result
+
+    ra, rb = ranks(list(first)), ranks(list(second))
+    mean_a = sum(ra) / len(ra)
+    mean_b = sum(rb) / len(rb)
+    cov = sum((a - mean_a) * (b - mean_b) for a, b in zip(ra, rb))
+    var_a = sum((a - mean_a) ** 2 for a in ra)
+    var_b = sum((b - mean_b) ** 2 for b in rb)
+    if var_a == 0 or var_b == 0:
+        raise AnalysisError("rank correlation undefined for constant input")
+    return cov / (var_a * var_b) ** 0.5
 
 
 class TestSpearmanProperties:
@@ -67,3 +110,69 @@ class TestSpearmanProperties:
         assert spearman_rank_correlation(xs, index) == pytest.approx(
             spearman_rank_correlation(index, xs), abs=1e-9
         )
+
+
+#: Value lists rich in exact ties, where rank semantics can actually differ.
+tied_values = st.lists(
+    st.integers(min_value=-5, max_value=5).map(float),
+    min_size=3,
+    max_size=25,
+)
+
+
+class TestVectorizedSpearmanEquivalence:
+    """The numpy implementation vs the retired pure-Python one."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(values, values)
+    def test_matches_reference(self, xs, ys):
+        ys = ys[: len(xs)] + xs[len(ys):]  # pair up lengths
+        if len(set(xs)) < 2 or len(set(ys)) < 2:
+            return
+        assert spearman_rank_correlation(xs, ys) == pytest.approx(
+            _reference_spearman(xs, ys), abs=1e-12
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(tied_values, tied_values)
+    def test_matches_reference_under_heavy_ties(self, xs, ys):
+        ys = ys[: len(xs)] + xs[len(ys):]
+        if len(set(xs)) < 2 or len(set(ys)) < 2:
+            return
+        assert spearman_rank_correlation(xs, ys) == pytest.approx(
+            _reference_spearman(xs, ys), abs=1e-12
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(tied_values)
+    def test_average_ranks_tie_semantics_exact(self, xs):
+        # The vectorized ranks must agree with the loop bit-for-bit: both
+        # assign every tie group the mean of its 1-based positions, which
+        # is exactly representable for the sizes in play.
+        expected = [0.0] * len(xs)
+        order = sorted(range(len(xs)), key=lambda i: xs[i])
+        i = 0
+        while i < len(order):
+            j = i
+            while j + 1 < len(order) and xs[order[j + 1]] == xs[order[i]]:
+                j += 1
+            for k in range(i, j + 1):
+                expected[order[k]] = (i + j) / 2.0 + 1.0
+            i = j + 1
+        assert average_ranks(xs).tolist() == expected
+
+    def test_error_messages_preserved(self):
+        with pytest.raises(AnalysisError, match="must be paired"):
+            spearman_rank_correlation([1.0, 2.0, 3.0], [1.0, 2.0])
+        with pytest.raises(AnalysisError, match="at least 3 pairs"):
+            spearman_rank_correlation([1.0, 2.0], [1.0, 2.0])
+        with pytest.raises(AnalysisError, match="constant input"):
+            spearman_rank_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0])
+
+    def test_large_input_is_fast_and_exact(self):
+        rng = np.random.default_rng(7)
+        xs = rng.integers(0, 50, size=5000).astype(float)
+        ys = (xs * 0.5 + rng.integers(0, 10, size=5000)).astype(float)
+        vec = spearman_rank_correlation(xs.tolist(), ys.tolist())
+        ref = _reference_spearman(xs.tolist(), ys.tolist())
+        assert vec == pytest.approx(ref, abs=1e-12)

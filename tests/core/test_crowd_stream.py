@@ -1,0 +1,289 @@
+"""The streaming crowd engine vs the serial §VI reference.
+
+Everything here runs the micro field protocol from the differential
+harness (exact solver, short windows) so the whole file stays CI-sized.
+The headline contracts:
+
+* streamed submissions replay the serial pipeline draw-for-draw;
+* an interrupted campaign resumed from its checkpoint is bit-identical
+  to an uninterrupted one;
+* worker count never changes results;
+* drop accounting matches the serial path reason-for-reason.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.check.differential import default_crowd_differential_config
+from repro.core.ambient_estimation import DEFAULT_PROBE_POLL_S
+from repro.core.crowd import (
+    CrowdConfig,
+    crowd_fleet,
+    crowd_param_stream,
+    plan_users,
+    prepare_field_device,
+    run_crowd_study,
+)
+from repro.core.crowd_stream import (
+    CrowdEstimators,
+    execute_cohort,
+    load_checkpoint,
+    run_streaming_crowd_study,
+)
+from repro.errors import ConfigurationError
+from repro.sim.batch import BatchedWorld
+from repro.sim.engine import World
+from repro.thermal.ambient import ConstantAmbient
+
+from dataclasses import replace
+
+
+@pytest.fixture(scope="module")
+def micro_config():
+    return default_crowd_differential_config(user_count=8)
+
+
+@pytest.fixture(scope="module")
+def full_run(micro_config):
+    submissions = []
+    result = run_streaming_crowd_study(
+        micro_config, cohort_size=3, on_submission=submissions.append
+    )
+    return result, submissions
+
+
+class TestStreamedMatchesSerial:
+    def test_submissions_replay_serial_draw_for_draw(
+        self, micro_config, full_run
+    ):
+        result, streamed = full_run
+        serial = run_crowd_study(micro_config)
+        assert [s.serial for s in streamed] == [s.serial for s in serial]
+        for a, b in zip(serial, streamed):
+            assert b.score == pytest.approx(a.score, rel=1e-9)
+            assert b.energy_j == pytest.approx(a.energy_j, rel=1e-9)
+            assert b.ambient_estimate.ambient_c == pytest.approx(
+                a.ambient_estimate.ambient_c, abs=1e-9
+            )
+            assert (
+                b.ambient_estimate.sample_count
+                == a.ambient_estimate.sample_count
+            )
+            assert b.true_ambient_c == a.true_ambient_c
+            assert b.true_leak_factor == a.true_leak_factor
+        assert result.dropped == serial.dropped
+        assert result.users_simulated == serial.users
+
+    def test_result_summary_shape(self, micro_config, full_run):
+        result, streamed = full_run
+        assert result.complete
+        assert result.cohorts_total == 3  # ceil(8 / 3)
+        assert result.user_count == micro_config.user_count
+        assert result.submission_count == len(streamed)
+        assert sorted(result.score_quantiles) == [
+            "p05", "p25", "p50", "p75", "p95",
+        ]
+        document = json.loads(json.dumps(result.to_dict()))
+        assert document["users_simulated"] == micro_config.user_count
+
+    def test_jobs_do_not_change_results(self, micro_config, full_run):
+        result, _ = full_run
+        parallel = run_streaming_crowd_study(
+            micro_config, cohort_size=3, jobs=2
+        )
+        assert parallel.to_dict() == result.to_dict()
+
+
+class TestCheckpointResume:
+    def test_interrupt_and_resume_is_bit_identical(
+        self, micro_config, full_run, tmp_path
+    ):
+        result, _ = full_run
+        path = str(tmp_path / "crowd.ckpt")
+        partial = run_streaming_crowd_study(
+            micro_config, cohort_size=3, checkpoint_path=path,
+            stop_after_cohorts=2,
+        )
+        assert not partial.complete
+        assert partial.cohorts_completed == 2
+        assert os.path.exists(path)
+        resumed = run_streaming_crowd_study(
+            micro_config, cohort_size=3, checkpoint_path=path
+        )
+        assert resumed.complete
+        assert resumed.resumed_from_cohort == 2
+        expected = dict(result.to_dict(), resumed_from_cohort=2)
+        assert resumed.to_dict() == expected
+
+    def test_checkpoint_is_valid_json_with_rng_cursor(
+        self, micro_config, tmp_path
+    ):
+        path = str(tmp_path / "crowd.ckpt")
+        run_streaming_crowd_study(
+            micro_config, cohort_size=3, checkpoint_path=path,
+            stop_after_cohorts=1,
+        )
+        with open(path) as fp:
+            document = json.load(fp)
+        assert document["cohorts_done"] == 1
+        # The stored cursor equals the parameter stream advanced past
+        # exactly the folded cohort's users (2 uniforms per user).
+        rng = crowd_param_stream(micro_config)
+        plan_users(micro_config, rng, 0, 3)
+        assert document["param_rng_state"] == json.loads(
+            json.dumps(rng.bit_generator.state)
+        )
+        restored = CrowdEstimators.from_state(document["estimators"])
+        assert restored.users_done == 3
+
+    def test_mismatched_fingerprint_refuses(self, micro_config, tmp_path):
+        path = str(tmp_path / "crowd.ckpt")
+        run_streaming_crowd_study(
+            micro_config, cohort_size=3, checkpoint_path=path,
+            stop_after_cohorts=1,
+        )
+        other = replace(micro_config, user_count=9)
+        with pytest.raises(ConfigurationError):
+            run_streaming_crowd_study(other, cohort_size=3, checkpoint_path=path)
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(path, "not-the-fingerprint")
+
+
+class TestDropAccounting:
+    def test_short_observe_drops_everyone_like_serial(self, micro_config):
+        # 50 s of 5 s polls → 10 samples, 6 after the 40% head skip —
+        # below the fit's floor, so every probe fails identically.
+        config = replace(micro_config, user_count=4, probe_observe_s=50.0)
+        serial = run_crowd_study(config)
+        result = run_streaming_crowd_study(config, cohort_size=2)
+        assert serial.dropped == {"too_few_samples": 4}
+        assert result.dropped == serial.dropped
+        assert result.submission_count == len(serial) == 0
+        assert result.users_simulated == 4
+        assert result.score_quantiles == {}
+        assert result.ranking_quality_raw is None
+
+
+class TestGuards:
+    def test_requires_exact_solver(self, micro_config):
+        euler = replace(
+            micro_config,
+            protocol=replace(micro_config.protocol, thermal_solver="euler"),
+        )
+        with pytest.raises(ConfigurationError):
+            run_streaming_crowd_study(euler)
+
+    def test_rejects_bad_knobs(self, micro_config):
+        with pytest.raises(ConfigurationError):
+            run_streaming_crowd_study(micro_config, cohort_size=0)
+        with pytest.raises(ConfigurationError):
+            run_streaming_crowd_study(micro_config, jobs=0)
+        with pytest.raises(ConfigurationError):
+            run_streaming_crowd_study(micro_config, checkpoint_every=0)
+        with pytest.raises(ConfigurationError):
+            run_streaming_crowd_study(micro_config, stop_after_cohorts=0)
+
+    def test_cohort_must_be_contiguous(self, micro_config):
+        rng = crowd_param_stream(micro_config)
+        users = plan_users(micro_config, rng, 0, 4)
+        with pytest.raises(ConfigurationError):
+            execute_cohort(
+                micro_config, 0, (users[0], users[2], users[3])
+            )
+        with pytest.raises(ConfigurationError):
+            execute_cohort(micro_config, 0, ())
+
+
+class TestBatchedFieldPhysics:
+    """The batched battery bank and asleep probe vs per-unit worlds."""
+
+    def test_probe_temps_and_battery_state_match_serial(self, micro_config):
+        config = replace(micro_config, user_count=3)
+        rng = crowd_param_stream(config)
+        users = plan_users(config, rng, 0, config.user_count)
+
+        serial_temps, serial_soc, serial_energy = [], [], []
+        for device, user in zip(crowd_fleet(config), users):
+            prepare_field_device(device, user)
+            world = World(
+                device,
+                room=ConstantAmbient(user.ambient_c),
+                dt=config.protocol.dt,
+                trace_decimation=1,
+            )
+            device.acquire_wakelock()
+            device.start_load()
+            world.run_for(config.probe_heat_s)
+            device.stop_load()
+            device.release_wakelock()
+            temps = []
+            elapsed = 0.0
+            while elapsed < config.probe_observe_s:
+                world.run_for(DEFAULT_PROBE_POLL_S)
+                elapsed += DEFAULT_PROBE_POLL_S
+                temps.append(device.read_cpu_temp())
+            serial_temps.append(temps)
+            serial_soc.append(device.supply.state_of_charge)
+            serial_energy.append(device.supply.energy_drawn_j)
+
+        devices = crowd_fleet(config)
+        for device, user in zip(devices, users):
+            prepare_field_device(device, user)
+        world = BatchedWorld(
+            devices,
+            room_temp_c=np.array([u.ambient_c for u in users]),
+            dt=config.protocol.dt,
+            trace_decimation=1,
+        )
+        world.acquire_wakelock()
+        world.start_load()
+        world.run_for(config.probe_heat_s)
+        world.stop_load()
+        world.release_wakelock()
+        batched_temps = []
+        elapsed = 0.0
+        while elapsed < config.probe_observe_s:
+            world.run_asleep(DEFAULT_PROBE_POLL_S)
+            elapsed += DEFAULT_PROBE_POLL_S
+            batched_temps.append(world.read_sensors())
+        world.finalize()
+
+        for i, device in enumerate(devices):
+            # Quantized sensor reads replay exactly, draw for draw.
+            assert [row[i] for row in batched_temps] == serial_temps[i]
+            # Battery accounting: the batched probe draws each asleep poll
+            # window as one macro draw where the serial engine steps dt by
+            # dt — identical up to float summation order.
+            assert device.supply.state_of_charge == pytest.approx(
+                serial_soc[i], abs=1e-12
+            )
+            assert device.supply.energy_drawn_j == pytest.approx(
+                serial_energy[i], rel=1e-9
+            )
+
+    def test_per_unit_rooms_reject_chamber(self, micro_config):
+        from repro.instruments.thermabox import (
+            BatchedThermabox,
+            ThermaboxConfig,
+        )
+        from repro.errors import SimulationError
+
+        config = replace(micro_config, user_count=2)
+        rng = crowd_param_stream(config)
+        users = plan_users(config, rng, 0, 2)
+        devices = crowd_fleet(config)
+        for device, user in zip(devices, users):
+            prepare_field_device(device, user)
+        chamber = BatchedThermabox(
+            ThermaboxConfig(target_c=25.0), count=2, initial_temp_c=25.0
+        )
+        with pytest.raises(SimulationError):
+            BatchedWorld(
+                devices,
+                room_temp_c=np.array([20.0, 30.0]),
+                chamber=chamber,
+                dt=0.5,
+            )

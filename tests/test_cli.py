@@ -214,6 +214,25 @@ class TestCrowd:
         assert "submissions from 4 users" in out
         assert "ranking quality" in out
 
+    def test_streamed_crowd_checkpoint_resume(self, capsys, tmp_path):
+        checkpoint = tmp_path / "campaign.json"
+        base = [
+            "crowd", "--users", "6", "--scale", "0.1", "--seed", "11",
+            "--checkpoint", str(checkpoint), "--cohort-size", "3",
+        ]
+        code = main(base + ["--stop-after-cohorts", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(1/2 cohorts of 3)" in out
+        assert "resume with --checkpoint" in out
+        assert checkpoint.exists()
+
+        code = main(base)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "6 submissions from 6 users (2/2 cohorts of 3)" in out
+        assert "score quantiles (streamed):" in out
+
 
 class TestExportFleet:
     def test_csv_export(self, capsys, tmp_path):
