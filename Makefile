@@ -1,6 +1,6 @@
 # Convenience targets; all assume the package is installed (see README).
 
-.PHONY: test check check-update-golden bench bench-fast bench-batch bench-crowd validate calibrate examples all
+.PHONY: test check check-update-golden bench bench-fast bench-batch bench-crowd smoke-telemetry validate calibrate examples all
 
 test:
 	pytest tests/
@@ -31,6 +31,11 @@ bench-batch:
 # REPRO_BENCH_CROWD_FULL=1 for the 10^6 run); writes BENCH_crowd.json.
 bench-crowd:
 	pytest benchmarks/test_perf_crowd.py -q -s
+
+# Live-telemetry smoke: a streamed crowd run scraped over HTTP mid-run;
+# asserts advancing /status, parseable /metrics, round-tripping manifest.
+smoke-telemetry:
+	python scripts/telemetry_smoke.py
 
 validate:
 	repro-bench validate --scale 0.5 --iterations 2 --no-thermabox

@@ -13,9 +13,12 @@ Unlike the figure/table benches this one measures the simulator itself:
   fast-forward over the sub-stepped Euler baseline on a cooldown-heavy
   ACCUBENCH iteration, interleaved A/B, with agreement checks on the
   cooldown duration and workload energy, and
-* overhead of metrics collection (:mod:`repro.obs`) on a fleet campaign,
-  interleaved A/B with collection on vs off; the enabled run's metrics
-  document lands in ``BENCH_metrics.json`` at the repository root.
+* overhead of the telemetry plane (:mod:`repro.obs`) on a fleet
+  campaign, interleaved A/B with observation on vs off — the enabled arm
+  runs the full stack: metrics registry, progress bus absorbing every
+  shard boundary, and a live HTTP scrape endpoint; the enabled run's
+  metrics document lands in ``BENCH_metrics.json`` at the repository
+  root.
 
 The seed baselines below were measured on the reference runner with the
 seed checkout's stepping runs interleaved against this checkout's, so
@@ -41,7 +44,13 @@ from repro.core.runner import CampaignConfig, CampaignRunner
 from repro.device.fleet import PAPER_FLEETS, build_device
 from repro.instruments.monsoon import MonsoonPowerMonitor
 from repro.instruments.thermabox import Thermabox
-from repro.obs import MetricsRegistry, use_registry, write_metrics
+from repro.obs import (
+    MetricsRegistry,
+    ProgressBus,
+    TelemetryServer,
+    use_registry,
+    write_metrics,
+)
 from repro.sim.engine import World
 from repro.thermal.ambient import ConstantAmbient
 
@@ -148,12 +157,23 @@ def _cooldown_heavy_iteration(solver: str):
 
 def _campaign_wall_time(collect: bool):
     config = CampaignConfig(accubench=AccubenchConfig().scaled(0.5), jobs=1)
-    runner = CampaignRunner(config)
     registry = MetricsRegistry(enabled=collect)
-    start = time.perf_counter()
-    with use_registry(registry):
+    if not collect:
+        runner = CampaignRunner(config)
+        start = time.perf_counter()
+        with use_registry(registry):
+            runner.run_fleet("Nexus 5", unconstrained(), iterations=1)
+        return time.perf_counter() - start, registry, None
+    # The enabled arm carries the whole telemetry plane, not just the
+    # registry: the progress bus absorbs every shard boundary and a live
+    # HTTP endpoint sits listening for scrapes the entire timed window.
+    bus = ProgressBus()
+    runner = CampaignRunner(config, progress=bus)
+    with use_registry(registry), TelemetryServer(registry=registry, bus=bus):
+        start = time.perf_counter()
         runner.run_fleet("Nexus 5", unconstrained(), iterations=1)
-    return time.perf_counter() - start, registry
+        wall = time.perf_counter() - start
+    return wall, registry, bus
 
 
 @pytest.mark.parametrize("model", sorted(SEED_STEPS_PER_SEC))
@@ -272,18 +292,19 @@ def test_expm_fast_forward_speedup():
 
 def test_metrics_collection_overhead():
     # Interleaved A/B: the same fleet campaign with the default (disabled,
-    # null-object) registry vs an enabled one, best-of per arm. Collection
-    # only touches the registry at phase/batch boundaries, so the enabled
-    # arm should be indistinguishable from the disabled one.
+    # null-object) registry vs the full telemetry plane (registry, bus,
+    # live endpoint), best-of per arm. Observation only touches the
+    # registry and bus at phase/shard boundaries, so the enabled arm
+    # should be indistinguishable from the disabled one.
     best = {"off": float("inf"), "on": float("inf")}
-    collected = None
+    collected = observed_bus = None
     for _ in range(3):
         for arm in ("off", "on"):
-            wall, registry = _campaign_wall_time(collect=arm == "on")
+            wall, registry, bus = _campaign_wall_time(collect=arm == "on")
             if wall < best[arm]:
                 best[arm] = wall
                 if arm == "on":
-                    collected = registry
+                    collected, observed_bus = registry, bus
     overhead = best["on"] / best["off"] - 1.0
     document_path = write_metrics(collected, METRICS_PATH)
     snapshot = collected.snapshot()
@@ -294,17 +315,22 @@ def test_metrics_collection_overhead():
             "metrics_overhead_pct": round(overhead * 100.0, 2),
             "metrics_engine_steps": snapshot["counters"]["engine.steps"],
             "metrics_spans": len(snapshot["spans"]),
+            "metrics_bus_updates": observed_bus.updates,
         }
     )
     print(
-        f"\nfleet campaign: collection off {best['off']:.3f} s, "
+        f"\nfleet campaign: observation off {best['off']:.3f} s, "
         f"on {best['on']:.3f} s ({overhead:+.2%}); "
         f"document at {document_path.name} with "
-        f"{len(snapshot['spans'])} spans"
+        f"{len(snapshot['spans'])} spans, "
+        f"{observed_bus.updates} bus updates"
     )
-    # The document must carry the headline counters regardless of host.
+    # The document must carry the headline counters regardless of host,
+    # and the bus must actually have seen every shard.
     for key in ("engine.steps", "propagator.cache_hits", "tasks.completed"):
         assert key in snapshot["counters"], key
+    assert observed_bus.updates > 0
+    assert observed_bus.status()["state"] == "complete"
     if os.environ.get("REPRO_BENCH_SKIP_RATE_ASSERT"):
         pytest.skip("overhead floor assertion disabled by environment")
     assert overhead <= MAX_METRICS_OVERHEAD, (

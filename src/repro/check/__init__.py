@@ -64,6 +64,10 @@ from repro.check.invariants import (
     TraceTimeMonotone,
     default_invariants,
 )
+from repro.check.telemetry import (
+    TELEMETRY_SPEC,
+    telemetry_parity_report,
+)
 
 __all__ = [
     "BATCH_SPEC",
@@ -98,4 +102,6 @@ __all__ = [
     "ThrottleConsistency",
     "TraceTimeMonotone",
     "default_invariants",
+    "TELEMETRY_SPEC",
+    "telemetry_parity_report",
 ]

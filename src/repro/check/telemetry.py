@@ -1,0 +1,142 @@
+"""Telemetry parity: observing a campaign must not change it.
+
+The whole telemetry plane — metrics registry, progress bus, HTTP
+endpoint, watchdogs — is built on the contract that it never touches the
+simulation's random streams or arithmetic.  This module makes that
+contract machine-checked the same way the solver and scheduling fast
+paths are: run the identical fleet twice, once bare and once under the
+full observation stack (enabled registry, progress bus, live
+:class:`~repro.obs.TelemetryServer` being scraped concurrently from
+another thread), and diff every result field with exact equality.
+
+A passing report proves two things at once: observation is free of
+side effects, and the endpoint answers well-formed documents *while the
+campaign is running* (every scrape is parsed, not just fetched).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from typing import List, Optional
+
+from repro.check.differential import (
+    DifferentialReport,
+    Divergence,
+    ToleranceSpec,
+    default_differential_config,
+)
+from repro.core.runner import CampaignConfig, CampaignRunner
+from repro.core.serialize import iteration_to_dict
+from repro.errors import CheckError
+
+#: Exact equality on every field — observation may not move a single bit.
+TELEMETRY_SPEC = ToleranceSpec(name="telemetry")
+
+
+class _Scraper:
+    """Polls a live endpoint from a side thread, validating every answer."""
+
+    def __init__(self, url: str, interval_s: float = 0.02) -> None:
+        self._url = url
+        self._interval_s = interval_s
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="telemetry-parity-scraper", daemon=True
+        )
+        self.scrapes = 0
+        self.error: Optional[str] = None
+
+    def _loop(self) -> None:
+        from repro.obs import parse_prometheus_text
+
+        while not self._stop.is_set():
+            try:
+                with urllib.request.urlopen(
+                    f"{self._url}/metrics", timeout=5.0
+                ) as response:
+                    parse_prometheus_text(response.read().decode())
+                with urllib.request.urlopen(
+                    f"{self._url}/status", timeout=5.0
+                ) as response:
+                    status = json.load(response)
+                if status.get("format") != "repro-status-v1":
+                    raise CheckError(
+                        f"/status answered format {status.get('format')!r}"
+                    )
+                self.scrapes += 1
+            except Exception as error:  # noqa: BLE001 - recorded, re-raised
+                self.error = str(error)
+                return
+            self._stop.wait(self._interval_s)
+
+    def __enter__(self) -> "_Scraper":
+        self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def telemetry_parity_report(
+    model: str = "Nexus 5",
+    config: Optional[CampaignConfig] = None,
+    iterations: Optional[int] = 1,
+    jobs: int = 1,
+) -> DifferentialReport:
+    """Run one fleet bare vs fully observed; diff results exactly.
+
+    The observed arm collects metrics into an enabled registry, feeds a
+    :class:`~repro.obs.ProgressBus` through the task-callback channel and
+    serves both over HTTP on an ephemeral port, with a scraper thread
+    hitting ``/metrics`` and ``/status`` throughout — the worst case the
+    live telemetry plane can inflict on a run.
+    """
+    from repro.core.experiments import unconstrained
+    from repro.obs import (
+        MetricsRegistry,
+        ProgressBus,
+        TelemetryServer,
+        use_registry,
+    )
+
+    if config is None:
+        config = default_differential_config()
+
+    bare = CampaignRunner(config).run_fleet(
+        model, unconstrained(), iterations=iterations, jobs=jobs
+    )
+
+    registry = MetricsRegistry(enabled=True)
+    bus = ProgressBus()
+    with use_registry(registry):
+        with TelemetryServer(registry=registry, bus=bus) as server:
+            with _Scraper(server.url) as scraper:
+                observed = CampaignRunner(config, progress=bus).run_fleet(
+                    model, unconstrained(), iterations=iterations, jobs=jobs
+                )
+    if scraper.error is not None:
+        raise CheckError(
+            f"telemetry endpoint misbehaved under load: {scraper.error}"
+        )
+    if bus.updates == 0:
+        raise CheckError("progress bus saw no updates — wiring is broken")
+
+    divergences: List[Divergence] = list(
+        TELEMETRY_SPEC.compare_experiment(bare, observed)
+    )
+    compared = sum(
+        len(iteration_to_dict(it)) - 3  # numeric fields only
+        for device in bare.devices
+        for it in device.iterations
+    )
+    return DifferentialReport(
+        name="telemetry",
+        label_a="bare",
+        label_b=f"observed+scraped({scraper.scrapes}x)",
+        models=(model,),
+        compared_fields=compared,
+        divergences=tuple(divergences),
+    )

@@ -10,6 +10,8 @@
     repro-bench report m.json
     repro-bench check --differential --invariants
     repro-bench check --update-golden
+    repro-bench crowd --users 2048 --stream --serve 9100 --checkpoint c.json
+    repro-bench watch http://127.0.0.1:9100
 
 Every command prints a human-readable report; ``run-fleet`` can also dump
 machine-readable JSON (``--json out.json``), collect run telemetry
@@ -17,6 +19,13 @@ machine-readable JSON (``--json out.json``), collect run telemetry
 per-unit completion lines to stderr (``--progress``).  ``--scale``
 shortens the protocol's phase durations (1.0 = the paper's 3-minute
 warmup / 5-minute workload).
+
+``--serve PORT`` exposes a live HTTP telemetry endpoint for the duration
+of the run (``/metrics`` Prometheus text, ``/status`` JSON progress,
+``/spans`` dual-clock span tree); ``watch`` tails such an endpoint — or
+pretty-prints a ``repro-manifest-v1`` file after the fact.  Runs that
+write a JSON result or checkpoint also write a sibling
+``*.manifest.json`` provenance document.
 """
 
 from __future__ import annotations
@@ -76,6 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="print one line to stderr per completed unit, live",
+    )
+    run.add_argument(
+        "--serve",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="serve live telemetry over HTTP while the fleet runs "
+        "(/metrics, /status, /spans, /healthz); 0 picks a free port",
     )
 
     table2 = sub.add_parser("table2", help="the full Table II study")
@@ -156,6 +173,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect campaign telemetry and write it as a metrics JSON "
         "document",
     )
+    crowd.add_argument(
+        "--serve",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="serve live telemetry over HTTP while the campaign runs "
+        "(streamed mode; 0 picks a free port)",
+    )
+    crowd.add_argument(
+        "--strict-watchdog",
+        action="store_true",
+        help="exit nonzero if any campaign watchdog rule fires "
+        "(stuck cohort, throughput regression, drop-rate spike)",
+    )
 
     validate = sub.add_parser(
         "validate", help="check the calibrated build against the paper's bands"
@@ -221,13 +252,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     report = sub.add_parser(
-        "report", help="summarize a metrics JSON written by --metrics-out"
+        "report",
+        help="summarize a metrics JSON written by --metrics-out (also "
+        "understands crowd-stream summaries and run manifests)",
     )
     report.add_argument("metrics", help="path to the metrics JSON document")
     report.add_argument(
         "--prometheus",
         action="store_true",
         help="emit Prometheus text exposition format instead of the table",
+    )
+    report.add_argument(
+        "--spans-tree",
+        action="store_true",
+        help="render the dual-clock span hierarchy instead of the summary",
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help="tail a live run's /status endpoint, or pretty-print a "
+        "run manifest file",
+    )
+    watch.add_argument(
+        "target", help="telemetry URL (http://host:port) or manifest path"
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (URL targets)",
+    )
+    watch.add_argument(
+        "--once", action="store_true", help="poll once and exit"
     )
 
     return parser
@@ -301,20 +357,36 @@ def _runner(args: argparse.Namespace) -> CampaignRunner:
 
 
 def _metrics_scope(args: argparse.Namespace):
-    """An active collection scope when ``--metrics-out`` was given.
+    """An active collection scope when ``--metrics-out`` or ``--serve``.
 
     Returns ``(context manager, registry-or-None)``; the caller runs the
-    campaign inside the context and, if a registry came back, writes it
-    where the flag pointed.
+    campaign inside the context and, if ``--metrics-out`` was given,
+    writes the registry where the flag pointed.  ``--serve`` needs the
+    registry live too — an endpoint scraping a disabled registry would
+    answer empty documents.
     """
     from contextlib import nullcontext
 
     from repro.obs import MetricsRegistry, use_registry
 
-    if not getattr(args, "metrics_out", None):
+    if not getattr(args, "metrics_out", None) and getattr(args, "serve", None) is None:
         return nullcontext(), None
     registry = MetricsRegistry(enabled=True)
     return use_registry(registry), registry
+
+
+def _serve_scope(args: argparse.Namespace, registry, bus):
+    """A running :class:`~repro.obs.TelemetryServer` when ``--serve``."""
+    from contextlib import nullcontext
+
+    from repro.obs import TelemetryServer
+
+    if getattr(args, "serve", None) is None:
+        return nullcontext()
+    server = TelemetryServer(registry=registry, bus=bus, port=args.serve)
+    server.start()
+    print(f"serving telemetry at {server.url}", file=sys.stderr)
+    return server
 
 
 def _cmd_list_devices() -> int:
@@ -339,11 +411,18 @@ def _cmd_table1() -> int:
 
 
 def _cmd_run_fleet(args: argparse.Namespace) -> int:
+    from dataclasses import asdict
+
+    from repro.obs import ProgressBus, chain_progress
+
+    bus = ProgressBus()
     runner = _runner(args)
+    runner.progress = chain_progress(runner.progress, bus)
     spec = device_spec(args.model)
     documents = {}
     scope, registry = _metrics_scope(args)
-    with scope:
+    fingerprint = None
+    with scope, _serve_scope(args, registry, bus):
         if args.experiment in ("unconstrained", "both"):
             result = runner.run_fleet(args.model, unconstrained())
             print(render_experiment(result, "performance"))
@@ -354,7 +433,7 @@ def _cmd_run_fleet(args: argparse.Namespace) -> int:
             print(render_experiment(result, "energy"))
             print(f"energy variation: {result.energy_variation:.1%}")
             documents["fixed-frequency"] = result
-    if registry is not None:
+    if registry is not None and args.metrics_out:
         from repro.obs import write_metrics
 
         write_metrics(registry, args.metrics_out)
@@ -363,11 +442,34 @@ def _cmd_run_fleet(args: argparse.Namespace) -> int:
         import json
 
         from repro.core.serialize import experiment_to_dict
+        from repro.obs import (
+            build_manifest,
+            fingerprint_payload,
+            manifest_path_for,
+            write_manifest,
+        )
 
         payload = {name: experiment_to_dict(r) for name, r in documents.items()}
         with open(args.json, "w") as fp:
             json.dump(payload, fp, indent=2)
         print(f"\nwrote {args.json}")
+        fingerprint = fingerprint_payload(
+            {
+                "config": asdict(runner.config),
+                "model": args.model,
+                "experiment": args.experiment,
+            }
+        )
+        manifest = build_manifest(
+            "fleet",
+            fingerprint,
+            args.seed,
+            registry=registry,
+            status=bus.status(),
+            extra={"json_path": args.json, "model": args.model},
+        )
+        path = write_manifest(manifest, manifest_path_for(args.json))
+        print(f"wrote {path}")
     return 0
 
 
@@ -455,7 +557,12 @@ def _cmd_crowd_stream(args: argparse.Namespace, protocol) -> int:
 
     from repro.core.crowd import CrowdConfig
     from repro.core.crowd_stream import run_streaming_crowd_study
-    from repro.obs import ProgressPrinter
+    from repro.obs import (
+        ProgressBus,
+        ProgressPrinter,
+        default_watchdog,
+        manifest_path_for,
+    )
 
     config = CrowdConfig(
         model=args.model,
@@ -463,8 +570,10 @@ def _cmd_crowd_stream(args: argparse.Namespace, protocol) -> int:
         protocol=dc_replace(protocol, thermal_solver="expm"),
         root_seed=args.seed,
     )
+    bus = ProgressBus()
+    watchdog = default_watchdog()
     scope, registry = _metrics_scope(args)
-    with scope:
+    with scope, _serve_scope(args, registry, bus):
         result = run_streaming_crowd_study(
             config,
             cohort_size=args.cohort_size,
@@ -473,6 +582,12 @@ def _cmd_crowd_stream(args: argparse.Namespace, protocol) -> int:
             checkpoint_every=args.checkpoint_every,
             stop_after_cohorts=args.stop_after_cohorts,
             progress=ProgressPrinter() if args.progress else None,
+            telemetry=bus,
+            watchdog=watchdog,
+            manifest_path=(
+                str(manifest_path_for(args.json)) if args.json else None
+            ),
+            log=lambda message: print(message, file=sys.stderr, flush=True),
         )
     print(
         f"{result.submission_count} submissions from "
@@ -516,7 +631,7 @@ def _cmd_crowd_stream(args: argparse.Namespace, protocol) -> int:
             f"campaign paused at cohort {result.cohorts_completed}; "
             f"resume with --checkpoint {args.checkpoint}"
         )
-    if registry is not None:
+    if registry is not None and args.metrics_out:
         from repro.obs import write_metrics
 
         write_metrics(registry, args.metrics_out)
@@ -526,7 +641,14 @@ def _cmd_crowd_stream(args: argparse.Namespace, protocol) -> int:
 
         with open(args.json, "w") as fp:
             json.dump(result.to_dict(), fp, indent=2)
-        print(f"wrote {args.json}")
+        print(f"wrote {args.json} (+ manifest {manifest_path_for(args.json)})")
+    if watchdog.triggered:
+        print(
+            f"{len(watchdog.warnings)} watchdog warning(s) raised",
+            file=sys.stderr,
+        )
+        if args.strict_watchdog:
+            return 3
     return 0
 
 
@@ -592,9 +714,17 @@ def _cmd_check(args: argparse.Namespace) -> int:
         ):
             print(report.render())
             failed = failed or not report.passed
-        from repro.check import crowd_stream_pairing_report
+        from repro.check import (
+            crowd_stream_pairing_report,
+            telemetry_parity_report,
+        )
 
         report = crowd_stream_pairing_report()
+        print(report.render())
+        failed = failed or not report.passed
+        report = telemetry_parity_report(
+            models[0], config=base, iterations=args.iterations
+        )
         print(report.render())
         failed = failed or not report.passed
 
@@ -627,13 +757,84 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.obs import format_summary, prometheus_text, read_metrics
+    import json
 
+    from repro.obs import (
+        format_manifest,
+        format_span_tree,
+        format_summary,
+        prometheus_text,
+        read_metrics,
+        validate_manifest,
+    )
+
+    # Sniff the document: report understands metrics files, crowd-stream
+    # summaries (--json from crowd --stream) and run manifests.  Unreadable
+    # files fall through to read_metrics, whose errors are ReproErrors.
+    kind = None
+    try:
+        with open(args.metrics) as fp:
+            raw = json.load(fp)
+        if isinstance(raw, dict):
+            kind = raw.get("format")
+    except (OSError, json.JSONDecodeError):
+        pass
+    if kind == "repro-manifest-v1":
+        print(format_manifest(validate_manifest(raw)), end="")
+        return 0
+    if kind == "repro-crowd-stream-v1":
+        print(_render_crowd_summary(raw), end="")
+        return 0
     document = read_metrics(args.metrics)
     if args.prometheus:
         print(prometheus_text(document), end="")
+    elif args.spans_tree:
+        print(format_span_tree(document), end="")
     else:
         print(format_summary(document), end="")
+    return 0
+
+
+def _render_crowd_summary(document: dict) -> str:
+    """Human rendering of a crowd-stream ``--json`` summary document."""
+    dropped = document.get("dropped", {})
+    lines = [
+        f"crowd-stream summary ({document.get('model')}, "
+        f"fingerprint {document.get('fingerprint', '')[:16]}…)",
+        f"  users        {document.get('users_simulated')}"
+        f"/{document.get('user_count')} simulated, "
+        f"{document.get('submission_count')} submissions, "
+        f"{sum(dropped.values())} dropped",
+        f"  cohorts      {document.get('cohorts_completed')}"
+        f"/{document.get('cohorts_total')} of {document.get('cohort_size')}",
+        f"  score        mean {document.get('score_mean', 0.0):.1f} "
+        f"± {document.get('score_std', 0.0):.1f}",
+        f"  ambient err  {document.get('ambient_error_mean_c', 0.0):+.2f} C "
+        f"± {document.get('ambient_error_std_c', 0.0):.2f} C",
+    ]
+    raw = document.get("ranking_quality_raw")
+    filtered = document.get("ranking_quality_filtered")
+    if raw is not None:
+        lines.append(f"  ranking ρ    raw {raw:+.2f}")
+    if filtered is not None:
+        lines.append(
+            f"  ranking ρ    filtered {filtered:+.2f} "
+            f"({document.get('filtered_count')} kept)"
+        )
+    if dropped:
+        reasons = ", ".join(
+            f"{reason}: {count}" for reason, count in sorted(dropped.items())
+        )
+        lines.append(f"  drops        {reasons}")
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.obs import format_manifest, read_manifest, watch_url
+
+    if args.target.startswith(("http://", "https://")):
+        return watch_url(args.target, interval_s=args.interval, once=args.once)
+    print(format_manifest(read_manifest(args.target)), end="")
     return 0
 
 
@@ -662,6 +863,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_check(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "watch":
+            return _cmd_watch(args)
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
         return 2  # pragma: no cover
     except ReproError as error:

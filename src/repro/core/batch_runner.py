@@ -149,11 +149,21 @@ def run_batch(
             dt=bench.dt,
             trace_decimation=bench.trace_decimation,
         )
-        for _ in range(count):
+        for iteration in range(count):
             cooldown_s, energy_j, completed = run_batch_iteration(
                 world, bench, experiment, registry
             )
             looped_total += int(world.looped_steps.sum())
+            if registry.enabled:
+                # Iteration-boundary cursor for the live /status endpoint:
+                # a long multi-iteration shard shows movement between
+                # shard completions without the hot loop being touched.
+                registry.gauge("batch.iterations_done").set(iteration + 1)
+                elapsed = time.perf_counter() - started_wall
+                if elapsed > 0:
+                    registry.gauge("batch.steps_per_sec").set(
+                        looped_total / elapsed
+                    )
 
             for i, device in enumerate(devices):
                 trace = world.traces[i]

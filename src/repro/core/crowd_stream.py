@@ -22,6 +22,12 @@ campaign as a stream:
    estimator state, drop counters and parameter-stream cursor are written
    atomically; an interrupted campaign resumed from its checkpoint
    produces bit-identical estimates to an uninterrupted one.
+5. **Live telemetry** — an optional :class:`~repro.obs.progress.ProgressBus`
+   receives per-cohort completions and a campaign cursor at every fold
+   boundary (never inside the lock-step loop), an optional
+   :class:`~repro.obs.watch.Watchdog` evaluates each snapshot, and a
+   ``repro-manifest-v1`` provenance document is written next to every
+   checkpoint and final result.
 
 Submissions themselves are not retained — pass ``on_submission`` to
 observe them (the differential harness uses this to compare the stream
@@ -68,8 +74,14 @@ from repro.core.streaming import (
     StreamingMoments,
 )
 from repro.errors import AnalysisError, ConfigurationError
+from repro.obs.manifest import (
+    build_manifest,
+    manifest_path_for,
+    write_manifest,
+)
 from repro.obs.metrics import default_registry
-from repro.obs.progress import ProgressCallback, TaskProgress
+from repro.obs.progress import ProgressBus, ProgressCallback, TaskProgress
+from repro.obs.watch import Watchdog
 from repro.rng import derive_stream
 from repro.sim.batch import BatchedWorld
 from repro.soc.perf import iterations_from_ops
@@ -372,6 +384,7 @@ class CrowdStreamResult:
     bin_counts: Dict[int, int]
     bin_ordering_quality: Optional[float]
     resumed_from_cohort: int
+    fingerprint: str
     wall_s: float = field(compare=False)
 
     @property
@@ -388,6 +401,8 @@ class CrowdStreamResult:
     def to_dict(self) -> Dict[str, Any]:
         """Deterministic summary (wall-clock excluded), JSON-ready."""
         return {
+            "format": "repro-crowd-stream-v1",
+            "fingerprint": self.fingerprint,
             "model": self.model,
             "user_count": self.user_count,
             "cohort_size": self.cohort_size,
@@ -440,8 +455,14 @@ def write_checkpoint(
     cohorts_done: int,
     estimators: CrowdEstimators,
     param_rng_state: Dict[str, Any],
+    telemetry: Optional[Dict[str, Any]] = None,
 ) -> None:
-    """Atomically persist the campaign cursor (write-then-rename)."""
+    """Atomically persist the campaign cursor (write-then-rename).
+
+    ``telemetry`` is a small non-load-bearing block (users done, rate,
+    wall time at write) that :func:`resume_banner` renders when the
+    campaign comes back up; resume correctness never reads it.
+    """
     document = {
         "format": CHECKPOINT_FORMAT,
         "fingerprint": fingerprint,
@@ -449,6 +470,8 @@ def write_checkpoint(
         "param_rng_state": param_rng_state,
         "estimators": estimators.state_dict(),
     }
+    if telemetry is not None:
+        document["telemetry"] = dict(telemetry)
     tmp = f"{path}.tmp"
     with open(tmp, "w") as fp:
         json.dump(document, fp)
@@ -471,6 +494,26 @@ def load_checkpoint(path: str, fingerprint: str) -> Dict[str, Any]:
     return document
 
 
+def resume_banner(document: Dict[str, Any]) -> str:
+    """The one-line ``resuming at N users, M cohorts, X users/s`` banner.
+
+    A pure function of the checkpoint document, so the banner a resumed
+    campaign prints is exactly the state the interrupted one persisted
+    (tested by killing a run mid-flight and comparing).  Checkpoints
+    written before the telemetry block simply omit the rate.
+    """
+    cohorts = int(document.get("cohorts_done", 0))
+    telemetry = document.get("telemetry") or {}
+    users = telemetry.get("users_done")
+    if users is None:
+        users = document.get("estimators", {}).get("users_done", 0)
+    banner = f"resuming at {int(users)} users, {cohorts} cohorts"
+    rate = telemetry.get("users_per_sec")
+    if rate is not None:
+        banner += f", {float(rate):.2f} users/s"
+    return banner
+
+
 # ---------------------------------------------------------------------------
 # The campaign driver
 
@@ -487,6 +530,10 @@ def run_streaming_crowd_study(
     stop_after_cohorts: Optional[int] = None,
     on_submission: Optional[Callable[[Submission], None]] = None,
     progress: Optional[ProgressCallback] = None,
+    telemetry: Optional[ProgressBus] = None,
+    watchdog: Optional[Watchdog] = None,
+    manifest_path: Optional[str] = None,
+    log: Optional[Callable[[str], None]] = None,
 ) -> CrowdStreamResult:
     """Run (or resume) the §VI crowd campaign as a cohort stream.
 
@@ -513,6 +560,24 @@ def run_streaming_crowd_study(
         (submissions are otherwise not retained).
     progress:
         Per-cohort :class:`~repro.obs.progress.TaskProgress` callback.
+    telemetry:
+        A :class:`~repro.obs.progress.ProgressBus` fed at every fold
+        boundary: the per-cohort event plus a campaign cursor
+        (``users_done``, ``users_per_sec``, ``dropped_total``,
+        ``checkpoint_cohort``...).  This is what ``--serve`` exposes at
+        ``/status``; it never touches the simulation.
+    watchdog:
+        Rules evaluated against each bus snapshot; warnings land on the
+        bus, in ``watchdog.warnings`` (counter) and through ``log``.  A
+        local bus is created when ``telemetry`` is not supplied.
+    manifest_path:
+        Where to write the final ``repro-manifest-v1`` document.  When a
+        ``checkpoint_path`` is given, a sibling manifest
+        (``<checkpoint>.manifest.json``) is also refreshed at every
+        checkpoint whether or not this is set.
+    log:
+        Sink for the resume banner and watchdog warnings (one string per
+        call); defaults to silent.
     """
     config = config if config is not None else CrowdConfig()
     if config.protocol.thermal_solver != "expm":
@@ -537,12 +602,20 @@ def run_streaming_crowd_study(
     )
     cohorts_total = ceil(config.user_count / cohort_size)
     rng = crowd_param_stream(config)
+    bus = telemetry
+    if bus is None and watchdog is not None:
+        bus = ProgressBus()
     start_cohort = 0
     if checkpoint_path is not None and os.path.exists(checkpoint_path):
         document = load_checkpoint(checkpoint_path, fingerprint)
         estimators = CrowdEstimators.from_state(document["estimators"])
         rng.bit_generator.state = document["param_rng_state"]
         start_cohort = int(document["cohorts_done"])
+        banner = resume_banner(document)
+        if log is not None:
+            log(banner)
+        if bus is not None:
+            bus.publish(resumed_from_cohort=start_cohort, resume_banner=banner)
     else:
         estimators = CrowdEstimators(
             config.root_seed,
@@ -559,10 +632,34 @@ def run_streaming_crowd_study(
 
     registry = default_registry()
     started_wall = time.perf_counter()
+    last_checkpoint: Optional[int] = start_cohort if start_cohort else None
     # Parameter-stream snapshots taken right after each cohort's draws;
     # the checkpoint needs the cursor of the last *folded* cohort even
     # while the planner has prefetched further ahead.
     rng_after: Dict[int, Dict[str, Any]] = {}
+
+    def telemetry_block(wall: float, cohorts_done: int) -> Dict[str, Any]:
+        fresh_users = estimators.users_done - start_cohort * cohort_size
+        return {
+            "users_done": estimators.users_done,
+            "cohorts_done": cohorts_done,
+            "dropped_total": sum(estimators.dropped.values()),
+            "users_per_sec": round(fresh_users / wall, 2) if wall > 0 else 0.0,
+            "wall_s": round(wall, 3),
+        }
+
+    def write_run_manifest(path: str, kind: str, **extra: Any) -> None:
+        write_manifest(
+            build_manifest(
+                kind,
+                fingerprint,
+                config.root_seed,
+                registry=registry,
+                status=bus.status() if bus is not None else None,
+                extra={"checkpoint_path": checkpoint_path, **extra},
+            ),
+            path,
+        )
 
     def make_task(index: int) -> CrowdCohortTask:
         start = index * cohort_size
@@ -574,6 +671,7 @@ def run_streaming_crowd_study(
         )
 
     def fold(index: int, payload) -> None:
+        nonlocal last_checkpoint
         result: CohortResult = payload.results[0]
         for outcome in result.outcomes:
             estimators.fold(outcome)
@@ -593,25 +691,58 @@ def run_streaming_crowd_study(
             fresh_users = estimators.users_done - start_cohort * cohort_size
             registry.gauge("crowd.users_per_sec").set(fresh_users / wall)
         state = rng_after.pop(index)
+        cursor = telemetry_block(wall, index + 1)
         if checkpoint_path is not None and (
             (index + 1 - start_cohort) % checkpoint_every == 0
             or index + 1 == end_cohort
         ):
             write_checkpoint(
-                checkpoint_path, fingerprint, index + 1, estimators, state
+                checkpoint_path,
+                fingerprint,
+                index + 1,
+                estimators,
+                state,
+                telemetry=cursor,
             )
+            last_checkpoint = index + 1
+            write_run_manifest(
+                str(manifest_path_for(checkpoint_path)),
+                "crowd-stream-checkpoint",
+                cohorts_done=index + 1,
+            )
+        event = TaskProgress(
+            index=index,
+            completed=index + 1 - start_cohort,
+            total=end_cohort - start_cohort,
+            model=result.model,
+            serial=result.serial,
+            workload=result.workload,
+            wall_s=payload.wall_s,
+            steps_per_sec=(
+                round(len(result.outcomes) / payload.wall_s, 1)
+                if payload.wall_s > 0
+                else None
+            ),
+        )
         if progress is not None:
-            progress(
-                TaskProgress(
-                    index=index,
-                    completed=index + 1 - start_cohort,
-                    total=end_cohort - start_cohort,
-                    model=result.model,
-                    serial=result.serial,
-                    workload=result.workload,
-                    wall_s=payload.wall_s,
-                )
+            progress(event)
+        if bus is not None:
+            bus(event)
+            bus.publish(
+                users_total=config.user_count,
+                cohorts_total=cohorts_total,
+                checkpoint_cohort=last_checkpoint,
+                **cursor,
             )
+            if watchdog is not None:
+                for warning in watchdog.observe(bus.status()):
+                    bus.warn(warning)
+                    registry.counter("watchdog.warnings").inc()
+                    if log is not None:
+                        log(
+                            f"watchdog[{warning['rule']}]: "
+                            f"{warning['message']}"
+                        )
 
     collect = registry.enabled
     with registry.span(
@@ -650,7 +781,7 @@ def run_streaming_crowd_study(
                     fold(index, future.result())
 
     wall_s = time.perf_counter() - started_wall
-    return CrowdStreamResult(
+    result = CrowdStreamResult(
         model=config.model,
         user_count=config.user_count,
         cohort_size=cohort_size,
@@ -675,5 +806,26 @@ def run_streaming_crowd_study(
         bin_counts=estimators.bins.counts,
         bin_ordering_quality=estimators.bins.ordering_quality(),
         resumed_from_cohort=start_cohort,
+        fingerprint=fingerprint,
         wall_s=wall_s,
     )
+    if manifest_path is not None:
+        write_manifest(
+            build_manifest(
+                "crowd-stream",
+                fingerprint,
+                config.root_seed,
+                registry=registry,
+                status=bus.status() if bus is not None else None,
+                result=result.to_dict(),
+                extra={"checkpoint_path": checkpoint_path},
+            ),
+            manifest_path,
+        )
+    elif checkpoint_path is not None:
+        write_run_manifest(
+            str(manifest_path_for(checkpoint_path)),
+            "crowd-stream",
+            cohorts_done=end_cohort,
+        )
+    return result

@@ -290,6 +290,15 @@ def _absorb(
             registry.merge_snapshot(payload.metrics)
         registry.histogram("task.wall_s").observe(payload.wall_s)
         registry.counter("tasks.completed").inc()
+        registry.gauge("tasks.total").set(total)
+    # The worker's engine-step tally rides in its metrics snapshot; turn
+    # it into a per-shard rate so the progress bus can stream steps/sec
+    # without anything ever touching the hot loop.
+    steps_per_sec = None
+    if payload.metrics is not None and payload.wall_s > 0:
+        steps = payload.metrics.get("counters", {}).get("engine.steps")
+        if steps:
+            steps_per_sec = round(steps / payload.wall_s, 1)
     if progress is not None:
         for offset, result in enumerate(payload.results):
             progress(
@@ -301,5 +310,6 @@ def _absorb(
                     serial=result.serial,
                     workload=result.workload,
                     wall_s=payload.wall_s,
+                    steps_per_sec=steps_per_sec,
                 )
             )

@@ -1,17 +1,30 @@
-"""Live campaign progress: per-task completion events.
+"""Live campaign progress: per-task completion events and the progress bus.
 
 A parallel campaign used to be a silent ``map`` — nothing between launch
 and the final return.  :func:`repro.core.parallel.run_tasks` now reports
 each task as it lands, through a plain callable so library users can
 collect events programmatically while the CLI's ``--progress`` prints
 them to stderr (stdout stays machine-readable).
+
+:class:`ProgressBus` is the aggregation half: a thread-safe, always-
+current snapshot of a running campaign, fed over the same task-callback
+channel (so nothing in the hot loop ever touches it — publishers are the
+parent-side completion handlers, at shard boundaries).  The HTTP
+telemetry endpoint (:mod:`repro.obs.serve`) and the watchdog rules
+(:mod:`repro.obs.watch`) both read from it.
 """
 
 from __future__ import annotations
 
 import sys
+import threading
+import time
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, TextIO
+from typing import Any, Callable, Dict, List, Optional, TextIO
+
+#: Format marker carried by every :meth:`ProgressBus.status` document.
+STATUS_FORMAT = "repro-status-v1"
 
 
 @dataclass(frozen=True)
@@ -31,6 +44,10 @@ class TaskProgress:
     wall_s:
         The task's wall-clock execution time, seconds (worker-measured
         for pool tasks).
+    steps_per_sec:
+        Engine steps per wall second inside the task, when the worker's
+        metrics snapshot carried an ``engine.steps`` tally (``None``
+        otherwise — e.g. when collection is off).
     """
 
     index: int
@@ -40,6 +57,7 @@ class TaskProgress:
     serial: str
     workload: str
     wall_s: float
+    steps_per_sec: Optional[float] = None
 
 
 #: The callback signature ``run_tasks`` and the runner accept.
@@ -60,3 +78,153 @@ class ProgressPrinter:
             file=self._stream,
             flush=True,
         )
+
+
+def chain_progress(*callbacks: Optional[ProgressCallback]) -> Optional[ProgressCallback]:
+    """Compose progress callbacks; ``None`` entries are skipped.
+
+    Returns ``None`` when nothing remains, so the result plugs directly
+    into the ``progress=`` parameters that treat ``None`` as "off".
+    """
+    chosen = [callback for callback in callbacks if callback is not None]
+    if not chosen:
+        return None
+    if len(chosen) == 1:
+        return chosen[0]
+
+    def fanout(progress: TaskProgress) -> None:
+        for callback in chosen:
+            callback(progress)
+
+    return fanout
+
+
+def rss_mb() -> Optional[float]:
+    """This process's peak resident set size in MiB (best effort).
+
+    Uses ``resource.getrusage``; ``ru_maxrss`` is KiB on Linux and bytes
+    on macOS.  Returns ``None`` on platforms without the module.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    return round(peak / divisor, 2)
+
+
+class ProgressBus:
+    """Always-current run state, published at shard boundaries.
+
+    The bus *is* a :data:`ProgressCallback` — pass it wherever a progress
+    callback goes and every completed task updates the shared snapshot.
+    Campaign drivers add run-level fields (users done, checkpoint cursor,
+    throughput) with :meth:`publish`; watchdogs append structured
+    warnings with :meth:`warn`.  All methods take one lock around dict
+    operations, so readers (the HTTP endpoint's handler threads) always
+    see a coherent snapshot and writers never block on I/O.
+    """
+
+    def __init__(self, recent_shards: int = 64) -> None:
+        if recent_shards < 1:
+            raise ValueError("recent_shards must be at least 1")
+        self._lock = threading.Lock()
+        self._recent_shards = recent_shards
+        self._started_wall = time.perf_counter()
+        self._started_unix = time.time()
+        self._updated_wall = self._started_wall
+        self._updates = 0
+        self._completed = 0
+        self._total = 0
+        self._shards: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._campaign: Dict[str, Any] = {}
+        self._warnings: List[Dict[str, Any]] = []
+
+    # -- publishers --------------------------------------------------------
+
+    def __call__(self, progress: TaskProgress) -> None:
+        """Fold one task completion in (the ProgressCallback surface)."""
+        key = f"{progress.model}/{progress.serial}"
+        with self._lock:
+            now = time.perf_counter()
+            self._updates += 1
+            self._updated_wall = now
+            self._completed = progress.completed
+            self._total = progress.total
+            self._shards.pop(key, None)  # re-insert at the recent end
+            self._shards[key] = {
+                "shard": key,
+                "index": progress.index,
+                "model": progress.model,
+                "serial": progress.serial,
+                "workload": progress.workload,
+                "wall_s": round(progress.wall_s, 4),
+                "steps_per_sec": progress.steps_per_sec,
+                "at_wall_s": round(now - self._started_wall, 4),
+            }
+            while len(self._shards) > self._recent_shards:
+                self._shards.popitem(last=False)
+
+    def publish(self, **fields: Any) -> None:
+        """Merge campaign-level fields (users done, cursors, rates...)."""
+        with self._lock:
+            self._updates += 1
+            self._updated_wall = time.perf_counter()
+            self._campaign.update(fields)
+
+    def warn(self, warning: Dict[str, Any]) -> None:
+        """Append one structured watchdog warning."""
+        with self._lock:
+            self._warnings.append(dict(warning))
+
+    # -- readers -----------------------------------------------------------
+
+    @property
+    def updates(self) -> int:
+        """How many publish/completion events the bus has absorbed."""
+        with self._lock:
+            return self._updates
+
+    @property
+    def warnings(self) -> List[Dict[str, Any]]:
+        """All watchdog warnings recorded so far (copies)."""
+        with self._lock:
+            return [dict(w) for w in self._warnings]
+
+    def status(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot of everything the bus knows right now.
+
+        The document is self-describing (``format: repro-status-v1``) and
+        deep-copied under the lock, so callers can serialize it without
+        racing publishers.
+        """
+        with self._lock:
+            now = time.perf_counter()
+            wall_s = now - self._started_wall
+            state = "idle"
+            if self._updates:
+                state = (
+                    "complete"
+                    if self._total and self._completed >= self._total
+                    else "running"
+                )
+            return {
+                "format": STATUS_FORMAT,
+                "state": state,
+                "updates": self._updates,
+                "started_unix": self._started_unix,
+                "wall_s": round(wall_s, 4),
+                "idle_s": round(now - self._updated_wall, 4),
+                "tasks": {
+                    "completed": self._completed,
+                    "total": self._total,
+                    "per_sec": (
+                        round(self._completed / wall_s, 4) if wall_s > 0 else 0.0
+                    ),
+                },
+                "shards": [dict(shard) for shard in self._shards.values()],
+                "campaign": dict(self._campaign),
+                "warnings": [dict(w) for w in self._warnings],
+                "rss_mb": rss_mb(),
+            }

@@ -1,0 +1,222 @@
+"""Live telemetry endpoint: serve the registry and progress bus over HTTP.
+
+A 10⁶-user streamed campaign runs for minutes with nothing on stdout;
+this module makes the run observable *while it happens* with nothing but
+the standard library:
+
+====================  =====================================================
+``GET /healthz``      ``ok`` — liveness, for wait-until-up loops.
+``GET /metrics``      the default (or bound) registry in Prometheus text
+                      exposition format — point an existing scraper at it.
+``GET /status``       the :class:`~repro.obs.progress.ProgressBus`
+                      snapshot as JSON: per-shard completions, campaign
+                      cursor fields, watchdog warnings, RSS.
+``GET /spans``        the aggregated dual-clock span tree as JSON.
+====================  =====================================================
+
+The server is a ``ThreadingHTTPServer`` on a daemon thread: scrapes are
+answered concurrently with the run, and reads happen against snapshots
+taken under the bus lock (the registry is read with a short retry loop,
+since it is deliberately lock-free on the single simulation thread).
+Nothing is ever written back — the endpoint is strictly read-only, bound
+to localhost by default.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.export import prometheus_text, span_tree
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.progress import STATUS_FORMAT, ProgressBus
+
+#: How many times a scrape retries a registry snapshot that raced a
+#: publisher (dict mutated during iteration) before giving up.
+_SNAPSHOT_RETRIES = 5
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    """Routes one scrape; the server instance carries registry and bus."""
+
+    server_version = "repro-telemetry/1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        route = self.path.split("?", 1)[0].rstrip("/") or "/"
+        server: "TelemetryServer" = self.server.telemetry  # type: ignore[attr-defined]
+        try:
+            if route in ("/", "/healthz"):
+                self._respond(200, "text/plain; charset=utf-8", "ok\n")
+            elif route == "/metrics":
+                self._respond(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    server.render_metrics(),
+                )
+            elif route == "/status":
+                self._respond_json(server.render_status())
+            elif route == "/spans":
+                self._respond_json(server.render_spans())
+            else:
+                self._respond(404, "text/plain; charset=utf-8", "not found\n")
+        except BrokenPipeError:  # scraper went away mid-response
+            pass
+        except Exception as error:  # defensive: a scrape must never kill a run
+            try:
+                self._respond(
+                    500, "text/plain; charset=utf-8", f"error: {error}\n"
+                )
+            except Exception:
+                pass
+
+    def _respond(self, code: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _respond_json(self, document: Dict[str, Any]) -> None:
+        self._respond(
+            200, "application/json; charset=utf-8", json.dumps(document) + "\n"
+        )
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # scrapes are high-frequency; never spam the run's stderr
+
+
+class TelemetryServer:
+    """The ``--serve`` endpoint: start, scrape, close.
+
+    Parameters
+    ----------
+    registry:
+        The metrics source behind ``/metrics`` and ``/spans``.  ``None``
+        (the default) resolves :func:`repro.obs.default_registry` at
+        scrape time, so a registry installed later (e.g. by the CLI's
+        ``--metrics-out`` scope) is picked up automatically.
+    bus:
+        The :class:`ProgressBus` behind ``/status``; without one,
+        ``/status`` answers a minimal idle document.
+    host / port:
+        Bind address.  Port ``0`` asks the OS for an ephemeral port —
+        read it back from :attr:`port` / :attr:`url` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        bus: Optional[ProgressBus] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._registry = registry
+        self.bus = bus
+        self._host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "TelemetryServer":
+        """Bind and serve on a daemon thread; returns self for chaining."""
+        if self._httpd is not None:
+            raise ObservabilityError("telemetry server already started")
+        try:
+            httpd = ThreadingHTTPServer(
+                (self._host, self._requested_port), _TelemetryHandler
+            )
+        except OSError as error:
+            raise ObservabilityError(
+                f"cannot bind telemetry server to "
+                f"{self._host}:{self._requested_port} ({error})"
+            ) from None
+        httpd.daemon_threads = True
+        httpd.telemetry = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the port (idempotent)."""
+        httpd, thread = self._httpd, self._thread
+        self._httpd = self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "TelemetryServer":
+        if self._httpd is None:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def port(self) -> int:
+        """The bound port (the real one, after an ephemeral bind)."""
+        if self._httpd is None:
+            raise ObservabilityError("telemetry server is not running")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running endpoint, e.g. ``http://127.0.0.1:8123``."""
+        return f"http://{self._host}:{self.port}"
+
+    # -- render helpers (called from handler threads) ----------------------
+
+    def _snapshot(self) -> Dict[str, Any]:
+        """The registry document, retried across racing publishers.
+
+        The registry is single-writer lock-free by design; a scrape that
+        lands mid-harvest can see a dict change size during iteration.
+        Retrying a handful of times makes that race invisible — harvests
+        are boundary events lasting microseconds.
+        """
+        registry = self._registry if self._registry is not None else default_registry()
+        last_error: Optional[Exception] = None
+        for _ in range(_SNAPSHOT_RETRIES):
+            try:
+                return registry.snapshot()
+            except RuntimeError as error:  # dict mutated during iteration
+                last_error = error
+        raise ObservabilityError(
+            f"registry snapshot kept racing publishers ({last_error})"
+        )
+
+    def render_metrics(self) -> str:
+        """``/metrics`` body: the registry in Prometheus text format."""
+        return prometheus_text(self._snapshot())
+
+    def render_status(self) -> Dict[str, Any]:
+        """``/status`` body: the bus snapshot (or a minimal idle doc)."""
+        if self.bus is not None:
+            return self.bus.status()
+        return {
+            "format": STATUS_FORMAT,
+            "state": "idle",
+            "updates": 0,
+            "tasks": {"completed": 0, "total": 0, "per_sec": 0.0},
+            "shards": [],
+            "campaign": {},
+            "warnings": [],
+        }
+
+    def render_spans(self) -> Dict[str, Any]:
+        """``/spans`` body: the aggregated dual-clock span hierarchy."""
+        return {"format": "repro-spans-v1", "tree": span_tree(self._snapshot())}

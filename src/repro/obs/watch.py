@@ -1,0 +1,331 @@
+"""Campaign watchdogs and the live-run tailer.
+
+A million-user campaign that silently stops making progress is worse
+than one that crashes.  Watchdog rules consume the stream of
+:meth:`~repro.obs.progress.ProgressBus.status` snapshots the campaign
+driver publishes at shard boundaries and emit *structured warnings* —
+plain dicts with a rule name, a human message and the numbers behind it
+— that land on the bus (visible at ``/status``), in the metrics registry
+(``watchdog.warnings``) and, under the CLI's ``--strict-watchdog``, in
+the process exit code.
+
+Rules are stateful and edge-triggered: a condition that persists fires
+once when it starts, then re-arms only after it clears, so a stuck run
+produces one warning, not one per snapshot.
+
+:func:`watch_url` is the other direction: tail somebody else's live run
+by polling its ``/status`` endpoint (``repro-bench watch <url>``).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+import urllib.error
+import urllib.request
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, TextIO
+
+from repro.errors import ObservabilityError
+
+
+class WatchdogRule:
+    """One condition evaluated against each status snapshot.
+
+    Subclasses implement :meth:`check`, returning ``None`` (healthy) or a
+    dict of rule-specific data for the warning.  The base class supplies
+    the edge-triggering: :meth:`evaluate` suppresses repeats while the
+    condition stays true.
+    """
+
+    #: Stable identifier carried in every warning this rule emits.
+    name = "watchdog"
+
+    def __init__(self) -> None:
+        self._active = False
+
+    def check(self, status: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def evaluate(self, status: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Edge-triggered wrapper around :meth:`check`."""
+        data = self.check(status)
+        if data is None:
+            self._active = False
+            return None
+        if self._active:
+            return None
+        self._active = True
+        warning = {
+            "rule": self.name,
+            "at_wall_s": status.get("wall_s"),
+            "message": data.pop("message", self.name),
+        }
+        warning["data"] = data
+        return warning
+
+
+class StuckShardRule(WatchdogRule):
+    """No shard has completed for ``timeout_s`` while the run is live.
+
+    The bus's ``idle_s`` is wall time since the last publish of any kind;
+    a cohort normally lands every few seconds, so a long gap means a hung
+    worker, a deadlocked pool or a cohort orders of magnitude slower than
+    its siblings.
+    """
+
+    name = "stuck_shard"
+
+    def __init__(self, timeout_s: float = 300.0) -> None:
+        super().__init__()
+        if timeout_s <= 0:
+            raise ObservabilityError("stuck-shard timeout must be positive")
+        self.timeout_s = float(timeout_s)
+
+    def check(self, status: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        if status.get("state") != "running":
+            return None
+        idle = float(status.get("idle_s", 0.0))
+        if idle < self.timeout_s:
+            return None
+        return {
+            "message": (
+                f"no shard completion for {idle:.0f} s "
+                f"(threshold {self.timeout_s:.0f} s)"
+            ),
+            "idle_s": round(idle, 1),
+            "timeout_s": self.timeout_s,
+        }
+
+
+class ThroughputRegressionRule(WatchdogRule):
+    """Throughput fell below ``factor`` × the rolling median.
+
+    Tracks the campaign's published rate (``users_per_sec`` when the
+    crowd driver publishes it, tasks/sec otherwise) over the last
+    ``window`` snapshots; once the window is full, a sample under
+    ``factor`` times the window median is a regression — the signature of
+    thermal runaway on the host, a worker dying, or a cohort family far
+    off the cost model.
+    """
+
+    name = "throughput_regression"
+
+    def __init__(self, window: int = 8, factor: float = 0.5) -> None:
+        super().__init__()
+        if window < 3:
+            raise ObservabilityError("regression window must be at least 3")
+        if not 0.0 < factor < 1.0:
+            raise ObservabilityError("regression factor must be in (0, 1)")
+        self.window = int(window)
+        self.factor = float(factor)
+        self._rates: Deque[float] = deque(maxlen=window)
+
+    @staticmethod
+    def _rate(status: Dict[str, Any]) -> Optional[float]:
+        campaign = status.get("campaign", {})
+        rate = campaign.get("users_per_sec")
+        if rate is None:
+            rate = status.get("tasks", {}).get("per_sec")
+        return float(rate) if rate else None
+
+    def check(self, status: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        rate = self._rate(status)
+        if rate is None:
+            return None
+        full = len(self._rates) == self.window
+        median = statistics.median(self._rates) if full else None
+        self._rates.append(rate)
+        if not full or median is None or median <= 0:
+            return None
+        if rate >= self.factor * median:
+            return None
+        return {
+            "message": (
+                f"throughput {rate:.2f}/s fell below {self.factor:.0%} of "
+                f"the rolling median {median:.2f}/s"
+            ),
+            "rate": round(rate, 3),
+            "rolling_median": round(median, 3),
+            "factor": self.factor,
+        }
+
+
+class DropRateSpikeRule(WatchdogRule):
+    """The campaign's cumulative drop rate crossed ``threshold``.
+
+    Uses the crowd driver's published ``users_done``/``dropped_total``;
+    armed only after ``min_users`` so a small unlucky first cohort cannot
+    trip it.  A genuine spike means the probe is failing systematically —
+    bad ambient band, broken estimator, or a misconfigured protocol.
+    """
+
+    name = "drop_rate_spike"
+
+    def __init__(self, threshold: float = 0.5, min_users: int = 50) -> None:
+        super().__init__()
+        if not 0.0 < threshold <= 1.0:
+            raise ObservabilityError("drop threshold must be in (0, 1]")
+        self.threshold = float(threshold)
+        self.min_users = int(min_users)
+
+    def check(self, status: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        campaign = status.get("campaign", {})
+        users = campaign.get("users_done")
+        dropped = campaign.get("dropped_total")
+        if not users or dropped is None or users < self.min_users:
+            return None
+        rate = dropped / users
+        if rate < self.threshold:
+            return None
+        return {
+            "message": (
+                f"drop rate {rate:.0%} over {users} users crossed "
+                f"{self.threshold:.0%}"
+            ),
+            "drop_rate": round(rate, 4),
+            "users_done": int(users),
+            "dropped_total": int(dropped),
+            "threshold": self.threshold,
+        }
+
+
+class Watchdog:
+    """A rule set folded over the live snapshot stream.
+
+    ``observe`` runs every rule against one snapshot and returns the
+    *new* warnings (edge-triggered per rule); everything ever raised
+    accumulates on :attr:`warnings`, and :attr:`triggered` is the
+    ``--strict-watchdog`` exit-code surface.
+    """
+
+    def __init__(self, rules: List[WatchdogRule]) -> None:
+        if not rules:
+            raise ObservabilityError("a watchdog needs at least one rule")
+        self.rules = list(rules)
+        self.warnings: List[Dict[str, Any]] = []
+
+    def observe(self, status: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """Evaluate all rules against one snapshot; returns new warnings."""
+        fresh = []
+        for rule in self.rules:
+            warning = rule.evaluate(status)
+            if warning is not None:
+                fresh.append(warning)
+        self.warnings.extend(fresh)
+        return fresh
+
+    @property
+    def triggered(self) -> bool:
+        """Whether any rule has ever fired."""
+        return bool(self.warnings)
+
+
+def default_watchdog(
+    stuck_timeout_s: float = 300.0,
+    regression_window: int = 8,
+    regression_factor: float = 0.5,
+    drop_threshold: float = 0.5,
+    drop_min_users: int = 50,
+) -> Watchdog:
+    """The standard campaign rule set behind the CLI flags."""
+    return Watchdog(
+        [
+            StuckShardRule(timeout_s=stuck_timeout_s),
+            ThroughputRegressionRule(
+                window=regression_window, factor=regression_factor
+            ),
+            DropRateSpikeRule(
+                threshold=drop_threshold, min_users=drop_min_users
+            ),
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tailing someone else's live run
+
+
+def fetch_status(url: str, timeout_s: float = 5.0) -> Dict[str, Any]:
+    """One ``/status`` poll of a live telemetry endpoint."""
+    target = url.rstrip("/")
+    if not target.endswith("/status"):
+        target += "/status"
+    try:
+        with urllib.request.urlopen(target, timeout=timeout_s) as response:
+            document = json.load(response)
+    except (urllib.error.URLError, OSError, json.JSONDecodeError) as error:
+        raise ObservabilityError(f"cannot scrape {target}: {error}")
+    if not isinstance(document, dict) or "state" not in document:
+        raise ObservabilityError(f"{target} did not answer a status document")
+    return document
+
+
+def format_status_line(status: Dict[str, Any]) -> str:
+    """One human-readable line per poll, for the ``watch`` tailer."""
+    tasks = status.get("tasks", {})
+    campaign = status.get("campaign", {})
+    parts = [
+        f"[{status.get('state', '?')}]",
+        f"{tasks.get('completed', 0)}/{tasks.get('total', 0)} shards",
+    ]
+    if campaign.get("users_done") is not None:
+        parts.append(f"{campaign['users_done']} users")
+    rate = campaign.get("users_per_sec")
+    if rate:
+        parts.append(f"{rate:.1f} users/s")
+    elif tasks.get("per_sec"):
+        parts.append(f"{tasks['per_sec']:.2f} shards/s")
+    if campaign.get("checkpoint_cohort") is not None:
+        parts.append(f"ckpt@{campaign['checkpoint_cohort']}")
+    warnings = status.get("warnings", [])
+    if warnings:
+        parts.append(f"{len(warnings)} warning(s)")
+    rss = status.get("rss_mb")
+    if rss:
+        parts.append(f"rss {rss:.0f} MiB")
+    return " ".join(parts)
+
+
+def watch_url(
+    url: str,
+    interval_s: float = 2.0,
+    once: bool = False,
+    stream: Optional[TextIO] = None,
+    max_polls: Optional[int] = None,
+) -> int:
+    """Tail a live run: poll ``/status``, print a line per poll.
+
+    Returns a process exit code: ``0`` once the run reports complete (or
+    on a clean single poll), ``1`` if the endpoint cannot be reached on
+    the first poll.  An endpoint that vanishes *after* answering is a
+    finished run tearing its server down — treated as a clean end.
+    """
+    out = stream if stream is not None else sys.stdout
+    polls = 0
+    seen_any = False
+    while True:
+        try:
+            status = fetch_status(url)
+        except ObservabilityError as error:
+            if seen_any:
+                print("endpoint closed; run ended", file=out, flush=True)
+                return 0
+            print(f"error: {error}", file=out, flush=True)
+            return 1
+        seen_any = True
+        print(format_status_line(status), file=out, flush=True)
+        for warning in status.get("warnings", []):
+            print(
+                f"  watchdog[{warning.get('rule')}]: {warning.get('message')}",
+                file=out,
+                flush=True,
+            )
+        polls += 1
+        if once or status.get("state") == "complete":
+            return 0
+        if max_polls is not None and polls >= max_polls:
+            return 0
+        time.sleep(interval_s)

@@ -6,9 +6,12 @@ from repro.errors import ObservabilityError
 from repro.obs.export import (
     aggregate_spans,
     as_document,
+    format_span_tree,
     format_summary,
+    parse_prometheus_text,
     prometheus_text,
     read_metrics,
+    span_tree,
     write_metrics,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -85,6 +88,110 @@ class TestPrometheus:
         registry.counter("weird-name.with chars").inc()
         text = prometheus_text(registry)
         assert "repro_weird_name_with_chars 1" in text
+
+    def test_help_lines_emitted(self):
+        text = prometheus_text(populated_registry())
+        assert "# HELP repro_engine_steps" in text
+
+    def test_histogram_buckets_are_cumulative_with_overflow(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t", bounds=(1.0, 10.0))
+        histogram.observe(0.5)
+        histogram.observe(3.0)
+        histogram.observe(42.0)  # lands in the overflow bucket
+        text = prometheus_text(registry)
+        assert 'repro_t_bucket{le="1"} 1' in text
+        assert 'repro_t_bucket{le="10"} 2' in text
+        assert 'repro_t_bucket{le="+Inf"} 3' in text
+        assert "repro_t_count 3" in text
+
+    def test_values_keep_full_precision(self):
+        registry = MetricsRegistry()
+        registry.counter("big").inc(123456789.5)
+        text = prometheus_text(registry)
+        assert "repro_big 123456789.5" in text
+
+
+class TestPrometheusRoundTrip:
+    def test_reference_parser_round_trips_the_exposition(self):
+        text = prometheus_text(populated_registry())
+        parsed = parse_prometheus_text(text)
+        assert parsed["types"]["repro_engine_steps"] == "counter"
+        assert parsed["types"]["repro_jobs"] == "gauge"
+        assert parsed["types"]["repro_task_wall_s"] == "histogram"
+        by_name = {}
+        for sample in parsed["samples"]:
+            by_name.setdefault(sample["name"], []).append(sample)
+        assert by_name["repro_engine_steps"][0]["value"] == 2904.0
+        buckets = {
+            s["labels"]["le"]: s["value"]
+            for s in by_name["repro_task_wall_s_bucket"]
+        }
+        # Cumulative, terminated by +Inf == _count.
+        assert buckets == {"1": 1.0, "10": 2.0, "+Inf": 2.0}
+        assert by_name["repro_task_wall_s_count"][0]["value"] == 2.0
+        assert by_name["repro_task_wall_s_sum"][0]["value"] == pytest.approx(3.5)
+
+    def test_full_precision_survives_the_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("big").inc(123456789.5)
+        registry.gauge("rate").set(1234.56789)
+        parsed = parse_prometheus_text(prometheus_text(registry))
+        values = {s["name"]: s["value"] for s in parsed["samples"]}
+        assert values["repro_big"] == 123456789.5
+        assert values["repro_rate"] == 1234.56789
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ObservabilityError):
+            parse_prometheus_text("this is not prometheus\n")
+
+    def test_parser_rejects_duplicate_type(self):
+        text = "# TYPE a counter\na 1\n# TYPE a gauge\na 2\n"
+        with pytest.raises(ObservabilityError):
+            parse_prometheus_text(text)
+
+
+class TestSpanTree:
+    def nested_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        with registry.span("campaign"):
+            with registry.span("phase.warmup"):
+                pass
+            with registry.span("phase.workload"):
+                pass
+            with registry.span("phase.warmup"):
+                pass
+        return registry
+
+    def test_tree_nests_by_parent(self):
+        tree = span_tree(self.nested_registry())
+        assert len(tree) == 1
+        root = tree[0]
+        assert root["name"] == "campaign"
+        children = {child["name"]: child for child in root["children"]}
+        assert children["phase.warmup"]["count"] == 2
+        assert children["phase.workload"]["count"] == 1
+
+    def test_orphaned_spans_surface_as_roots(self):
+        # Worker-merged spans can carry parents never seen locally; their
+        # subtrees must still appear instead of silently vanishing.
+        registry = MetricsRegistry()
+        with registry.span("phase.workload"):
+            pass
+        snapshot = registry.snapshot()
+        for span in snapshot["spans"]:
+            span["parent"] = "never-recorded"
+        roots = [node["name"] for node in span_tree(snapshot)]
+        assert "phase.workload" in roots
+
+    def test_format_renders_indented_table(self):
+        text = format_span_tree(self.nested_registry())
+        assert "campaign" in text
+        assert "  phase.warmup" in text
+
+    def test_empty_tree(self):
+        assert span_tree(MetricsRegistry()) == []
+        assert "no spans" in format_span_tree(MetricsRegistry())
 
 
 class TestSummary:

@@ -1,0 +1,164 @@
+"""ProgressBus: thread-safe live run state fed at shard boundaries."""
+
+import threading
+
+import pytest
+
+from repro.obs.progress import (
+    STATUS_FORMAT,
+    ProgressBus,
+    TaskProgress,
+    chain_progress,
+    rss_mb,
+)
+
+
+def event(index: int, completed: int, total: int = 4) -> TaskProgress:
+    return TaskProgress(
+        index=index,
+        completed=completed,
+        total=total,
+        model="Nexus 5",
+        serial=f"N5-{index:03d}",
+        workload="UNCONSTRAINED",
+        wall_s=0.25,
+        steps_per_sec=1000.0,
+    )
+
+
+class TestBusStates:
+    def test_idle_until_first_event(self):
+        bus = ProgressBus()
+        assert bus.status()["state"] == "idle"
+        assert bus.updates == 0
+
+    def test_running_then_complete(self):
+        bus = ProgressBus()
+        bus(event(0, 1))
+        assert bus.status()["state"] == "running"
+        bus(event(1, 2))
+        bus(event(2, 3))
+        bus(event(3, 4))
+        assert bus.status()["state"] == "complete"
+
+    def test_status_is_self_describing(self):
+        bus = ProgressBus()
+        bus(event(0, 1))
+        status = bus.status()
+        assert status["format"] == STATUS_FORMAT
+        assert status["tasks"] == {
+            "completed": 1,
+            "total": 4,
+            "per_sec": pytest.approx(status["tasks"]["per_sec"]),
+        }
+
+
+class TestShardWindow:
+    def test_shards_carry_task_fields(self):
+        bus = ProgressBus()
+        bus(event(2, 1))
+        (shard,) = bus.status()["shards"]
+        assert shard["shard"] == "Nexus 5/N5-002"
+        assert shard["steps_per_sec"] == 1000.0
+        assert shard["wall_s"] == 0.25
+
+    def test_window_evicts_oldest(self):
+        bus = ProgressBus(recent_shards=2)
+        for i in range(5):
+            bus(event(i, i + 1, total=5))
+        shards = [s["serial"] for s in bus.status()["shards"]]
+        assert shards == ["N5-003", "N5-004"]
+
+    def test_repeat_shard_moves_to_recent_end(self):
+        bus = ProgressBus(recent_shards=2)
+        bus(event(0, 1))
+        bus(event(1, 2))
+        bus(event(0, 3))
+        shards = [s["serial"] for s in bus.status()["shards"]]
+        assert shards == ["N5-001", "N5-000"]
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(ValueError):
+            ProgressBus(recent_shards=0)
+
+
+class TestCampaignAndWarnings:
+    def test_publish_merges_campaign_fields(self):
+        bus = ProgressBus()
+        bus.publish(users_done=100, users_per_sec=50.0)
+        bus.publish(users_done=200)
+        campaign = bus.status()["campaign"]
+        assert campaign == {"users_done": 200, "users_per_sec": 50.0}
+
+    def test_warnings_accumulate_as_copies(self):
+        bus = ProgressBus()
+        warning = {"rule": "stuck_shard", "message": "no progress"}
+        bus.warn(warning)
+        warning["message"] = "mutated"
+        assert bus.warnings[0]["message"] == "no progress"
+        assert bus.status()["warnings"][0]["message"] == "no progress"
+
+    def test_status_snapshot_is_detached(self):
+        bus = ProgressBus()
+        bus.publish(cursor=1)
+        status = bus.status()
+        status["campaign"]["cursor"] = 999
+        assert bus.status()["campaign"]["cursor"] == 1
+
+
+class TestConcurrency:
+    def test_parallel_publishers_and_readers(self):
+        bus = ProgressBus()
+        errors = []
+
+        def publish(worker: int) -> None:
+            try:
+                for i in range(200):
+                    bus(event(worker * 200 + i, i + 1, total=200))
+                    bus.publish(users_done=i)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def read() -> None:
+            try:
+                for _ in range(200):
+                    status = bus.status()
+                    assert status["format"] == STATUS_FORMAT
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=publish, args=(w,)) for w in range(3)
+        ] + [threading.Thread(target=read) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert bus.updates == 3 * 200 * 2
+
+
+class TestChainProgress:
+    def test_none_entries_are_skipped(self):
+        assert chain_progress(None, None) is None
+
+    def test_single_callback_passes_through(self):
+        def callback(progress):
+            pass
+
+        assert chain_progress(None, callback) is callback
+
+    def test_fanout_preserves_order(self):
+        seen = []
+        chained = chain_progress(
+            lambda p: seen.append(("a", p.index)),
+            None,
+            lambda p: seen.append(("b", p.index)),
+        )
+        chained(event(7, 1))
+        assert seen == [("a", 7), ("b", 7)]
+
+
+def test_rss_mb_reports_a_positive_number():
+    value = rss_mb()
+    assert value is None or value > 0

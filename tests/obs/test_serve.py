@@ -1,0 +1,158 @@
+"""TelemetryServer: lifecycle, routes, and scraping a live run."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.export import parse_prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressBus, TaskProgress
+from repro.obs.serve import TelemetryServer
+
+
+def fetch(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.read().decode()
+
+
+def registry_with_data() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("engine.steps").inc(480)
+    registry.gauge("crowd.users_per_sec").set(55.5)
+    with registry.span("crowd.stream"):
+        with registry.span("crowd.cohort"):
+            pass
+    return registry
+
+
+class TestLifecycle:
+    def test_start_scrape_close(self):
+        server = TelemetryServer(registry=registry_with_data())
+        server.start()
+        try:
+            url = server.url
+            assert fetch(f"{url}/healthz") == "ok\n"
+        finally:
+            server.close()
+        with pytest.raises((urllib.error.URLError, OSError)):
+            fetch(f"{url}/healthz")
+
+    def test_close_is_idempotent(self):
+        server = TelemetryServer()
+        server.start()
+        server.close()
+        server.close()
+
+    def test_double_start_rejected(self):
+        with TelemetryServer() as server:
+            with pytest.raises(ObservabilityError):
+                server.start()
+
+    def test_port_unavailable_before_start(self):
+        server = TelemetryServer()
+        with pytest.raises(ObservabilityError):
+            server.port
+
+    def test_context_manager_binds_ephemeral_port(self):
+        with TelemetryServer() as server:
+            assert server.port > 0
+            assert str(server.port) in server.url
+
+
+class TestRoutes:
+    def test_metrics_answers_parseable_prometheus(self):
+        with TelemetryServer(registry=registry_with_data()) as server:
+            body = fetch(f"{server.url}/metrics")
+        parsed = parse_prometheus_text(body)
+        values = {s["name"]: s["value"] for s in parsed["samples"]}
+        assert values["repro_engine_steps"] == 480.0
+        assert values["repro_crowd_users_per_sec"] == 55.5
+
+    def test_status_without_bus_is_idle(self):
+        with TelemetryServer() as server:
+            status = json.loads(fetch(f"{server.url}/status"))
+        assert status["state"] == "idle"
+        assert status["format"] == "repro-status-v1"
+
+    def test_status_reflects_the_bus(self):
+        bus = ProgressBus()
+        bus.publish(users_done=12)
+        with TelemetryServer(bus=bus) as server:
+            status = json.loads(fetch(f"{server.url}/status"))
+        assert status["campaign"]["users_done"] == 12
+
+    def test_spans_answers_the_tree(self):
+        with TelemetryServer(registry=registry_with_data()) as server:
+            document = json.loads(fetch(f"{server.url}/spans"))
+        assert document["format"] == "repro-spans-v1"
+        (root,) = document["tree"]
+        assert root["name"] == "crowd.stream"
+        assert root["children"][0]["name"] == "crowd.cohort"
+
+    def test_unknown_route_is_404(self):
+        with TelemetryServer() as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(f"{server.url}/nope")
+            assert excinfo.value.code == 404
+
+
+class TestConcurrentScrapes:
+    def test_scrapes_during_a_running_publisher(self):
+        """Progress advances between scrapes while a 'run' publishes."""
+        registry = MetricsRegistry()
+        bus = ProgressBus()
+        stop = threading.Event()
+
+        def run() -> None:
+            i = 0
+            while not stop.is_set():
+                i += 1
+                registry.counter("engine.steps").inc(10)
+                bus(
+                    TaskProgress(
+                        index=i,
+                        completed=i,
+                        total=1_000_000,
+                        model="Nexus 5",
+                        serial=f"N5-{i}",
+                        workload="CROWD",
+                        wall_s=0.001,
+                    )
+                )
+
+        publisher = threading.Thread(target=run, daemon=True)
+        with TelemetryServer(registry=registry, bus=bus) as server:
+            publisher.start()
+            try:
+                first = json.loads(fetch(f"{server.url}/status"))
+                results = []
+                errors = []
+
+                def scrape() -> None:
+                    try:
+                        parse_prometheus_text(fetch(f"{server.url}/metrics"))
+                        results.append(
+                            json.loads(fetch(f"{server.url}/status"))
+                        )
+                    except Exception as error:  # pragma: no cover
+                        errors.append(error)
+
+                scrapers = [
+                    threading.Thread(target=scrape) for _ in range(8)
+                ]
+                for thread in scrapers:
+                    thread.start()
+                for thread in scrapers:
+                    thread.join()
+            finally:
+                stop.set()
+                publisher.join(timeout=5.0)
+        assert not errors
+        assert len(results) == 8
+        last = max(results, key=lambda s: s["tasks"]["completed"])
+        assert last["tasks"]["completed"] > first["tasks"]["completed"]
+        assert all(s["state"] == "running" for s in results)

@@ -1,0 +1,177 @@
+"""Watchdog rules over synthetic status-snapshot streams."""
+
+import io
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.progress import ProgressBus
+from repro.obs.serve import TelemetryServer
+from repro.obs.watch import (
+    DropRateSpikeRule,
+    StuckShardRule,
+    ThroughputRegressionRule,
+    Watchdog,
+    default_watchdog,
+    fetch_status,
+    format_status_line,
+    watch_url,
+)
+
+
+def status(
+    state: str = "running",
+    idle_s: float = 0.0,
+    users_per_sec: float = None,
+    users_done: int = None,
+    dropped_total: int = None,
+    wall_s: float = 10.0,
+):
+    campaign = {}
+    if users_per_sec is not None:
+        campaign["users_per_sec"] = users_per_sec
+    if users_done is not None:
+        campaign["users_done"] = users_done
+    if dropped_total is not None:
+        campaign["dropped_total"] = dropped_total
+    return {
+        "format": "repro-status-v1",
+        "state": state,
+        "wall_s": wall_s,
+        "idle_s": idle_s,
+        "tasks": {"completed": 3, "total": 10, "per_sec": 0.5},
+        "campaign": campaign,
+        "warnings": [],
+    }
+
+
+class TestStuckShard:
+    def test_fires_past_the_timeout(self):
+        rule = StuckShardRule(timeout_s=60.0)
+        assert rule.evaluate(status(idle_s=30.0)) is None
+        warning = rule.evaluate(status(idle_s=90.0))
+        assert warning["rule"] == "stuck_shard"
+        assert warning["data"]["idle_s"] == 90.0
+
+    def test_edge_triggered_until_cleared(self):
+        rule = StuckShardRule(timeout_s=60.0)
+        assert rule.evaluate(status(idle_s=90.0)) is not None
+        assert rule.evaluate(status(idle_s=120.0)) is None  # still stuck
+        assert rule.evaluate(status(idle_s=1.0)) is None  # cleared
+        assert rule.evaluate(status(idle_s=95.0)) is not None  # re-armed
+
+    def test_silent_when_not_running(self):
+        rule = StuckShardRule(timeout_s=60.0)
+        assert rule.evaluate(status(state="complete", idle_s=900.0)) is None
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ObservabilityError):
+            StuckShardRule(timeout_s=0.0)
+
+
+class TestThroughputRegression:
+    def test_fires_on_a_collapse_after_the_window_fills(self):
+        rule = ThroughputRegressionRule(window=4, factor=0.5)
+        for _ in range(4):
+            assert rule.evaluate(status(users_per_sec=100.0)) is None
+        warning = rule.evaluate(status(users_per_sec=10.0))
+        assert warning["rule"] == "throughput_regression"
+        assert warning["data"]["rolling_median"] == 100.0
+
+    def test_tolerates_noise_above_the_factor(self):
+        rule = ThroughputRegressionRule(window=4, factor=0.5)
+        for rate in (100.0, 90.0, 110.0, 95.0, 80.0, 60.0):
+            assert rule.evaluate(status(users_per_sec=rate)) is None
+
+    def test_falls_back_to_task_rate(self):
+        rule = ThroughputRegressionRule(window=3, factor=0.5)
+        for _ in range(3):
+            rule.evaluate(status())  # tasks.per_sec == 0.5
+        document = status()
+        document["tasks"]["per_sec"] = 0.01
+        assert rule.evaluate(document) is not None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ObservabilityError):
+            ThroughputRegressionRule(window=2)
+        with pytest.raises(ObservabilityError):
+            ThroughputRegressionRule(factor=1.5)
+
+
+class TestDropRateSpike:
+    def test_fires_over_the_threshold(self):
+        rule = DropRateSpikeRule(threshold=0.5, min_users=50)
+        warning = rule.evaluate(status(users_done=100, dropped_total=60))
+        assert warning["rule"] == "drop_rate_spike"
+        assert warning["data"]["drop_rate"] == 0.6
+
+    def test_armed_only_after_min_users(self):
+        rule = DropRateSpikeRule(threshold=0.5, min_users=50)
+        assert rule.evaluate(status(users_done=10, dropped_total=10)) is None
+
+    def test_healthy_rate_is_silent(self):
+        rule = DropRateSpikeRule(threshold=0.5, min_users=50)
+        assert rule.evaluate(status(users_done=200, dropped_total=20)) is None
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ObservabilityError):
+            DropRateSpikeRule(threshold=0.0)
+
+
+class TestWatchdog:
+    def test_collects_warnings_across_rules(self):
+        dog = default_watchdog(stuck_timeout_s=60.0, drop_min_users=10)
+        assert not dog.triggered
+        fresh = dog.observe(
+            status(idle_s=90.0, users_done=20, dropped_total=15)
+        )
+        assert {w["rule"] for w in fresh} == {"stuck_shard", "drop_rate_spike"}
+        assert dog.triggered
+        assert len(dog.warnings) == 2
+
+    def test_needs_at_least_one_rule(self):
+        with pytest.raises(ObservabilityError):
+            Watchdog([])
+
+
+class TestFormatStatusLine:
+    def test_renders_the_cursor(self):
+        document = status(users_per_sec=55.5, users_done=512)
+        document["campaign"]["checkpoint_cohort"] = 2
+        document["rss_mb"] = 120.0
+        line = format_status_line(document)
+        assert "[running]" in line
+        assert "3/10 shards" in line
+        assert "512 users" in line
+        assert "55.5 users/s" in line
+        assert "ckpt@2" in line
+        assert "rss 120 MiB" in line
+
+
+class TestWatchUrl:
+    def test_tails_a_live_endpoint(self):
+        bus = ProgressBus()
+        bus.publish(users_done=42, users_per_sec=10.0)
+        out = io.StringIO()
+        with TelemetryServer(bus=bus) as server:
+            document = fetch_status(server.url)
+            assert document["campaign"]["users_done"] == 42
+            code = watch_url(server.url, once=True, stream=out)
+        assert code == 0
+        assert "42 users" in out.getvalue()
+
+    def test_unreachable_endpoint_fails_the_first_poll(self):
+        out = io.StringIO()
+        code = watch_url(
+            "http://127.0.0.1:1", interval_s=0.01, once=True, stream=out
+        )
+        assert code == 1
+        assert "error:" in out.getvalue()
+
+    def test_warnings_are_echoed(self):
+        bus = ProgressBus()
+        bus.warn({"rule": "stuck_shard", "message": "no progress for 300 s"})
+        out = io.StringIO()
+        with TelemetryServer(bus=bus) as server:
+            watch_url(server.url, once=True, stream=out)
+        assert "watchdog[stuck_shard]" in out.getvalue()

@@ -234,6 +234,68 @@ class TestCrowd:
         assert "score quantiles (streamed):" in out
 
 
+class TestTelemetryPlane:
+    CROWD = [
+        "crowd", "--users", "6", "--scale", "0.1", "--seed", "11",
+        "--stream", "--cohort-size", "3",
+    ]
+    FLEET = [
+        "run-fleet", "Nexus 5", "--experiment", "unconstrained",
+        "--scale", "0.12", "--iterations", "1", "--no-thermabox",
+    ]
+
+    def test_watch_parser_defaults(self):
+        args = build_parser().parse_args(["watch", "http://127.0.0.1:9100"])
+        assert args.interval == 2.0
+        assert not args.once
+
+    def test_crowd_json_writes_summary_and_manifest(self, capsys, tmp_path):
+        summary = tmp_path / "crowd.json"
+        assert main(self.CROWD + ["--json", str(summary)]) == 0
+        assert "+ manifest" in capsys.readouterr().out
+        manifest = tmp_path / "crowd.json.manifest.json"
+        assert manifest.exists()
+
+        # report sniffs both document kinds.
+        assert main(["report", str(summary)]) == 0
+        out = capsys.readouterr().out
+        assert "crowd-stream summary" in out
+        assert "fingerprint" in out
+        assert main(["report", str(manifest)]) == 0
+        assert "run manifest" in capsys.readouterr().out
+
+        # watch renders a manifest file directly.
+        assert main(["watch", str(manifest)]) == 0
+        assert "run manifest" in capsys.readouterr().out
+
+    def test_report_spans_tree(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        main(self.FLEET + ["--metrics-out", str(path)])
+        capsys.readouterr()
+        assert main(["report", str(path), "--spans-tree"]) == 0
+        out = capsys.readouterr().out
+        assert "phase.workload" in out
+        assert "phase.warmup" in out
+
+    def test_crowd_serve_announces_endpoint(self, capsys):
+        assert main(self.CROWD + ["--serve", "0"]) == 0
+        assert "serving telemetry at http://" in capsys.readouterr().err
+
+    def test_strict_watchdog_healthy_run_exits_zero(self):
+        assert main(self.CROWD + ["--strict-watchdog"]) == 0
+
+    def test_run_fleet_serve_writes_manifest(self, capsys, tmp_path):
+        json_path = tmp_path / "fleet.json"
+        code = main(self.FLEET + ["--serve", "0", "--json", str(json_path)])
+        assert code == 0
+        assert "serving telemetry at" in capsys.readouterr().err
+        manifest = tmp_path / "fleet.json.manifest.json"
+        assert manifest.exists()
+        document = json.loads(manifest.read_text())
+        assert document["format"] == "repro-manifest-v1"
+        assert document["kind"] == "fleet"
+
+
 class TestExportFleet:
     def test_csv_export(self, capsys, tmp_path):
         code = main([
