@@ -21,7 +21,8 @@ bench:
 bench-fast:
 	pytest benchmarks/test_perf_campaign.py -q -s
 
-# Batched fleet engine A/B: 32-unit speedup + batch-size scaling sweep;
+# Batched fleet engine A/B: 32-unit speedup, batch-size scaling sweep,
+# and the heterogeneous (2-model) mixed-fleet sweep at N in {8,32,128};
 # writes BENCH_batch.json.
 bench-batch:
 	pytest benchmarks/test_perf_batch.py -q -s

@@ -15,6 +15,15 @@ physics.  Two benches:
 * batch-size scaling at N ∈ {1, 8, 32, 128}: batched vs serial rate at
   each fleet size, recorded (never asserted) to document where the
   vectorization pays for its per-step fixed cost.
+* mixed-fleet scaling at N ∈ {8, 32, 128} over two interleaved models:
+  the cohort facade advances per-model blocks sequentially, so its
+  speedup is bounded by the largest cohort — recorded per size, with a
+  lower env-gated floor (≥3x at N=32) than the homogeneous bench and the
+  same unconditional :data:`~repro.check.BATCH_SPEC` parity gate.  Two
+  models keep every cohort on the governor replay cache (parts with
+  per-step RBCPR voltage adjust rebuild the governor block each step,
+  see ``repro.sim.batch``); a longer workload than the homogeneous
+  sweep amortizes the per-cohort world setup inside the measured wall.
 
 Results land in ``BENCH_batch.json`` at the repository root.
 """
@@ -44,6 +53,11 @@ SCALE = 0.3
 SCALING_FLEET_SIZES = (1, 8, 32, 128)
 SCALING_SCALE = 0.15
 SCALING_REPEATS = 2
+MIXED_MODELS = ("Nexus 5", "Nexus 6")
+MIXED_FLEET_SIZES = (8, 32, 128)
+MIXED_SCALE = 0.4
+MIXED_GATE_N = 32
+MIN_MIXED_BATCH_SPEEDUP = 3.0
 
 
 def _config(batch: bool) -> CampaignConfig:
@@ -59,16 +73,39 @@ def _fleet(count: int):
     )
 
 
-def _fleet_rate(count: int, batch: bool, scale: float = SCALE):
+def _mixed_fleet(count: int):
+    """``count`` units cycling through :data:`MIXED_MODELS`, interleaved
+    (distinct lots keep serials unique across models)."""
+    per_model = (count + len(MIXED_MODELS) - 1) // len(MIXED_MODELS)
+    pools = [
+        synthetic_fleet(
+            model,
+            per_model,
+            lot_name=f"mix-{index}",
+            thermal_solver="expm",
+            initial_temp_c=26.0,
+        )
+        for index, model in enumerate(MIXED_MODELS)
+    ]
+    devices = []
+    for row in range(per_model):
+        for pool in pools:
+            devices.append(pool[row])
+    return devices[:count]
+
+
+def _fleet_rate(count: int, batch: bool, scale: float = SCALE, mixed: bool = False):
     """One fleet campaign; returns (unit-steps/sec, ExperimentResult)."""
     accubench = AccubenchConfig(
         thermal_solver="expm", iterations=1, batch=batch
     ).scaled(scale)
     runner = CampaignRunner(CampaignConfig(accubench=accubench, jobs=1))
     registry = MetricsRegistry(enabled=True)
+    devices = _mixed_fleet(count) if mixed else _fleet(count)
+    label = "+".join(MIXED_MODELS) if mixed else MODEL
     start = time.perf_counter()
     with use_registry(registry):
-        result = runner.run_fleet(MODEL, unconstrained(), devices=_fleet(count))
+        result = runner.run_fleet(label, unconstrained(), devices=devices)
     wall = time.perf_counter() - start
     steps = registry.snapshot()["counters"]["engine.steps"]
     return steps / wall, result
@@ -144,4 +181,59 @@ def test_batch_size_scaling():
             for count, entry in scaling.items()
         },
         path=RESULTS_PATH,
+    )
+
+
+def test_mixed_fleet_scaling():
+    # Heterogeneous fleets run as per-model cohort blocks within one
+    # world; the serial arm is the same per-unit loop either way, so the
+    # sweep documents what cohort sequencing costs against the
+    # homogeneous speedup.  Parity at the gate size is unconditional.
+    scaling = {}
+    gate_results = {}
+    for count in MIXED_FLEET_SIZES:
+        best = {"serial": 0.0, "batched": 0.0}
+        for _ in range(SCALING_REPEATS):
+            for arm, batch in (("serial", False), ("batched", True)):
+                rate, result = _fleet_rate(
+                    count, batch, scale=MIXED_SCALE, mixed=True
+                )
+                best[arm] = max(best[arm], rate)
+                if count == MIXED_GATE_N:
+                    gate_results[arm] = result
+        scaling[count] = {
+            "serial": round(best["serial"], 1),
+            "batched": round(best["batched"], 1),
+            "speedup": round(best["batched"] / best["serial"], 3),
+        }
+        print(
+            f"\nmixed N={count}: serial {best['serial']:,.0f} "
+            f"unit-steps/s, batched {best['batched']:,.0f} "
+            f"({scaling[count]['speedup']:.2f}x)"
+        )
+    divergences = BATCH_SPEC.compare_experiment(
+        gate_results["serial"], gate_results["batched"]
+    )
+    _merge_results(
+        {
+            f"batch_mixed_scaling[{count}]": entry["speedup"]
+            for count, entry in scaling.items()
+        }
+        | {
+            f"batch_mixed_batched_steps_per_sec[{count}]": entry["batched"]
+            for count, entry in scaling.items()
+        }
+        | {
+            "batch_mixed_models": "+".join(MIXED_MODELS),
+            "batch_mixed_speedup": scaling[MIXED_GATE_N]["speedup"],
+            "batch_mixed_divergent_fields": len(divergences),
+        },
+        path=RESULTS_PATH,
+    )
+    assert divergences == [], "\n".join(str(d) for d in divergences)
+    if os.environ.get("REPRO_BENCH_SKIP_RATE_ASSERT"):
+        pytest.skip("rate floor assertion disabled by environment")
+    assert scaling[MIXED_GATE_N]["speedup"] >= MIN_MIXED_BATCH_SPEEDUP, (
+        f"mixed-fleet batched speedup {scaling[MIXED_GATE_N]['speedup']:.2f}x "
+        f"below {MIN_MIXED_BATCH_SPEEDUP}x at N={MIXED_GATE_N}"
     )

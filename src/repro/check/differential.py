@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import AccubenchConfig
 from repro.core.results import DeviceResult, ExperimentResult, IterationResult
@@ -363,7 +363,18 @@ FAST_FORWARD_SPEC = ToleranceSpec(
 
 @dataclass(frozen=True)
 class Pairing:
-    """Two campaign configurations expected to agree within a spec."""
+    """Two campaign configurations expected to agree within a spec.
+
+    ``fleet_factory``, when set, builds the devices both sides run instead
+    of the model's default paper fleet — it is called once per side with
+    that side's :class:`CampaignConfig` and the model label, and must
+    return freshly constructed devices (simulation mutates them).  This is
+    how scenario pairings that need non-catalog hardware (a fitted skin
+    throttle, a heterogeneous fleet) stay declarative.  ``models``, when
+    set, overrides the caller's model list for this pairing — a factory
+    that ignores its model argument (the mixed fleet) pairs it with a
+    single descriptive label.
+    """
 
     name: str
     label_a: str
@@ -373,6 +384,8 @@ class Pairing:
     spec: ToleranceSpec
     jobs_a: int = 1
     jobs_b: int = 1
+    fleet_factory: Optional[Callable[[CampaignConfig, str], List]] = None
+    models: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.config_a == self.config_b and self.jobs_a == self.jobs_b:
@@ -455,15 +468,158 @@ def batch_pairing(base: CampaignConfig) -> Pairing:
     )
 
 
+# -- scenario pairings: the batch-eligibility parity matrix ----------------
+#
+# Every scenario the batched engine claims to handle (see
+# ``repro.core.batch_runner.batch_ineligibility_reason``) gets a gating
+# serial↔batched pairing of its own, so a regression in any newly lifted
+# restriction — vectorized invariants, memory-bounded workloads, skin
+# throttling, heterogeneous fleets — fails ``repro-bench check
+# --differential``, not just a unit test.
+
+#: The heterogeneous fleet the mixed pairing runs (both models' paper
+#: units, interleaved).
+MIXED_FLEET_MODELS: Tuple[str, str] = ("Nexus 5", "Nexus 6")
+
+#: Label under which the mixed pairing reports (it runs one combined
+#: fleet, not one fleet per catalog model).
+MIXED_FLEET_LABEL = "+".join(MIXED_FLEET_MODELS)
+
+
+def _skin_throttle_fleet(config: CampaignConfig, model: str) -> List:
+    """The model's paper fleet with a skin-temperature throttle fitted.
+
+    No catalog spec ships one, so the scenario is built explicitly: every
+    unit gets the default :class:`~repro.thermal.skin.SkinThrottleSpec`
+    on top of its catalog hardware.
+    """
+    from repro.device.catalog import device_spec
+    from repro.device.fleet import PAPER_FLEETS, build_device
+    from repro.thermal.skin import SkinThrottleSpec
+
+    spec = replace(device_spec(model), skin_throttle=SkinThrottleSpec())
+    return [
+        build_device(
+            unit,
+            spec=spec,
+            root_seed=config.root_seed,
+            initial_temp_c=config.ambient_c,
+            thermal_solver=config.accubench.thermal_solver,
+        )
+        for unit in PAPER_FLEETS[model]
+    ]
+
+
+def _mixed_model_fleet(config: CampaignConfig, model: str) -> List:
+    """Both :data:`MIXED_FLEET_MODELS` paper fleets, interleaved.
+
+    Interleaving (rather than concatenating) makes the cohort facade's
+    gather/scatter carry its weight: units of the same model are never
+    adjacent, so any fleet-order bug shows up immediately.  The ``model``
+    argument is the report label and is deliberately ignored.
+    """
+    from repro.device.fleet import paper_fleet
+
+    fleets = [
+        paper_fleet(
+            name,
+            root_seed=config.root_seed,
+            initial_temp_c=config.ambient_c,
+            thermal_solver=config.accubench.thermal_solver,
+        )
+        for name in MIXED_FLEET_MODELS
+    ]
+    mixed = []
+    for index in range(max(len(fleet) for fleet in fleets)):
+        for fleet in fleets:
+            if index < len(fleet):
+                mixed.append(fleet[index])
+    return mixed
+
+
+def _batch_scenario_pairing(
+    base: CampaignConfig,
+    name: str,
+    scenario: str,
+    overrides: Mapping[str, object],
+    fleet_factory: Optional[Callable[[CampaignConfig, str], List]] = None,
+    models: Optional[Tuple[str, ...]] = None,
+) -> Pairing:
+    common = dict(thermal_solver="expm", sleep_fast_forward=True, **overrides)
+    return Pairing(
+        name=name,
+        label_a=f"serial/{scenario}",
+        label_b=f"batched/{scenario}",
+        config_a=_with_protocol(base, batch=False, **common),
+        config_b=_with_protocol(base, batch=True, **common),
+        spec=BATCH_SPEC,
+        fleet_factory=fleet_factory,
+        models=models,
+    )
+
+
+def batch_invariants_pairing(base: CampaignConfig) -> Pairing:
+    """Serial vs batched with the runtime invariant suite armed on both
+    sides: the batched engine must replay the serial results within
+    :data:`BATCH_SPEC` *while* its vectorized checkers observe every
+    step (and neither side may raise)."""
+    return _batch_scenario_pairing(
+        base, "batch-invariants", "invariants", {"check_invariants": True}
+    )
+
+
+def batch_memory_bound_pairing(base: CampaignConfig) -> Pairing:
+    """Serial vs batched under a memory-bounded, partially utilized
+    workload — the batched per-core roofline share must match the serial
+    :class:`~repro.soc.cluster.ClusterState` math draw-for-draw."""
+    return _batch_scenario_pairing(
+        base,
+        "batch-memory-bound",
+        "mem-bound",
+        {"utilization": 0.9, "memory_boundedness": 0.35},
+    )
+
+
+def batch_skin_throttle_pairing(base: CampaignConfig) -> Pairing:
+    """Serial vs batched on fleets fitted with a skin-temperature
+    throttle, exercising the vectorized surface-temperature governor."""
+    return _batch_scenario_pairing(
+        base,
+        "batch-skin-throttle",
+        "skin",
+        {},
+        fleet_factory=_skin_throttle_fleet,
+    )
+
+
+def mixed_fleet_pairing(base: CampaignConfig) -> Pairing:
+    """Serial vs batched on one heterogeneous (two-model, interleaved)
+    fleet: the facade's per-model cohort blocks must reproduce the serial
+    per-unit results in fleet order."""
+    return _batch_scenario_pairing(
+        base,
+        "batch-mixed-fleet",
+        "mixed",
+        {},
+        fleet_factory=_mixed_model_fleet,
+        models=(MIXED_FLEET_LABEL,),
+    )
+
+
 def default_pairings(base: CampaignConfig) -> Tuple[Pairing, ...]:
     """The standard battery: euler↔expm, serial↔{2,4} jobs, ff on↔off,
-    serial↔batched engine."""
+    serial↔batched engine, plus the batch-eligibility parity matrix
+    (invariants on, memory-bounded, skin-throttled, mixed fleet)."""
     return (
         solver_pairing(base),
         jobs_pairing(base, 2),
         jobs_pairing(base, 4),
         fast_forward_pairing(base),
         batch_pairing(base),
+        batch_invariants_pairing(base),
+        batch_memory_bound_pairing(base),
+        batch_skin_throttle_pairing(base),
+        mixed_fleet_pairing(base),
     )
 
 
@@ -517,19 +673,35 @@ def run_pairing(
 
     Both sides run the UNCONSTRAINED workload — the throttling-rich
     configuration where solver and scheduling differences would show —
-    on each model's paper fleet, and every scalar result field is diffed
-    against the pairing's tolerance spec.
+    on each model's paper fleet (or on whatever the pairing's
+    ``fleet_factory`` builds), and every scalar result field is diffed
+    against the pairing's tolerance spec.  A pairing with its own
+    ``models`` list overrides the caller's.
     """
     from repro.core.experiments import unconstrained
 
+    if pairing.models is not None:
+        models = pairing.models
     divergences: List[Divergence] = []
     compared = 0
     for model in models:
+        devices_a = devices_b = None
+        if pairing.fleet_factory is not None:
+            devices_a = pairing.fleet_factory(pairing.config_a, model)
+            devices_b = pairing.fleet_factory(pairing.config_b, model)
         result_a = CampaignRunner(pairing.config_a).run_fleet(
-            model, unconstrained(), iterations=iterations, jobs=pairing.jobs_a
+            model,
+            unconstrained(),
+            devices=devices_a,
+            iterations=iterations,
+            jobs=pairing.jobs_a,
         )
         result_b = CampaignRunner(pairing.config_b).run_fleet(
-            model, unconstrained(), iterations=iterations, jobs=pairing.jobs_b
+            model,
+            unconstrained(),
+            devices=devices_b,
+            iterations=iterations,
+            jobs=pairing.jobs_b,
         )
         divergences.extend(pairing.spec.compare_experiment(result_a, result_b))
         compared += sum(

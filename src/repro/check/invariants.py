@@ -28,6 +28,8 @@ from __future__ import annotations
 import math
 from typing import Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.device.phone import StepReport
 from repro.errors import InvariantViolation
 from repro.sim.engine import StepObserver, World
@@ -296,3 +298,234 @@ class InvariantSuite(StepObserver):
         """Run end-of-run checks (call once after the scenario)."""
         for invariant in self.invariants:
             invariant.on_finish(world)
+
+
+class BatchedInvariantSuite:
+    """The five standard invariants vectorized over a batched cohort.
+
+    Where :class:`InvariantSuite` observes one world through the engine's
+    per-step hook, this suite observes a whole ``(N, nodes)`` cohort at
+    once: :class:`~repro.sim.batch.BatchedWorld` calls
+    :meth:`observe_awake` after every lock-step engine tick,
+    :meth:`observe_asleep` after every sleeping macro window, and
+    :meth:`observe_trace` whenever trace samples land.  Each check is the
+    element-wise form of its serial counterpart with identical tolerances,
+    and a violation raises the same
+    ``[name] message — at t=…, phase …, device …`` diagnostic for the
+    first offending unit in fleet order.
+
+    Asleep macro windows integrate supply power over the whole window
+    (exactly what the serial meter accumulates) and enforce monotone
+    cooldown window-to-window; the case-temperature bound is only
+    evaluated while awake, since the sleeping hook reports the die.
+    """
+
+    def __init__(
+        self,
+        serials: Sequence[str],
+        node_temps_c: np.ndarray,
+        meter_j: np.ndarray,
+        throttle_steps: np.ndarray,
+        throttle_temp_c: float,
+        clear_temp_c: float,
+        rel_tol: float = 1e-6,
+        abs_tol: float = 1e-3,
+    ) -> None:
+        count = len(serials)
+        self.serials = list(serials)
+        self.rel_tol = rel_tol
+        self.abs_tol = abs_tol
+        self._throttle_temp_c = throttle_temp_c
+        self._clear_temp_c = clear_temp_c
+        self._integral_j = np.zeros(count)
+        self._baseline_j = np.array(meter_j, dtype=float)
+        self._floor_c = np.asarray(node_temps_c, dtype=float).min(axis=1)
+        self._prev_cpu_c = np.full(count, np.nan)
+        self._prev_asleep = np.zeros(count, dtype=bool)
+        self._prev_steps = np.array(throttle_steps)
+        self._last_trace_s = np.full(count, -math.inf)
+        self.steps_checked = 0
+
+    # -- observer hooks ------------------------------------------------------
+
+    def observe_awake(
+        self,
+        now_s: np.ndarray,
+        phase: Optional[str],
+        cpu_c: np.ndarray,
+        case_c: np.ndarray,
+        ambient_c: np.ndarray,
+        supply_w: np.ndarray,
+        meter_j: np.ndarray,
+        throttle_steps: np.ndarray,
+        dt: float,
+    ) -> None:
+        """Check one lock-step awake tick across the whole cohort."""
+        self.steps_checked += 1
+        self._integral_j += supply_w * dt
+        self._check_energy(np.ones(cpu_c.size, dtype=bool), meter_j, now_s, phase)
+        np.minimum(self._floor_c, ambient_c, out=self._floor_c)
+        self._check_bounds("cpu", cpu_c, now_s, phase)
+        self._check_bounds("case", case_c, now_s, phase)
+        self._check_throttle(cpu_c, throttle_steps, now_s, phase)
+        self._prev_cpu_c = np.array(cpu_c, dtype=float)
+        self._prev_asleep[:] = False
+
+    def observe_asleep(
+        self,
+        active: np.ndarray,
+        now_s: np.ndarray,
+        phase: Optional[str],
+        cpu_c: np.ndarray,
+        ambient_c: np.ndarray,
+        supply_w: float,
+        meter_j: np.ndarray,
+        duration_s: float,
+    ) -> None:
+        """Check one sleeping macro window for the active cohort."""
+        self.steps_checked += 1
+        self._integral_j[active] += supply_w * duration_s
+        self._check_energy(active, meter_j, now_s, phase)
+        self._floor_c[active] = np.minimum(
+            self._floor_c[active], ambient_c[active]
+        )
+        self._check_bounds("cpu", cpu_c, now_s, phase, where=active)
+        heated = (
+            active
+            & self._prev_asleep
+            & (self._prev_cpu_c > ambient_c + COOLDOWN_MARGIN_C)
+            & (cpu_c > self._prev_cpu_c + MonotoneCooldown.DEFAULT_SLACK_C)
+        )
+        if heated.any():
+            i = int(np.flatnonzero(heated)[0])
+            self._violate(
+                "monotone-cooldown",
+                f"sleeping die heated from {self._prev_cpu_c[i]:.4f} to "
+                f"{cpu_c[i]:.4f} °C while "
+                f"{self._prev_cpu_c[i] - ambient_c[i]:.2f} °C above ambient",
+                i,
+                now_s,
+                phase,
+            )
+        self._prev_cpu_c[active] = cpu_c[active]
+        self._prev_asleep[active] = True
+
+    def observe_trace(self, units: np.ndarray, times_s: np.ndarray) -> None:
+        """Check that fresh trace samples advance each unit's timeline."""
+        stale = times_s <= self._last_trace_s[units]
+        if stale.any():
+            j = int(np.flatnonzero(stale)[0])
+            i = int(units[j])
+            self._violate(
+                "trace-time-monotone",
+                f"trace sample at t={times_s[j]:.4f} s does not advance "
+                f"past the previous sample at t={self._last_trace_s[i]:.4f} s",
+                i,
+                float(times_s[j]),
+                None,
+            )
+        self._last_trace_s[units] = times_s
+
+    # -- element-wise checks -------------------------------------------------
+
+    def _check_energy(
+        self,
+        active: np.ndarray,
+        meter_j: np.ndarray,
+        now_s: np.ndarray,
+        phase: Optional[str],
+    ) -> None:
+        metered = meter_j - self._baseline_j
+        drift = np.abs(metered - self._integral_j)
+        tolerance = self.abs_tol + self.rel_tol * np.maximum(
+            metered, self._integral_j
+        )
+        bad = active & (drift > tolerance)
+        if bad.any():
+            i = int(np.flatnonzero(bad)[0])
+            self._violate(
+                "energy-conservation",
+                f"supply meter reads {metered[i]:.6f} J but stepped power "
+                f"integrates to {self._integral_j[i]:.6f} J "
+                f"(drift {drift[i]:.2e} J)",
+                i,
+                now_s,
+                phase,
+            )
+
+    def _check_bounds(
+        self,
+        label: str,
+        temps_c: np.ndarray,
+        now_s: np.ndarray,
+        phase: Optional[str],
+        where: Optional[np.ndarray] = None,
+    ) -> None:
+        floor = self._floor_c - BOUND_MARGIN_C
+        low = temps_c < floor
+        high = temps_c > JUNCTION_MAX_C
+        bad = low | high
+        if where is not None:
+            bad &= where
+        if bad.any():
+            i = int(np.flatnonzero(bad)[0])
+            if low[i]:
+                message = (
+                    f"{label} temperature {temps_c[i]:.2f} °C fell below the "
+                    f"coldest boundary seen ({self._floor_c[i]:.2f} °C)"
+                )
+            else:
+                message = (
+                    f"{label} temperature {temps_c[i]:.2f} °C exceeds the "
+                    f"junction ceiling ({JUNCTION_MAX_C:.1f} °C)"
+                )
+            self._violate("temperature-bounds", message, i, now_s, phase)
+
+    def _check_throttle(
+        self,
+        cpu_c: np.ndarray,
+        steps: np.ndarray,
+        now_s: np.ndarray,
+        phase: Optional[str],
+    ) -> None:
+        previous = self._prev_steps
+        deepened = (steps > previous) & (
+            cpu_c < self._throttle_temp_c - THROTTLE_MARGIN_C
+        )
+        if deepened.any():
+            i = int(np.flatnonzero(deepened)[0])
+            self._violate(
+                "throttle-consistency",
+                f"throttle deepened to {int(steps[i])} step(s) with the die "
+                f"at {cpu_c[i]:.2f} °C, well below the "
+                f"{self._throttle_temp_c:.1f} °C threshold",
+                i,
+                now_s,
+                phase,
+            )
+        relaxed = (steps < previous) & (
+            cpu_c > self._clear_temp_c + THROTTLE_MARGIN_C
+        )
+        if relaxed.any():
+            i = int(np.flatnonzero(relaxed)[0])
+            self._violate(
+                "throttle-consistency",
+                f"throttle relaxed to {int(steps[i])} step(s) with the die "
+                f"still at {cpu_c[i]:.2f} °C, above the "
+                f"{self._clear_temp_c:.1f} °C clear temperature",
+                i,
+                now_s,
+                phase,
+            )
+        self._prev_steps = np.array(steps)
+
+    def _violate(
+        self, name: str, message: str, unit: int, now_s, phase: Optional[str]
+    ) -> None:
+        times = np.asarray(now_s, dtype=float)
+        at = float(times[unit]) if times.ndim else float(times)
+        phase = phase or "(no phase)"
+        raise InvariantViolation(
+            f"[{name}] {message} — at t={at:.2f} s, phase {phase}, "
+            f"device {self.serials[unit]}"
+        )

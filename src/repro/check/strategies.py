@@ -91,9 +91,10 @@ def trace_samples(
 ) -> List[Tuple[float, Tuple[float, ...]]]:
     """Time-ordered ``(time_s, values)`` rows for feeding ``Trace.append``.
 
-    Times are non-decreasing (the trace contract); values are arbitrary
-    finite floats.  Sized to cross the trace's growth boundary when the
-    test lowers the initial capacity.
+    Times are non-decreasing; repeats exercise the same-stamp overwrite
+    path (the stored trace keeps strictly increasing times, last write
+    wins).  Values are arbitrary finite floats.  Sized to cross the
+    trace's growth boundary when the test lowers the initial capacity.
     """
     deltas = draw(
         st.lists(
@@ -123,9 +124,27 @@ def fleet_permutations(count: int):
 
     Drives order-invariance properties of the batched engine: a
     :class:`~repro.sim.batch.BatchedWorld` built over any reordering of
-    the same units must produce each unit's exact per-serial results.
+    the same units — homogeneous or mixed-model — must produce each
+    unit's exact per-serial results (mixed fleets regroup into per-model
+    cohorts internally, so a permutation also reshuffles cohort rows).
     """
     return st.permutations(tuple(range(count)))
+
+
+def cohort_splits(count: int):
+    """Sorted interior cut points (possibly none) slicing a fleet of
+    ``count`` units into contiguous shards.
+
+    Drives split-invariance properties of the batched engine: running
+    each shard in its own :class:`~repro.sim.batch.BatchedWorld` must
+    reproduce the whole-fleet run unit for unit, whatever the cuts — the
+    contract that lets the runner shard fleets across workers freely.
+    """
+    return st.lists(
+        st.integers(min_value=1, max_value=count - 1),
+        unique=True,
+        max_size=count - 1,
+    ).map(sorted)
 
 
 # -- deterministic scenario generators ---------------------------------------

@@ -117,6 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
         "crowd", help="simulate the §VI crowdsourced study with strict filters"
     )
     crowd.add_argument("--model", default="Nexus 5")
+    crowd.add_argument(
+        "--models",
+        nargs="*",
+        default=None,
+        help="heterogeneous population: users cycle through these models "
+        "in population order (overrides --model)",
+    )
     crowd.add_argument("--users", type=int, default=12)
     crowd.add_argument("--scale", type=float, default=1.0)
     crowd.add_argument("--seed", type=int, default=DEFAULT_ROOT_SEED)
@@ -330,6 +337,19 @@ def _add_protocol_args(parser: argparse.ArgumentParser) -> None:
         "default: automatic for fleets of 4+ eligible units; "
         "--no-batch forces the serial per-unit path",
     )
+    parser.add_argument(
+        "--utilization",
+        type=float,
+        default=None,
+        help="per-core CPU utilization of the benchmark load, (0, 1]",
+    )
+    parser.add_argument(
+        "--memory-boundedness",
+        type=float,
+        default=None,
+        help="fraction of workload time stalled on memory at top "
+        "frequency (β), [0, 1)",
+    )
 
 
 def _runner(args: argparse.Namespace) -> CampaignRunner:
@@ -343,6 +363,10 @@ def _runner(args: argparse.Namespace) -> CampaignRunner:
         overrides["thermal_solver"] = args.solver
     if getattr(args, "batch", None) is not None:
         overrides["batch"] = args.batch
+    if getattr(args, "utilization", None) is not None:
+        overrides["utilization"] = args.utilization
+    if getattr(args, "memory_boundedness", None) is not None:
+        overrides["memory_boundedness"] = args.memory_boundedness
     if overrides:
         protocol = replace(protocol, **overrides)
     return CampaignRunner(
@@ -525,6 +549,7 @@ def _cmd_crowd(args: argparse.Namespace) -> int:
         return _cmd_crowd_stream(args, protocol)
     config = CrowdConfig(
         model=args.model,
+        models=tuple(args.models) if args.models else (),
         user_count=args.users,
         protocol=protocol,
         root_seed=args.seed,
@@ -566,6 +591,7 @@ def _cmd_crowd_stream(args: argparse.Namespace, protocol) -> int:
 
     config = CrowdConfig(
         model=args.model,
+        models=tuple(getattr(args, "models", None) or ()),
         user_count=args.users,
         protocol=dc_replace(protocol, thermal_solver="expm"),
         root_seed=args.seed,

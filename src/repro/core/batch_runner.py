@@ -1,18 +1,19 @@
-"""Batched fleet execution: one :class:`BatchedWorld` per (model, workload).
+"""Batched fleet execution: one :class:`BatchedWorld` per fleet workload.
 
 The serial campaign path runs each unit's iteration batch through its own
-:class:`~repro.sim.engine.World`.  When every unit of a fleet shares one
-device model and the exact thermal solver, the whole fleet can instead
-advance in lock-step through :class:`repro.sim.batch.BatchedWorld` — one
-batched propagation and one vectorized power evaluation per engine step —
-while producing the same :class:`~repro.core.results.IterationResult`
-fields the protocol builds (within the ulp-level budget documented by
-``repro.check``'s ``BATCH_SPEC``).
+:class:`~repro.sim.engine.World`.  With the exact thermal solver the
+whole fleet instead advances in lock-step through
+:class:`repro.sim.batch.BatchedWorld` — mixed device models grouped into
+per-model cohort blocks, one batched propagation and one vectorized power
+evaluation per engine step — while producing the same
+:class:`~repro.core.results.IterationResult` fields the protocol builds
+(within the ulp-level budget documented by ``repro.check``'s
+``BATCH_SPEC``).  Skin throttles, memory-bounded workloads and the
+runtime invariant suite all run vectorized inside the batched engine.
 
-Eligibility is decided by :func:`batch_ineligibility_reason`; anything
-the batched engine does not model (Euler integration, invariant
-observers, skin throttles, memory-bounded workloads, mixed fleets) falls
-back to the serial per-unit path.
+Eligibility is decided by :func:`batch_ineligibility_reason`; only what
+the batched engine genuinely cannot model (Euler integration, disabled
+sleep fast-forward) falls back to the serial per-unit path.
 """
 
 from __future__ import annotations
@@ -51,33 +52,20 @@ def batch_ineligibility_reason(
     """Why this fleet cannot run batched, or ``None`` if it can.
 
     The reasons mirror the assumptions baked into
-    :class:`~repro.sim.batch.BatchedWorld`: exact propagation (one shared
-    (Φ, Ψ) pair), sleep fast-forward cooldowns, no per-step observers, and
-    per-unit physics that differs only in stacked parameters.
+    :class:`~repro.sim.batch.BatchedWorld`: exact propagation (one
+    (Φ, Ψ) pair per model cohort) and sleep fast-forward cooldowns.
+    Mixed-model fleets, invariant observers, skin throttles and
+    memory-bounded workloads all run batched.
     """
     bench = config.accubench
     if bench.thermal_solver != "expm":
         return "thermal_solver is not 'expm'"
     if not bench.sleep_fast_forward:
         return "sleep_fast_forward is disabled"
-    if bench.check_invariants:
-        return "invariant observers need the per-step engine"
     if not devices:
         return "empty fleet"
-    models = {dev.spec.name for dev in devices}
-    if len(models) != 1:
-        return f"mixed device models {sorted(models)}"
-    reference = devices[0]
-    if not reference.thermal.is_exact:
+    if any(not dev.thermal.is_exact for dev in devices):
         return "device thermal network is not exact (expm)"
-    if reference.skin_throttle is not None:
-        return "skin-temperature throttle is not batched"
-    if any(
-        cluster.memory_boundedness != 0.0
-        for dev in devices
-        for cluster in dev.soc.clusters
-    ):
-        return "memory-bounded workloads are not batched"
     return None
 
 
@@ -107,12 +95,12 @@ def run_batch(
     if count < 1:
         raise ConfigurationError("iterations must be at least 1")
     units = len(devices)
-    volts = (
-        supply_voltage
-        if supply_voltage is not None
-        else runner.monsoon_voltage_for(devices[0].spec)
-    )
     for device in devices:
+        volts = (
+            supply_voltage
+            if supply_voltage is not None
+            else runner.monsoon_voltage_for(device.spec)
+        )
         device.connect_supply(MonsoonPowerMonitor(volts))
 
     target = ambient_c if ambient_c is not None else config.ambient_c
@@ -126,16 +114,24 @@ def run_batch(
         room_temp = target
 
     registry = default_registry()
-    propagator = devices[0].thermal.propagator
-    hits_before = propagator.cache_hits if propagator is not None else 0
-    misses_before = propagator.cache_misses if propagator is not None else 0
+    # One live propagator per model cohort; dedupe by identity so a shared
+    # instance is not double-counted in the cache telemetry.
+    propagators = list(
+        {
+            id(dev.thermal.propagator): dev.thermal.propagator
+            for dev in devices
+            if dev.thermal.propagator is not None
+        }.values()
+    )
+    hits_before = sum(p.cache_hits for p in propagators)
+    misses_before = sum(p.cache_misses for p in propagators)
 
     results: List[List[IterationResult]] = [[] for _ in range(units)]
     started_wall = time.perf_counter()
     looped_total = 0
     with registry.span(
         "run_batch",
-        model=devices[0].spec.name,
+        model="+".join(sorted({dev.spec.name for dev in devices})),
         units=units,
         workload=experiment.name,
         iterations=count,
@@ -148,6 +144,7 @@ def run_batch(
             chamber=chamber,
             dt=bench.dt,
             trace_decimation=bench.trace_decimation,
+            check_invariants=bench.check_invariants,
         )
         for iteration in range(count):
             cooldown_s, energy_j, completed = run_batch_iteration(
@@ -191,7 +188,7 @@ def run_batch(
         registry,
         world,
         chamber,
-        propagator,
+        propagators,
         hits_before,
         misses_before,
         looped_total,
@@ -231,7 +228,7 @@ def run_batch_iteration(
         world.set_fixed_frequency(experiment.fixed_freq_mhz)
 
     world.acquire_wakelock()
-    world.start_load()
+    world.start_load(bench.utilization, bench.memory_boundedness)
     world.set_phase("warmup")
     with registry.span("phase.warmup", clock=sim_clock):
         world.run_for(bench.warmup_s)
@@ -249,7 +246,7 @@ def run_batch_iteration(
         )
 
     world.acquire_wakelock()
-    world.start_load()
+    world.start_load(bench.utilization, bench.memory_boundedness)
     energy_before = world.energy_drawn_j
     ops_before = world.ops_total
     world.set_phase("workload")
@@ -307,7 +304,7 @@ def _publish_batch_metrics(
     registry: MetricsRegistry,
     world: BatchedWorld,
     chamber: Optional[BatchedThermabox],
-    propagator,
+    propagators: Sequence,
     hits_before: int,
     misses_before: int,
     looped_total: int,
@@ -316,10 +313,8 @@ def _publish_batch_metrics(
     """Batch-level telemetry: instrument tallies plus batching gauges."""
     if not registry.enabled:
         return
-    hits = propagator.cache_hits - hits_before if propagator is not None else 0
-    misses = (
-        propagator.cache_misses - misses_before if propagator is not None else 0
-    )
+    hits = sum(p.cache_hits for p in propagators) - hits_before
+    misses = sum(p.cache_misses for p in propagators) - misses_before
     registry.counter("propagator.cache_hits").add(hits)
     registry.counter("propagator.cache_misses").add(misses)
     registry.counter("thermabox.heater_duty_s").add(

@@ -62,10 +62,18 @@ class AccubenchConfig:
         (:mod:`repro.sim.batch`).  ``None`` (the default) batches
         automatically when a fleet has at least four eligible units;
         ``True`` batches whenever the fleet is eligible; ``False`` forces
-        the serial per-unit path.  Ineligible fleets (Euler solver,
-        invariant observers, skin throttles, mixed models) always fall
-        back to the serial path — see
+        the serial per-unit path.  The batched engine covers every
+        catalog scenario — mixed-model fleets (per-model cohort blocks),
+        invariant observers, skin throttles and memory-bounded
+        workloads included; only the Euler solver and disabled sleep
+        fast-forward still require the serial path — see
         :func:`repro.core.batch_runner.batch_ineligibility_reason`.
+    utilization:
+        Per-core CPU utilization of the benchmark load, in (0, 1].
+    memory_boundedness:
+        Fraction of workload time stalled on memory at the top frequency
+        (β in the DVFS stall model), in [0, 1).  Memory-bound loads
+        scale sub-linearly with frequency and draw less core power.
     """
 
     warmup_s: float = minutes(3)
@@ -81,6 +89,8 @@ class AccubenchConfig:
     sleep_fast_forward: bool = True
     check_invariants: bool = False
     batch: Optional[bool] = None
+    utilization: float = 1.0
+    memory_boundedness: float = 0.0
 
     def __post_init__(self) -> None:
         if self.thermal_solver not in ("euler", "expm"):
@@ -111,6 +121,15 @@ class AccubenchConfig:
             raise ConfigurationError("cooldown_poll_s must be at least dt")
         if self.trace_decimation < 1:
             raise ConfigurationError("trace_decimation must be at least 1")
+        require_finite(
+            "AccubenchConfig",
+            utilization=self.utilization,
+            memory_boundedness=self.memory_boundedness,
+        )
+        if not 0.0 < self.utilization <= 1.0:
+            raise ConfigurationError("utilization must be within (0, 1]")
+        if not 0.0 <= self.memory_boundedness < 1.0:
+            raise ConfigurationError("memory_boundedness must be within [0, 1)")
 
     def scaled(self, factor: float) -> "AccubenchConfig":
         """A config with phase durations scaled by ``factor`` (tests use

@@ -58,6 +58,14 @@ class CrowdConfig:
     ----------
     model:
         Handset model the crowd owns.
+    models:
+        Optional heterogeneous population: when non-empty, participants
+        cycle through these models in population order (user ``i`` owns
+        ``models[i % len(models)]``) and ``model`` is ignored.  The
+        assignment is a pure function of the population index — no RNG
+        draws — so the parameter stream's two-uniforms-per-user
+        checkpoint cursor is unchanged and any population slice can be
+        materialized independently.
     user_count:
         Number of participants.
     ambient_range_c:
@@ -73,6 +81,7 @@ class CrowdConfig:
     """
 
     model: str = "Nexus 5"
+    models: Tuple[str, ...] = ()
     user_count: int = 30
     ambient_range_c: Tuple[float, float] = (16.0, 36.0)
     charge_range: Tuple[float, float] = (0.5, 1.0)
@@ -145,8 +154,30 @@ class UserSample:
     charge: float
 
 
+def crowd_models(config: CrowdConfig) -> Tuple[str, ...]:
+    """The population's model cycle: ``models`` if set, else ``(model,)``."""
+    return tuple(config.models) if config.models else (config.model,)
+
+
+def crowd_model_for(config: CrowdConfig, index: int) -> str:
+    """Which model population index ``index`` owns (index-pure, no RNG)."""
+    cycle = crowd_models(config)
+    return cycle[index % len(cycle)]
+
+
+def crowd_model_label(config: CrowdConfig) -> str:
+    """Display label for the population: one model, or a ``+`` join."""
+    return "+".join(crowd_models(config))
+
+
 def crowd_param_stream(config: CrowdConfig) -> np.random.Generator:
-    """The population parameter stream ``run_crowd_study`` consumes."""
+    """The population parameter stream ``run_crowd_study`` consumes.
+
+    Keyed by the single-model field regardless of ``models`` — user
+    parameters (ambient, charge) are model-independent, and keeping the
+    key stable means a homogeneous campaign and a mixed campaign with the
+    same seed draw identical user conditions.
+    """
     return derive_stream(config.root_seed, CROWD_LOT_NAME, config.model)
 
 
@@ -189,18 +220,34 @@ def crowd_fleet(
 ) -> List[Device]:
     """Build the crowd's devices for population indices [start, start+count).
 
-    Unit silicon is keyed per serial, so any slice of the population can
-    be materialized independently; the thermal solver follows the field
-    protocol's.
+    Unit silicon is keyed per (model, lot, serial), so any slice of the
+    population can be materialized independently — a mixed-model
+    population builds each unit from its own index's model and gets the
+    exact same device whichever cohort materializes it.  The thermal
+    solver follows the field protocol's.
     """
-    return synthetic_fleet(
-        config.model,
-        count if count is not None else config.user_count,
-        lot_name=CROWD_LOT_NAME,
-        root_seed=config.root_seed,
-        thermal_solver=config.protocol.thermal_solver,
-        start_index=start,
-    )
+    width = count if count is not None else config.user_count
+    cycle = crowd_models(config)
+    if len(cycle) == 1:
+        return synthetic_fleet(
+            cycle[0],
+            width,
+            lot_name=CROWD_LOT_NAME,
+            root_seed=config.root_seed,
+            thermal_solver=config.protocol.thermal_solver,
+            start_index=start,
+        )
+    return [
+        synthetic_fleet(
+            crowd_model_for(config, index),
+            1,
+            lot_name=CROWD_LOT_NAME,
+            root_seed=config.root_seed,
+            thermal_solver=config.protocol.thermal_solver,
+            start_index=index,
+        )[0]
+        for index in range(start, start + width)
+    ]
 
 
 def prepare_field_device(device: Device, user: UserSample) -> None:

@@ -5,16 +5,18 @@ accumulative — O(users) time through the per-unit engine and O(users)
 memory holding every :class:`Submission`.  This module runs the *same*
 campaign as a stream:
 
-1. **Cohort planner** — users are materialized in fixed-size, same-model
-   cohorts.  The population parameter stream draws exactly two uniforms
-   per user in population order (see :func:`repro.core.crowd.plan_users`),
-   so the planner's RNG cursor is a checkpointable object.
+1. **Cohort planner** — users are materialized in fixed-size cohorts;
+   a mixed-model population (``CrowdConfig.models``) assigns each user's
+   model from its population index alone.  The population parameter
+   stream draws exactly two uniforms per user in population order (see
+   :func:`repro.core.crowd.plan_users`), so the planner's RNG cursor is
+   a checkpointable object for any model mix.
 2. **Batched cohort execution** — each cohort's cooldown probe and field
    ACCUBENCH pass advance in lock-step through one
    :class:`~repro.sim.batch.BatchedWorld` (per-unit rooms, per-unit
-   batteries), replaying the serial engine draw-for-draw per unit.
-   Cohorts ship to worker processes as
-   :class:`~repro.core.parallel.CrowdCohortTask`\\ s.
+   batteries, per-model cohort blocks when models are mixed), replaying
+   the serial engine draw-for-draw per unit.  Cohorts ship to worker
+   processes as :class:`~repro.core.parallel.CrowdCohortTask`\\ s.
 3. **Streaming estimators** — per-user submissions fold, in population
    order, into the online estimators of :mod:`repro.core.streaming`;
    memory stays O(cohort + estimator state) however many users run.
@@ -59,6 +61,7 @@ from repro.core.crowd import (
     Submission,
     UserSample,
     crowd_fleet,
+    crowd_model_label,
     crowd_param_stream,
     passes_strict_filters,
     plan_users,
@@ -163,7 +166,7 @@ def execute_cohort(
 
     with registry.span(
         "crowd.cohort",
-        model=config.model,
+        model=crowd_model_label(config),
         index=cohort_index,
         units=len(users),
     ):
@@ -240,7 +243,9 @@ def execute_cohort(
             )
         )
     return CohortResult(
-        index=cohort_index, model=config.model, outcomes=tuple(outcomes)
+        index=cohort_index,
+        model=crowd_model_label(config),
+        outcomes=tuple(outcomes),
     )
 
 
@@ -747,7 +752,7 @@ def run_streaming_crowd_study(
     collect = registry.enabled
     with registry.span(
         "crowd.stream",
-        model=config.model,
+        model=crowd_model_label(config),
         users=config.user_count,
         cohort_size=cohort_size,
         jobs=jobs,
@@ -782,7 +787,7 @@ def run_streaming_crowd_study(
 
     wall_s = time.perf_counter() - started_wall
     result = CrowdStreamResult(
-        model=config.model,
+        model=crowd_model_label(config),
         user_count=config.user_count,
         cohort_size=cohort_size,
         cohorts_completed=end_cohort,

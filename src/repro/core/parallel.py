@@ -90,10 +90,13 @@ class BatchTask:
     """One fleet shard's full iteration batch, run through a BatchedWorld.
 
     The shard's units advance in lock-step inside a single worker (see
-    :mod:`repro.core.batch_runner`); the payload carries one
-    :class:`DeviceResult` per unit, in shard order.  Shards are contiguous
-    fleet slices, so flattening payloads in submission order reassembles
-    the fleet ordering a serial run would produce.
+    :mod:`repro.core.batch_runner`); a mixed-model shard runs as
+    per-model cohort blocks within that one world.  The payload carries
+    one :class:`DeviceResult` per unit, in shard order.  Shards are
+    contiguous fleet slices — on mixed fleets the runner snaps shard cuts
+    to model boundaries so cohort blocks stay whole — so flattening
+    payloads in submission order reassembles the fleet ordering a serial
+    run would produce.
     """
 
     devices: tuple

@@ -78,7 +78,7 @@ class Accubench:
 
         # Phase 1: warmup.
         device.acquire_wakelock()
-        device.start_load()
+        device.start_load(config.utilization, config.memory_boundedness)
         world.set_phase("warmup")
         with registry.span("phase.warmup", clock=sim_clock):
             world.run_for(config.warmup_s)
@@ -99,7 +99,7 @@ class Accubench:
 
         # Phase 3: workload (the measured window).
         device.acquire_wakelock()
-        device.start_load()
+        device.start_load(config.utilization, config.memory_boundedness)
         energy_before = supply.energy_drawn_j
         ops_before = world.ops_total
         world.set_phase("workload")
@@ -172,7 +172,7 @@ class Accubench:
         sim_clock = lambda: world.now  # noqa: E731
         if not skip_conditioning:
             device.acquire_wakelock()
-            device.start_load()
+            device.start_load(config.utilization, config.memory_boundedness)
             world.set_phase("warmup")
             with registry.span("phase.warmup", clock=sim_clock):
                 world.run_for(config.warmup_s)
@@ -190,7 +190,7 @@ class Accubench:
                 )
 
         device.acquire_wakelock()
-        device.start_load()
+        device.start_load(config.utilization, config.memory_boundedness)
         energy_before = supply.energy_drawn_j
         ops_before = world.ops_total
         ops_target = ops_before + work_iterations * PI_ITERATION_OPS

@@ -306,7 +306,11 @@ class CampaignRunner:
         Batched fleets are cut into at most ``jobs`` contiguous shards (one
         :class:`BatchTask` each, at least ``MIN_AUTO_BATCH_UNITS`` units per
         shard) so a multi-process run keeps every worker fed while each
-        shard still amortizes the batched step's fixed cost.
+        shard still amortizes the batched step's fixed cost.  On a
+        mixed-model fleet the cuts snap to model boundaries, keeping every
+        per-model cohort block contiguous within one shard (a model split
+        across shards would shrink its GEMM batch on both sides); units
+        are never reordered, so results still come back in fleet order.
         """
         mode = self.config.accubench.batch
         eligible = (
@@ -332,6 +336,19 @@ class CampaignRunner:
         bounds = [
             round(i * len(fleet) / shard_count) for i in range(shard_count + 1)
         ]
+        changes = [
+            i
+            for i in range(1, len(fleet))
+            if fleet[i].spec.name != fleet[i - 1].spec.name
+        ]
+        if changes:
+            snapped = [0]
+            for cut in bounds[1:-1]:
+                nearest = min(changes, key=lambda boundary: abs(boundary - cut))
+                if nearest > snapped[-1]:
+                    snapped.append(nearest)
+            snapped.append(len(fleet))
+            bounds = snapped
         return [
             BatchTask(
                 devices=tuple(fleet[bounds[i] : bounds[i + 1]]),
@@ -340,7 +357,7 @@ class CampaignRunner:
                 ambient_c=ambient_c,
                 iterations=iterations,
             )
-            for i in range(shard_count)
+            for i in range(len(bounds) - 1)
             if bounds[i + 1] > bounds[i]
         ]
 

@@ -267,6 +267,15 @@ class BatchedThermabox:
         self._off_since = np.full(count, -config.compressor_min_off_s)
         self._heater_seconds = np.zeros(count)
         self._cooler_seconds = np.zeros(count)
+        # Scalar fast-path state: an upper bound on every column's clock,
+        # a lower bound on the next control deadline, and whether any
+        # column's heater/cooler is currently on.  They only gate *skips*
+        # (a step that provably cannot fire a control decision or accrue
+        # duty), so a loose bound falls through to the exact vector path.
+        self._time_max = 0.0
+        self._next_control_min = 0.0
+        self._any_heater = False
+        self._any_cooler = False
 
     @property
     def count(self) -> int:
@@ -297,7 +306,7 @@ class BatchedThermabox:
 
     def step_masked(
         self,
-        mask: np.ndarray,
+        mask: Optional[np.ndarray],
         room_temp_c: float,
         dt: float,
         load_w: np.ndarray,
@@ -305,40 +314,69 @@ class BatchedThermabox:
         """Advance the masked chamber columns by ``dt`` seconds.
 
         ``load_w`` is each unit's device waste heat; entries outside the
-        mask are ignored.
+        mask are ignored.  ``mask=None`` means every column: the
+        all-units hot path performs the same per-element arithmetic
+        without boolean gather/scatter, so it is bit-exact with passing
+        a full mask.
         """
         if dt <= 0:
             raise ConfigurationError("dt must be positive")
         alpha = 1.0 - math.exp(-dt / self._probe_tau)
-        self._element[mask] += alpha * (self._air[mask] - self._element[mask])
-        self._time[mask] += dt
-        due = mask & (self._time >= self._next_control)
-        while due.any():
-            self._next_control[due] += self.config.controller_period_s
-            self._control(due)
-            due = mask & (self._time >= self._next_control)
-        heating = mask & self._heater
-        cooling = mask & self._cooler
-        self._heater_seconds[heating] += dt
-        self._cooler_seconds[cooling] += dt
-        power = (
-            np.asarray(load_w, dtype=float)
-            + heating * self.config.heater_w
-            - cooling * self.config.cooler_w
-        )
+        if mask is None:
+            self._element += alpha * (self._air - self._element)
+            self._time += dt
+            self._time_max += dt
+            if self._time_max >= self._next_control_min:
+                due = self._time >= self._next_control
+                while due.any():
+                    self._next_control[due] += self.config.controller_period_s
+                    self._control(due)
+                    due = self._time >= self._next_control
+                self._next_control_min = float(self._next_control.min())
+        else:
+            self._element[mask] += alpha * (self._air[mask] - self._element[mask])
+            self._time[mask] += dt
+            self._time_max += dt
+            if self._time_max >= self._next_control_min:
+                due = mask & (self._time >= self._next_control)
+                while due.any():
+                    self._next_control[due] += self.config.controller_period_s
+                    self._control(due)
+                    due = mask & (self._time >= self._next_control)
+                # Masked columns may still sit before their deadline, so
+                # the lower bound over all columns remains valid.
+                self._next_control_min = float(self._next_control.min())
+        if self._any_heater or self._any_cooler:
+            heating = self._heater if mask is None else (mask & self._heater)
+            cooling = self._cooler if mask is None else (mask & self._cooler)
+            self._heater_seconds[heating] += dt
+            self._cooler_seconds[cooling] += dt
+            power = (
+                np.asarray(load_w, dtype=float)
+                + heating * self.config.heater_w
+                - cooling * self.config.cooler_w
+            )
+        else:
+            # All elements off: the duty adds and the heater/cooler power
+            # terms are exact zeros, so dropping them changes nothing.
+            power = np.asarray(load_w, dtype=float)
         leak = (self._air - room_temp_c) / self.config.wall_resistance
         delta = dt * (power - leak) / self.config.air_heat_capacity
-        self._air[mask] += delta[mask]
+        if mask is None:
+            self._air += delta
+        else:
+            self._air[mask] += delta[mask]
 
     def run_for_masked(
         self,
-        mask: np.ndarray,
+        mask: Optional[np.ndarray],
         room_temp_c: float,
         duration_s: float,
         load_w: np.ndarray,
     ) -> None:
-        """Advance masked columns by ``duration_s`` in controller-period
-        chunks — the batched mirror of :meth:`Thermabox.run_for`."""
+        """Advance masked columns (``None`` for all) by ``duration_s`` in
+        controller-period chunks — the batched mirror of
+        :meth:`Thermabox.run_for`."""
         if duration_s <= 0:
             raise ConfigurationError("duration_s must be positive")
         period = self.config.controller_period_s
@@ -401,3 +439,6 @@ class BatchedThermabox:
         stop_band = band & self._cooler
         self._cooler[stop_band] = False
         self._off_since[stop_band] = self._time[stop_band]
+
+        self._any_heater = bool(self._heater.any())
+        self._any_cooler = bool(self._cooler.any())

@@ -1,13 +1,16 @@
-"""Lock-step batched simulation of many same-model device units.
+"""Lock-step batched simulation of many device units, mixed models included.
 
-A fleet experiment runs the *same* protocol over N units of one device
-model; the serial path builds N worlds and steps them one after another,
-re-deriving identical control flow N times per engine step.
-:class:`BatchedWorld` instead advances all units in lock-step through
-stacked state: one ``(N, nodes)`` temperature matrix propagated by a
-single batched (Φ, Ψ) application per step, vectorized per-unit power
-evaluation over stacked silicon parameters, and masked cohort updates for
-the places units genuinely diverge (throttle polls, cooldown exits).
+A fleet experiment runs the *same* protocol over N units; the serial path
+builds N worlds and steps them one after another, re-deriving identical
+control flow N times per engine step.  :class:`BatchedWorld` instead
+advances all units in lock-step through stacked state: units are grouped
+by device model into cohort blocks (:class:`_CohortWorld`), and each
+cohort shares one ``(N_model, nodes)`` temperature matrix propagated by a
+single batched (Φ, Ψ) application per step — the block-diagonal form of
+the fleet-wide update — plus vectorized per-unit power evaluation over
+stacked silicon parameters and masked cohort updates for the places units
+genuinely diverge (throttle polls, cooldown exits).  A homogeneous fleet
+is the one-cohort special case and runs exactly the code it always has.
 
 Fidelity contract
 -----------------
@@ -73,6 +76,8 @@ class _ClusterBatch:
         "fixed_index",
         "external_index",
         "ipc",
+        "max_freq",
+        "top_rate",
     )
 
     def __init__(self, devices: Sequence[Device], cluster_index: int) -> None:
@@ -83,6 +88,9 @@ class _ClusterBatch:
         self.core_count = spec.core_count
         self.ipc = spec.ipc
         self.c_eff = spec.c_eff_f
+        self.max_freq = spec.max_freq_mhz
+        # ops_rate(max_freq, ipc) — the memory-stall normalization rate.
+        self.top_rate = spec.max_freq_mhz * 1e6 * spec.ipc
         self.leak_vref = spec.leak_ref_voltage_v
         process = devices[0].soc.spec.process
         self.leak_volt_slope = process.leak_volt_slope
@@ -121,9 +129,11 @@ class _ClusterBatch:
         return max(index, 0)
 
 
-class BatchedWorld:
-    """N same-model device units advanced in lock-step.
+class _CohortWorld:
+    """One same-model cohort of device units advanced in lock-step.
 
+    The single-model engine block behind :class:`BatchedWorld`, which
+    groups a (possibly mixed-model) fleet into these cohorts.
     Construction adopts the units' current device state (fresh devices
     start pristine, exactly like the serial runner's); :meth:`finalize`
     writes the evolved state back into the :class:`Device` objects so
@@ -137,9 +147,10 @@ class BatchedWorld:
         self,
         devices: Sequence[Device],
         room_temp_c: Union[float, np.ndarray],
-        chamber: Optional[BatchedThermabox] = None,
+        chamber=None,
         dt: float = 0.1,
         trace_decimation: int = 5,
+        check_invariants: bool = False,
     ) -> None:
         if not devices:
             raise SimulationError("a batched world needs at least one unit")
@@ -176,6 +187,7 @@ class BatchedWorld:
             self._room_temp = float(room[0])
         self._chamber = chamber
         spec = devices[0].spec
+        self._spec = spec
 
         reference = devices[0]
         thermal = reference.thermal
@@ -226,6 +238,26 @@ class BatchedWorld:
             self._shd_offline = np.zeros(count, dtype=np.int64)
             self._shd_next = np.zeros(count)
 
+        # Skin-temperature mitigation (slow surface-estimate polls): per-unit
+        # step/next-poll state, constants shared cohort-wide from the spec.
+        skin = reference.skin_throttle
+        self._has_skin = skin is not None
+        if skin is not None:
+            self._skin_interval = skin.poll_interval_s
+            self._skin_hot = skin.throttle_surface_c
+            self._skin_cold = skin.clear_surface_c
+            self._skin_max = skin.max_steps
+            self._skin_contact = skin.skin_model.contact_resistance
+            self._skin_steps = np.array(
+                [dev.skin_throttle._steps for dev in devices], dtype=np.int64
+            )
+            self._skin_next = np.array(
+                [dev.skin_throttle._next_poll_s for dev in devices]
+            )
+        else:
+            self._skin_steps = np.zeros(count, dtype=np.int64)
+            self._skin_next = np.zeros(count)
+
         os_ref = reference.os
         self._bg_power = os_ref.background_power_w
         self._bg_sigma = os_ref.background_sigma_w
@@ -242,6 +274,23 @@ class BatchedWorld:
             self._steal_sigma == 0 and self._steal_mean == 0
         )
         self._noise_enabled = self._bg_sigma > 0 and os_ref.rng is not None
+
+        # Scalar poll-skip bounds.  ``_now_max`` is an upper bound on every
+        # unit's device-local clock: each advance applied to any unit is
+        # also applied to it, and float addition is monotone, so it can
+        # never fall below the true max.  The ``*_next_min`` values are
+        # lower bounds on the matching next-poll arrays — those only ever
+        # grow, and the bound is refreshed whenever the exact vector check
+        # runs.  ``now_max < next_min`` therefore proves no unit is due
+        # with two Python floats, letting quiet steps skip the per-policy
+        # fleet-wide compare-and-any entirely; anything else falls through
+        # to the exact check, so replay is untouched.
+        self._now_max = float(self._now_dev.max())
+        self._stw_next_min = float(self._stw_next.min())
+        self._shd_next_min = float(self._shd_next.min())
+        self._skin_next_min = float(self._skin_next.min())
+        self._steal_next_min = float(self._steal_until.min())
+        self._any_offline = bool(self._shd_offline.any())
 
         sensor = reference.sensor
         self._sensor_quantum = sensor.quantization_c
@@ -345,6 +394,15 @@ class BatchedWorld:
             count, self._clusters[0].core_count, dtype=np.int64
         )
         self._other_cores = sum(c.core_count for c in self._clusters[1:])
+        # Governor-block replay cache (see _step_awake step 4): frequency
+        # choice, voltage, dynamic power and retire rate are pure functions
+        # of state that only moves when a mitigation poll fires or a
+        # governor knob changes, so quiet steps replay the cached arrays
+        # and recompute only the temperature-dependent leakage.  Worlds
+        # whose voltage moves every step (battery sag cap, RBCPR margin
+        # recovery) never cache.
+        self._gov_cacheable = self._rbcpr is None and not self._battery_mode
+        self._gov_cache: Optional[tuple] = None
         self._leak_temp_slope = reference.soc.spec.process.leak_temp_slope
         self._rows = np.arange(count)
         self._all_units = np.ones(count, dtype=bool)
@@ -363,6 +421,16 @@ class BatchedWorld:
         self._load_active = False
         self._wakelock = False
         self._utilization = 1.0
+        betas = {
+            cluster.memory_boundedness
+            for dev in devices
+            for cluster in dev.soc.clusters
+        }
+        if len(betas) != 1:
+            raise SimulationError(
+                "batched units must share one memory_boundedness"
+            )
+        self._mem_beta = betas.pop()
         self._fixed_mhz: Optional[float] = None
         self._apply_governors()
 
@@ -372,6 +440,7 @@ class BatchedWorld:
         self._clock_steps = np.zeros(count, dtype=np.int64)
         self._last_mit = np.zeros(count, dtype=np.int64)
         self._last_online = self._online_totals()
+        self._last_trace_stamp = np.full(count, -np.inf)
         self._prev_supply = np.zeros(count)
         self._ops_total = np.zeros(count)
         self._ff_windows = np.zeros(count, dtype=np.int64)
@@ -379,6 +448,8 @@ class BatchedWorld:
         self._phase: Optional[str] = None
         #: Times the active cohort shrank mid-phase (cooldown divergence).
         self.cohort_splits = 0
+        self._check_invariants = check_invariants
+        self._invariants = None
         self.begin_iteration()
 
     # -- protocol surface ---------------------------------------------------
@@ -439,11 +510,26 @@ class BatchedWorld:
         # but at the device's *actual* online count.
         self._last_mit = np.zeros(count, dtype=np.int64)
         self._last_online = self._online_totals()
+        self._last_trace_stamp = np.full(count, -np.inf)
         self._prev_supply = np.zeros(count)
         self._ops_total = np.zeros(count)
         self._ff_windows = np.zeros(count, dtype=np.int64)
         self._ff_steps = np.zeros(count, dtype=np.int64)
         self._phase = None
+        if self._check_invariants:
+            # Imported lazily, mirroring Accubench._attach_invariants:
+            # repro.check depends on the runner, which depends on this
+            # module.  Fresh per iteration, like the serial per-World suite.
+            from repro.check.invariants import BatchedInvariantSuite
+
+            self._invariants = BatchedInvariantSuite(
+                serials=[dev.serial for dev in self.devices],
+                node_temps_c=self._temps,
+                meter_j=self._energy_total,
+                throttle_steps=self._stw_steps,
+                throttle_temp_c=self._spec.throttle.throttle_temp_c,
+                clear_temp_c=self._spec.throttle.clear_temp_c,
+            )
 
     def acquire_wakelock(self) -> None:
         """Hold every unit awake."""
@@ -453,10 +539,21 @@ class BatchedWorld:
         """Let every unit suspend."""
         self._wakelock = False
 
-    def start_load(self, utilization: float = 1.0) -> None:
-        """Load every core on every unit (the π loop on all CPUs)."""
+    def start_load(
+        self, utilization: float = 1.0, memory_boundedness: float = 0.0
+    ) -> None:
+        """Load every core on every unit (the π loop on all CPUs).
+
+        Mirrors :meth:`Device.start_load`: ``memory_boundedness`` is the
+        workload's frequency-independent stall fraction (at top clock).
+        """
+        if not 0.0 < utilization <= 1.0:
+            raise SimulationError("utilization must be within (0, 1]")
+        if not 0.0 <= memory_boundedness < 1.0:
+            raise SimulationError("memory_boundedness must be within [0, 1)")
         self._load_active = True
         self._utilization = utilization
+        self._mem_beta = memory_boundedness
         self._apply_governors()
 
     def stop_load(self) -> None:
@@ -578,6 +675,11 @@ class BatchedWorld:
             stepwise = dev.soc.throttle.stepwise
             stepwise._steps = int(self._stw_steps[i])
             stepwise._next_poll_s = float(self._stw_next[i])
+            if self._has_skin:
+                dev.skin_throttle._steps = int(self._skin_steps[i])
+                dev.skin_throttle._next_poll_s = float(self._skin_next[i])
+                dev.soc.external_ceiling_steps = int(self._skin_steps[i])
+            dev.soc.set_memory_boundedness(self._mem_beta)
             if self._has_shutdown:
                 shutdown = dev.soc.throttle.shutdown
                 shutdown._offline = int(self._shd_offline[i])
@@ -620,6 +722,7 @@ class BatchedWorld:
         collapses to ``ladder[min(pin_index, ceiling_index)]``, so the hot
         loop never needs a searchsorted.
         """
+        self._gov_cache = None
         for batch in self._clusters:
             if not self._load_active:
                 batch.fixed_index = 0  # UserspaceGovernor(min_freq_mhz)
@@ -731,25 +834,56 @@ class BatchedWorld:
         # 1. Chamber absorbs last step's waste heat; units see its air.
         if self._chamber is not None:
             self._chamber.step_masked(
-                self._all_units, self._room_temp, dt, self._prev_supply
+                None, self._room_temp, dt, self._prev_supply
             )
-            ambient = self._chamber.air_temps_c.copy()
+            # Read-only view; every consumer below copies what it keeps.
+            ambient = self._chamber.air_temps_c
         else:
             ambient = self._room_ambient
         temps[:, self._idx_ambient] = ambient
-        die = temps[:, self._idx_cpu].copy()
+        die = temps[:, self._idx_cpu]
 
-        # 2. Thermal mitigation polls (stepwise + optional hard-limit).
-        polled = self._poll_policy(
-            die, now, self._stw_steps, self._stw_next,
-            self._stw_interval, self._stw_hot, self._stw_cold, self._stw_max,
-        )
-        if self._has_shutdown:
-            polled |= self._poll_policy(
+        # 2. Mitigation polls: skin surface estimate first (the serial
+        # Device.step updates it before Soc.step), then the die-temperature
+        # stepwise loop and the optional hard-limit hotplug monitor.  Each
+        # policy is guarded by its scalar skip bound — when ``now_max``
+        # has not reached the policy's next-poll minimum, no unit can be
+        # due and the vector check (and its state changes) cannot happen.
+        now_max = self._now_max
+        if self._has_skin and now_max >= self._skin_next_min:
+            case_pre = temps[:, self._idx_case]
+            surface = case_pre - (case_pre - ambient) * self._skin_contact
+            if self._poll_policy(
+                surface, now, self._skin_steps, self._skin_next,
+                self._skin_interval, self._skin_hot, self._skin_cold,
+                self._skin_max,
+            ):
+                self._gov_cache = None
+            self._skin_next_min = float(self._skin_next.min())
+        if now_max >= self._stw_next_min:
+            polled = self._poll_policy(
+                die, now, self._stw_steps, self._stw_next,
+                self._stw_interval, self._stw_hot, self._stw_cold, self._stw_max,
+            )
+            self._stw_next_min = float(self._stw_next.min())
+        else:
+            polled = False
+        if self._has_shutdown and now_max >= self._shd_next_min:
+            if self._poll_policy(
                 die, now, self._shd_offline, self._shd_next,
                 self._shd_interval, self._shd_hot, self._shd_cold, self._shd_max,
-            )
+            ):
+                polled = True
+                self._any_offline = bool(self._shd_offline.any())
+            self._shd_next_min = float(self._shd_next.min())
+        if polled:
+            self._gov_cache = None
         mit_steps = self._stw_steps
+        # Soc.step sums die mitigation and the skin-policy external steps
+        # before mapping to a ladder ceiling.
+        ceiling_steps = (
+            mit_steps + self._skin_steps if self._has_skin else mit_steps
+        )
 
         # 3. RBCPR: one evaluation serves every cluster this step.
         if self._rbcpr is not None:
@@ -762,87 +896,127 @@ class BatchedWorld:
         else:
             adjust = None
 
-        # 4. Per-cluster governor, voltage, power and retire rate.
+        # 4. Per-cluster governor, voltage, power and retire rate.  On a
+        # quiet step (no poll fired, no governor knob moved since the
+        # cache was built) every input except the die temperature is
+        # unchanged, so the cached per-cluster arrays are replayed and
+        # only the temperature-dependent leakage term is recomputed —
+        # float-for-float the same expressions the build step evaluated.
         util = self._utilization if self._load_active else 0.0
         soc_power = self._scr_soc
-        ops_rate_total = self._scr_ops
         soc_power.fill(0.0)
-        ops_rate_total.fill(0.0)
-        any_offline = self._has_shutdown and self._shd_offline.any()
+        any_offline = self._any_offline
         temp_term = np.exp(self._leak_temp_slope * (die - 40.0))
-        if self._battery_mode and self._vt_threshold is not None:
-            # Serial Device.step consults the supply's terminal voltage
-            # (last step's load, current SoC) before Soc.step each step.
-            self._capped = (
-                self._battery_terminal_v(self._bat_last_load)
-                <= self._vt_threshold
-            )
-        capped = self._capped
-        for k, batch in enumerate(self._clusters):
-            ladder = batch.ladder
-            # Frequency choice in pure index space (see _apply_governors).
-            freq_index = ladder.size - 1 - mit_steps
-            np.maximum(freq_index, 0, out=freq_index)
-            if batch.external_index is not None:
-                if self._battery_mode:
-                    binds = capped & (self._vt_ceiling < ladder[freq_index])
+        cache = self._gov_cache
+        if cache is not None:
+            cluster_cache, ops_rate_total, online_big = cache
+            self._online_big = online_big
+            for dynamic, lv, soc_leak_cores in cluster_cache:
+                leak_per_core = lv * temp_term
+                soc_power += dynamic + leak_per_core * soc_leak_cores
+        else:
+            ops_rate_total = self._scr_ops
+            ops_rate_total.fill(0.0)
+            if self._battery_mode and self._vt_threshold is not None:
+                # Serial Device.step consults the supply's terminal voltage
+                # (last step's load, current SoC) before Soc.step each step.
+                self._capped = (
+                    self._battery_terminal_v(self._bat_last_load)
+                    <= self._vt_threshold
+                )
+            capped = self._capped
+            mem_beta = self._mem_beta
+            cluster_cache = []
+            for k, batch in enumerate(self._clusters):
+                ladder = batch.ladder
+                # Frequency choice in pure index space (see _apply_governors).
+                freq_index = ladder.size - 1 - ceiling_steps
+                np.maximum(freq_index, 0, out=freq_index)
+                if batch.external_index is not None:
+                    if self._battery_mode:
+                        binds = capped & (self._vt_ceiling < ladder[freq_index])
+                    else:
+                        binds = self._external_mhz < ladder[freq_index]
+                    freq_index[binds] = batch.external_index
+                if batch.fixed_index is not None:
+                    np.minimum(freq_index, batch.fixed_index, out=freq_index)
+                freq = ladder[freq_index]
+                batch.freq = freq
+                if adjust is not None:
+                    batch.voltage_adjust = adjust
+                voltage = (
+                    batch.volt_table[self._rows, freq_index] + batch.voltage_adjust
+                )
+                base = batch.c_eff * voltage * voltage * (freq * 1e6)
+                if mem_beta > 0.0:
+                    # ClusterState._cpu_time_share / ops_per_second,
+                    # element-wise: stall time is fixed at the top clock,
+                    # CPU time scales 1/f.
+                    ratio = mem_beta / (1.0 - mem_beta)
+                    cpu_time = 1.0 / freq
+                    mem_time = ratio / batch.max_freq
+                    share = cpu_time / (cpu_time + mem_time)
+                    per_core_dyn = base * (util * share)
+                    per_core_rate = freq * 1e6 * batch.ipc
+                    per_core_rate = 1.0 / (
+                        1.0 / per_core_rate + ratio / batch.top_rate
+                    )
+                    per_core_ops = per_core_rate * util
                 else:
-                    binds = self._external_mhz < ladder[freq_index]
-                freq_index[binds] = batch.external_index
-            if batch.fixed_index is not None:
-                np.minimum(freq_index, batch.fixed_index, out=freq_index)
-            freq = ladder[freq_index]
-            batch.freq = freq
-            if adjust is not None:
-                batch.voltage_adjust = adjust
-            voltage = (
-                batch.volt_table[self._rows, freq_index] + batch.voltage_adjust
-            )
-            base = batch.c_eff * voltage * voltage * (freq * 1e6)
-            per_core_dyn = base if util == 1.0 else base * util
-            per_core_ops = (freq * 1e6 * batch.ipc) * util
-            # Left-to-right per-core accumulation, exactly as the serial
-            # cluster sums its online cores (repeated addition, not a
-            # multiply — they differ at the last ulp for 3+ cores).
-            if k == 0 and any_offline:
-                online = np.maximum(0, batch.core_count - self._shd_offline)
-                self._online_big = online
-                dynamic = np.zeros(count)
-                retire = np.zeros(count)
-                for core in range(batch.core_count):
-                    member = core < online
-                    dynamic[member] += per_core_dyn[member]
-                    retire[member] += per_core_ops[member]
-                soc_leak_cores = online
-            else:
-                if k == 0:
-                    self._online_big = self._online_big_full
-                dynamic = per_core_dyn.copy()
-                retire = per_core_ops.copy()
-                for _ in range(batch.core_count - 1):
-                    dynamic += per_core_dyn
-                    retire += per_core_ops
-                soc_leak_cores = batch.core_count
-            volt_term = (voltage / batch.leak_vref) * np.exp(
-                batch.leak_volt_slope * (voltage - batch.leak_vref)
-            )
-            leak_per_core = batch.leak_coeff * volt_term * temp_term
-            soc_power += dynamic + leak_per_core * soc_leak_cores
-            ops_rate_total += retire
+                    per_core_dyn = base if util == 1.0 else base * util
+                    per_core_ops = (freq * 1e6 * batch.ipc) * util
+                # Left-to-right per-core accumulation, exactly as the serial
+                # cluster sums its online cores (repeated addition, not a
+                # multiply — they differ at the last ulp for 3+ cores).
+                if k == 0 and any_offline:
+                    online = np.maximum(0, batch.core_count - self._shd_offline)
+                    self._online_big = online
+                    dynamic = np.zeros(count)
+                    retire = np.zeros(count)
+                    for core in range(batch.core_count):
+                        member = core < online
+                        dynamic[member] += per_core_dyn[member]
+                        retire[member] += per_core_ops[member]
+                    soc_leak_cores = online
+                else:
+                    if k == 0:
+                        self._online_big = self._online_big_full
+                    dynamic = per_core_dyn.copy()
+                    retire = per_core_ops.copy()
+                    for _ in range(batch.core_count - 1):
+                        dynamic += per_core_dyn
+                        retire += per_core_ops
+                    soc_leak_cores = batch.core_count
+                volt_term = (voltage / batch.leak_vref) * np.exp(
+                    batch.leak_volt_slope * (voltage - batch.leak_vref)
+                )
+                lv = batch.leak_coeff * volt_term
+                leak_per_core = lv * temp_term
+                soc_power += dynamic + leak_per_core * soc_leak_cores
+                ops_rate_total += retire
+                cluster_cache.append((dynamic, lv, soc_leak_cores))
+            if self._gov_cacheable:
+                self._gov_cache = (
+                    cluster_cache, ops_rate_total.copy(), self._online_big
+                )
         ops = ops_rate_total * dt
 
         # 5. OS: cycle steal (piecewise-constant, resampled per interval)
         # then residual background noise — one draw per unit per step, in
         # the serial order, from each unit's own stream.
         if self._steal_enabled:
-            due = now >= self._steal_until
-            if due.any():
-                for i in np.flatnonzero(due):
-                    sampled = float(
-                        self._os_rng[i].normal(self._steal_mean, self._steal_sigma)
-                    )
-                    self._steal_frac[i] = min(max(sampled, 0.0), self._steal_max)
-                    self._steal_until[i] = now[i] + self._steal_interval
+            if now_max >= self._steal_next_min:
+                due = now >= self._steal_until
+                if due.any():
+                    for i in np.flatnonzero(due):
+                        sampled = float(
+                            self._os_rng[i].normal(
+                                self._steal_mean, self._steal_sigma
+                            )
+                        )
+                        self._steal_frac[i] = min(max(sampled, 0.0), self._steal_max)
+                        self._steal_until[i] = now[i] + self._steal_interval
+                self._steal_next_min = float(self._steal_until.min())
             ops *= 1.0 - self._steal_frac
         if self._noise_enabled:
             noise = self._scr_noise
@@ -874,6 +1048,7 @@ class BatchedWorld:
         power[:, self._idx_pkg] = supply - soc_power
         self._propagator.advance_batch(temps, power, dt)
         self._now_dev = now + dt
+        self._now_max = now_max + dt
         self._ops_total += ops
 
         # 7. Events, decimated trace, tick.  Mitigation and hotplug state
@@ -896,6 +1071,18 @@ class BatchedWorld:
             )
         self._clock_steps += 1
         self._prev_supply = supply
+        if self._invariants is not None:
+            self._invariants.observe_awake(
+                self._clock_steps * dt,
+                self._phase,
+                temps[:, self._idx_cpu],
+                temps[:, self._idx_case],
+                ambient,
+                supply,
+                self._energy_total,
+                self._stw_steps,
+                dt,
+            )
 
     def _fast_forward(self, active: np.ndarray, window_s: float) -> None:
         """Advance the sleeping active cohort one poll window exactly."""
@@ -906,7 +1093,7 @@ class BatchedWorld:
             self._chamber.run_for_masked(
                 active, self._room_temp, duration, self._prev_supply
             )
-            ambient = self._chamber.air_temps_c.copy()
+            ambient = self._chamber.air_temps_c
         else:
             ambient = self._room_ambient
         temps = self._temps
@@ -928,6 +1115,9 @@ class BatchedWorld:
         self._propagator.advance_batch(sub, power, duration)
         temps[active] = sub
         self._now_dev[active] += duration
+        # Upper-bound update: the true max may be inactive and not advance,
+        # in which case the bound merely loosens (safe direction).
+        self._now_max += duration
         self._clock_steps[active] += steps
         self._ff_windows[active] += 1
         self._ff_steps[active] += steps
@@ -936,6 +1126,17 @@ class BatchedWorld:
         # mitigation and hotplug cannot change while asleep, so no events.
         clock_now = self._clock_steps * dt
         supply_arr = np.full(self._count, supply)
+        if self._invariants is not None:
+            self._invariants.observe_asleep(
+                active,
+                clock_now,
+                self._phase,
+                temps[:, self._idx_cpu],
+                ambient,
+                supply,
+                self._energy_total,
+                duration,
+            )
         self._record_traces(
             np.flatnonzero(active), clock_now, ambient, supply_arr,
             np.zeros(self._count), 1.0,
@@ -978,6 +1179,338 @@ class BatchedWorld:
         data[:, 7] = self._stw_steps[units]
         data[:, 8] = asleep
         times = clock_now[units]
+        if self._invariants is not None:
+            # Same-stamp re-records overwrite the previous row (see
+            # Trace.append), so only strictly advancing stamps reach the
+            # monotone-time checker — mirroring what the serial checker
+            # sees, where an overwrite never grows the trace.
+            fresh = times > self._last_trace_stamp[units]
+            if fresh.all():
+                self._invariants.observe_trace(units, times)
+            elif fresh.any():
+                self._invariants.observe_trace(units[fresh], times[fresh])
+        self._last_trace_stamp[units] = times
         traces = self.traces
         for j, i in enumerate(units):
             traces[i].append(times[j], data[j])
+
+
+class _ChamberView:
+    """A cohort's private slice of a fleet-wide :class:`BatchedThermabox`.
+
+    Chamber columns are fully independent — every update is elementwise
+    per column — so the cohort's columns are detached into a narrow
+    chamber at construction (each state array sliced out of the parent)
+    and stepped at cohort width.  That is bit-identical to driving the
+    cohort's columns through the parent's masked updates, but avoids
+    paying full-fleet-width chamber math once per cohort per step.
+    :meth:`writeback` scatters the final column state into the parent so
+    post-run consumers (duty-cycle counters, elapsed time) see the whole
+    fleet in one place again.
+    """
+
+    __slots__ = ("_parent", "_indices", "_box")
+
+    _STATE = (
+        "_air",
+        "_element",
+        "_time",
+        "_next_control",
+        "_heater",
+        "_cooler",
+        "_off_since",
+        "_heater_seconds",
+        "_cooler_seconds",
+    )
+
+    def __init__(self, parent: BatchedThermabox, indices: np.ndarray) -> None:
+        self._parent = parent
+        self._indices = indices
+        box = BatchedThermabox(parent.config, count=int(indices.size))
+        for name in self._STATE:
+            setattr(box, name, getattr(parent, name)[indices])
+        box._time_max = float(box._time.max())
+        box._next_control_min = float(box._next_control.min())
+        box._any_heater = bool(box._heater.any())
+        box._any_cooler = bool(box._cooler.any())
+        self._box = box
+
+    @property
+    def count(self) -> int:
+        return self._box.count
+
+    @property
+    def air_temps_c(self) -> np.ndarray:
+        return self._box.air_temps_c
+
+    def step_masked(
+        self, mask: np.ndarray, room_temp_c: float, dt: float, load_w: np.ndarray
+    ) -> None:
+        self._box.step_masked(mask, room_temp_c, dt, load_w)
+
+    def run_for_masked(
+        self,
+        mask: np.ndarray,
+        room_temp_c: float,
+        duration_s: float,
+        load_w: np.ndarray,
+    ) -> None:
+        self._box.run_for_masked(mask, room_temp_c, duration_s, load_w)
+
+    def writeback(self) -> None:
+        parent = self._parent
+        for name in self._STATE:
+            getattr(parent, name)[self._indices] = getattr(self._box, name)
+        parent._time_max = max(parent._time_max, self._box._time_max)
+        parent._next_control_min = float(parent._next_control.min())
+        parent._any_heater = bool(parent._heater.any())
+        parent._any_cooler = bool(parent._cooler.any())
+
+
+class BatchedWorld:
+    """A whole fleet — mixed device models included — advanced in lock-step.
+
+    Units are grouped by device model into same-model cohort blocks
+    (:class:`_CohortWorld`); each block shares one batched (Φ, Ψ)
+    propagator application per step, so a mixed fleet advances through a
+    block-diagonal update instead of falling back to per-unit worlds.
+    Per-unit results come back in fleet order regardless of the cohort
+    blocking, and every unit draws from its own serial-keyed RNG streams,
+    so results are bit-identical to the serial path (within the BLAS
+    summation budget of ``BATCH_SPEC``) for any model mix.
+
+    A homogeneous fleet builds exactly one cohort and passes the chamber
+    straight through; a mixed fleet hands each cohort a
+    :class:`_ChamberView` over its own chamber columns.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[Device],
+        room_temp_c: Union[float, np.ndarray],
+        chamber: Optional[BatchedThermabox] = None,
+        dt: float = 0.1,
+        trace_decimation: int = 5,
+        check_invariants: bool = False,
+    ) -> None:
+        if not devices:
+            raise SimulationError("a batched world needs at least one unit")
+        self.devices = list(devices)
+        count = len(devices)
+        self._count = count
+        self._dt = dt
+        groups: "dict[str, List[int]]" = {}
+        for i, dev in enumerate(devices):
+            groups.setdefault(dev.spec.name, []).append(i)
+        self._cohorts: List[tuple] = []
+        self._chamber_views: List[_ChamberView] = []
+        if len(groups) == 1:
+            indices = np.arange(count)
+            self._cohorts.append(
+                (
+                    indices,
+                    _CohortWorld(
+                        self.devices,
+                        room_temp_c,
+                        chamber=chamber,
+                        dt=dt,
+                        trace_decimation=trace_decimation,
+                        check_invariants=check_invariants,
+                    ),
+                )
+            )
+        else:
+            room = np.asarray(room_temp_c, dtype=float)
+            if room.ndim != 0 and room.shape != (count,):
+                raise SimulationError(
+                    "room_temp_c array must have one entry per unit"
+                )
+            if chamber is not None and chamber.count != count:
+                raise SimulationError(
+                    "chamber column count must match unit count"
+                )
+            for indices_list in groups.values():
+                indices = np.array(indices_list)
+                cohort_room = (
+                    float(room) if room.ndim == 0 else room[indices]
+                )
+                cohort_chamber = (
+                    _ChamberView(chamber, indices) if chamber is not None else None
+                )
+                if cohort_chamber is not None:
+                    self._chamber_views.append(cohort_chamber)
+                self._cohorts.append(
+                    (
+                        indices,
+                        _CohortWorld(
+                            [self.devices[i] for i in indices_list],
+                            cohort_room,
+                            chamber=cohort_chamber,
+                            dt=dt,
+                            trace_decimation=trace_decimation,
+                            check_invariants=check_invariants,
+                        ),
+                    )
+                )
+
+    # -- fleet-order gather helpers -----------------------------------------
+
+    def _gather(self, pull, dtype=float) -> np.ndarray:
+        out = np.empty(self._count, dtype=dtype)
+        for indices, world in self._cohorts:
+            out[indices] = pull(world)
+        return out
+
+    def _gather_list(self, pull) -> list:
+        out = [None] * self._count
+        for indices, world in self._cohorts:
+            items = pull(world)
+            for j, i in enumerate(indices):
+                out[i] = items[j]
+        return out
+
+    # -- protocol surface ---------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of units in the batch."""
+        return self._count
+
+    @property
+    def dt(self) -> float:
+        """Engine step, seconds."""
+        return self._dt
+
+    @property
+    def traces(self) -> List[Trace]:
+        """Per-unit iteration traces, fleet order."""
+        return self._gather_list(lambda w: w.traces)
+
+    @property
+    def event_logs(self) -> List[EventLog]:
+        """Per-unit iteration event logs, fleet order."""
+        return self._gather_list(lambda w: w.event_logs)
+
+    @property
+    def cohort_splits(self) -> int:
+        """Times any cohort's active set shrank mid-phase."""
+        return sum(world.cohort_splits for _, world in self._cohorts)
+
+    @property
+    def ops_total(self) -> np.ndarray:
+        """Per-unit work retired this iteration, ops."""
+        return self._gather(lambda w: w.ops_total)
+
+    @property
+    def energy_drawn_j(self) -> np.ndarray:
+        """Per-unit cumulative supply energy, joules."""
+        return self._gather(lambda w: w.energy_drawn_j)
+
+    @property
+    def clock_now(self) -> np.ndarray:
+        """Per-unit iteration clock time, seconds."""
+        return self._gather(lambda w: w.clock_now)
+
+    @property
+    def looped_steps(self) -> np.ndarray:
+        """Per-unit engine steps actually looped (clock minus macro steps)."""
+        return self._gather(lambda w: w.looped_steps, dtype=np.int64)
+
+    @property
+    def fast_forward_steps(self) -> np.ndarray:
+        """Per-unit clock steps covered by macro propagations."""
+        return self._gather(lambda w: w.fast_forward_steps, dtype=np.int64)
+
+    @property
+    def fast_forward_windows(self) -> np.ndarray:
+        """Per-unit macro windows taken this iteration."""
+        return self._gather(lambda w: w.fast_forward_windows, dtype=np.int64)
+
+    def ambient_now(self) -> np.ndarray:
+        """Per-unit ambient the devices currently see, °C."""
+        return self._gather(lambda w: w.ambient_now())
+
+    def begin_iteration(self) -> None:
+        """Reset per-iteration world state (the serial path's fresh World)."""
+        for _, world in self._cohorts:
+            world.begin_iteration()
+
+    def acquire_wakelock(self) -> None:
+        """Hold every unit awake."""
+        for _, world in self._cohorts:
+            world.acquire_wakelock()
+
+    def release_wakelock(self) -> None:
+        """Let every unit suspend."""
+        for _, world in self._cohorts:
+            world.release_wakelock()
+
+    def start_load(
+        self, utilization: float = 1.0, memory_boundedness: float = 0.0
+    ) -> None:
+        """Load every core on every unit (the π loop on all CPUs)."""
+        for _, world in self._cohorts:
+            world.start_load(utilization, memory_boundedness)
+
+    def stop_load(self) -> None:
+        """Stop the benchmark load on every unit."""
+        for _, world in self._cohorts:
+            world.stop_load()
+
+    def set_fixed_frequency(self, freq_mhz: float) -> None:
+        """Pin all clusters at their nearest ladder step below a frequency."""
+        for _, world in self._cohorts:
+            world.set_fixed_frequency(freq_mhz)
+
+    def unconstrain_frequency(self) -> None:
+        """Restore the performance governor."""
+        for _, world in self._cohorts:
+            world.unconstrain_frequency()
+
+    def set_phase(self, name: Optional[str]) -> None:
+        """Annotate every unit's trace with a protocol phase from now on."""
+        for _, world in self._cohorts:
+            world.set_phase(name)
+
+    def close(self) -> None:
+        """End any open phase annotation."""
+        for _, world in self._cohorts:
+            world.close()
+
+    def run_for(self, duration_s: float) -> None:
+        """Advance every unit, awake, for a fixed duration.
+
+        Cohorts run sequentially — units never interact and chamber
+        columns are independent, so block order cannot change any unit's
+        trajectory.
+        """
+        for _, world in self._cohorts:
+            world.run_for(duration_s)
+
+    def run_cooldown(
+        self, targets_c: np.ndarray, poll_s: float, timeout_s: float
+    ) -> np.ndarray:
+        """Cooldown every unit to its target; returns per-unit elapsed time."""
+        targets = np.asarray(targets_c, dtype=float)
+        elapsed = np.empty(self._count)
+        for indices, world in self._cohorts:
+            elapsed[indices] = world.run_cooldown(
+                targets[indices], poll_s, timeout_s
+            )
+        return elapsed
+
+    def run_asleep(self, duration_s: float) -> None:
+        """Advance every unit, suspended, as a single exact macro window."""
+        for _, world in self._cohorts:
+            world.run_asleep(duration_s)
+
+    def read_sensors(self) -> np.ndarray:
+        """Poll every unit's CPU temperature sensor, one draw per unit."""
+        return self._gather(lambda w: w.read_sensors())
+
+    def finalize(self) -> None:
+        """Write the batched state back into the per-unit Device objects."""
+        for _, world in self._cohorts:
+            world.finalize()
+        for view in self._chamber_views:
+            view.writeback()

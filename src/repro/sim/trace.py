@@ -104,8 +104,20 @@ class Trace:
         size = self._size
         if size == buffer.shape[0]:
             buffer = self._grow()
-        if size and time_s < buffer[size - 1, 0]:
-            raise ConfigurationError("samples must be appended in time order")
+        if size and time_s <= buffer[size - 1, 0]:
+            if time_s < buffer[size - 1, 0]:
+                raise ConfigurationError(
+                    "samples must be appended in time order"
+                )
+            # Same-stamp re-record: a fast-forward macro window leaves a
+            # sample at its end time, and when the next decimated step lands
+            # on the same clock reading the fresher state supersedes it.
+            # Overwriting keeps the time axis strictly increasing.
+            row = buffer[size - 1]
+            row[1:] = values
+            if self._views:
+                self._views.clear()
+            return
         row = buffer[size]
         row[0] = time_s
         row[1:] = values

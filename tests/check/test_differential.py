@@ -3,16 +3,23 @@
 import pytest
 
 from repro.check.differential import (
+    BATCH_SPEC,
     EXACT_SPEC,
     FAST_FORWARD_SPEC,
+    MIXED_FLEET_LABEL,
+    MIXED_FLEET_MODELS,
     SOLVER_SPEC,
     Pairing,
     ToleranceSpec,
     Tolerance,
+    batch_invariants_pairing,
+    batch_memory_bound_pairing,
+    batch_skin_throttle_pairing,
     default_differential_config,
     default_pairings,
     fast_forward_pairing,
     jobs_pairing,
+    mixed_fleet_pairing,
     run_pairing,
     solver_pairing,
 )
@@ -55,7 +62,46 @@ class TestPairings:
 
     def test_default_battery_covers_all_fast_paths(self):
         names = [pairing.name for pairing in default_pairings(tiny_base())]
-        assert names == ["solver", "jobs-2", "jobs-4", "fast-forward", "batch"]
+        assert names == [
+            "solver",
+            "jobs-2",
+            "jobs-4",
+            "fast-forward",
+            "batch",
+            "batch-invariants",
+            "batch-memory-bound",
+            "batch-skin-throttle",
+            "batch-mixed-fleet",
+        ]
+
+    def test_invariants_pairing_arms_both_sides(self):
+        pairing = batch_invariants_pairing(tiny_base())
+        assert pairing.config_a.accubench.check_invariants
+        assert pairing.config_b.accubench.check_invariants
+        assert not pairing.config_a.accubench.batch
+        assert pairing.config_b.accubench.batch
+        assert pairing.spec is BATCH_SPEC
+
+    def test_memory_bound_pairing_sets_roofline_knobs(self):
+        pairing = batch_memory_bound_pairing(tiny_base())
+        for config in (pairing.config_a, pairing.config_b):
+            assert config.accubench.memory_boundedness == 0.35
+            assert config.accubench.utilization == 0.9
+
+    def test_skin_pairing_builds_throttled_fleets(self):
+        pairing = batch_skin_throttle_pairing(tiny_base())
+        fleet = pairing.fleet_factory(pairing.config_a, MODEL)
+        assert len(fleet) == 4
+        assert all(device.spec.skin_throttle is not None for device in fleet)
+
+    def test_mixed_pairing_interleaves_models(self):
+        pairing = mixed_fleet_pairing(tiny_base())
+        assert pairing.models == (MIXED_FLEET_LABEL,)
+        fleet = pairing.fleet_factory(pairing.config_b, MIXED_FLEET_LABEL)
+        names = [device.spec.name for device in fleet]
+        assert set(names) == set(MIXED_FLEET_MODELS)
+        # Interleaved, never two same-model units adjacent at the head.
+        assert names[0] != names[1]
 
 
 class TestRunPairing:

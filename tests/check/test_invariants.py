@@ -131,8 +131,13 @@ class TestViolationsCaught:
         invariant = TraceTimeMonotone()
         world.attach_observer(InvariantSuite([invariant]))
         world.run_for(1.0)
-        # Force a duplicate-timestamp sample (Trace allows equal times).
-        world.trace.append(world.trace.times()[-1], (0.0,) * 9)
+        # Inject a stalled sample behind Trace.append's back (append now
+        # overwrites same-stamp rows), emulating an engine that records
+        # without advancing its clock.
+        trace = world.trace
+        trace._buffer[trace._size] = trace._buffer[trace._size - 1]
+        trace._size += 1
+        trace._views.clear()
         with pytest.raises(InvariantViolation, match="trace-time-monotone"):
             world.run_for(1.0)
 
@@ -165,3 +170,28 @@ class TestProtocolIntegration:
             scenario_device(), unconstrained(), iterations=1
         )
         assert result.iterations[0].energy_j > 0.0
+
+    @pytest.mark.parametrize("batch", [False, True])
+    def test_invariants_with_fast_forward_at_tiny_scale(self, batch):
+        # Regression: at scales where a cooldown fast-forward window ends
+        # exactly on a decimated step's clock reading, the engine used to
+        # record two trace samples with the same stamp, tripping the
+        # trace-time-monotone checker.  Same-stamp re-records now
+        # overwrite (Trace.append), on both engines.
+        from repro.core.config import AccubenchConfig
+        from repro.core.experiments import unconstrained
+        from repro.core.runner import CampaignConfig, CampaignRunner
+        from repro.device.fleet import synthetic_fleet
+
+        accubench = AccubenchConfig(
+            thermal_solver="expm",
+            sleep_fast_forward=True,
+            check_invariants=True,
+            batch=batch,
+        ).scaled(0.05)
+        runner = CampaignRunner(CampaignConfig(accubench=accubench, jobs=1))
+        devices = synthetic_fleet(
+            "Nexus 5", 4, thermal_solver="expm", initial_temp_c=26.0
+        )
+        result = runner.run_fleet("Nexus 5", unconstrained(), devices=devices)
+        assert len(result.devices) == 4

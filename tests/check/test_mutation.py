@@ -5,17 +5,30 @@ asserts the euler-vs-expm differential pairing reports the divergence.
 A second mutant biases the *batched* engine's power path and asserts the
 serial-vs-batched pairing catches it.  Runs serial (jobs=1) on both
 sides — a monkeypatch does not cross process-pool boundaries.
+
+The scenario pairings that gate the lifted batch-eligibility
+restrictions get mutants of their own: a biased batched skin-throttle
+state machine, a biased memory-bounded roofline share, and a biased
+vectorized invariant integral must each be flagged by the pairing (or
+checker) that claims to guard it.
 """
 
 import pytest
 
 from repro.check.differential import (
+    batch_invariants_pairing,
+    batch_memory_bound_pairing,
     batch_pairing,
+    batch_skin_throttle_pairing,
     default_differential_config,
     run_pairing,
     solver_pairing,
 )
-from repro.sim.batch import _ClusterBatch
+from repro.check.invariants import BatchedInvariantSuite
+from repro.core.experiments import unconstrained
+from repro.core.runner import CampaignRunner
+from repro.errors import InvariantViolation
+from repro.sim.batch import _ClusterBatch, _CohortWorld
 from repro.thermal.propagator import ExpmPropagator
 
 MODEL = "Nexus 5"
@@ -84,3 +97,78 @@ class TestMutationDetection:
     def test_unmutated_batch_pairing_passes(self):
         report = run_pairing(batch_pairing(tiny_base()), [MODEL], iterations=1)
         assert report.passed, report.render()
+
+    def test_biased_batched_skin_governor_is_flagged(self, monkeypatch):
+        # Bias only the batched skin-throttle's thresholds below ambient:
+        # its governor then deepens a mitigation step at every poll while
+        # the serial skin governor (41 °C threshold, untouched) stays
+        # idle, so the frequency ceilings disagree and the skin-scenario
+        # pairing must report it.
+        original = _CohortWorld.__init__
+
+        def biased(self, devices, *args, **kwargs):
+            original(self, devices, *args, **kwargs)
+            if self._has_skin:
+                self._skin_hot = 20.0
+                self._skin_cold = 19.0
+
+        monkeypatch.setattr(_CohortWorld, "__init__", biased)
+        report = run_pairing(
+            batch_skin_throttle_pairing(tiny_base()), [MODEL], iterations=1
+        )
+        assert not report.passed, (
+            "the skin-throttle pairing failed to flag a mutated batched "
+            "skin governor"
+        )
+        fields = {d.field for d in report.divergences}
+        assert fields & {
+            "mean_freq_mhz",
+            "iterations_completed",
+            "energy_j",
+            "mean_power_w",
+            "max_cpu_temp_c",
+            "time_throttled_s",
+        }
+
+    def test_biased_batched_memory_share_is_flagged(self, monkeypatch):
+        # Inflate only the batched engine's memory-boundedness: the
+        # roofline share and retire rate drift from the serial cluster
+        # math, and the memory-bound pairing must report it.
+        original = _CohortWorld.start_load
+
+        def biased(self, utilization=1.0, memory_boundedness=0.0):
+            original(self, utilization, memory_boundedness * 1.1)
+
+        monkeypatch.setattr(_CohortWorld, "start_load", biased)
+        report = run_pairing(
+            batch_memory_bound_pairing(tiny_base()), [MODEL], iterations=1
+        )
+        assert not report.passed, (
+            "the memory-bound pairing failed to flag a mutated batched "
+            "roofline share"
+        )
+        fields = {d.field for d in report.divergences}
+        assert fields & {
+            "iterations_completed",
+            "energy_j",
+            "mean_power_w",
+            "mean_freq_mhz",
+            "max_cpu_temp_c",
+        }
+
+    def test_biased_vectorized_invariant_integral_is_flagged(self, monkeypatch):
+        # Corrupt the vectorized checker's own energy integral: the
+        # conservation invariant must trip on an otherwise healthy run,
+        # proving the batched observers are live rather than decorative.
+        original = BatchedInvariantSuite.observe_awake
+
+        def biased(self, *args, **kwargs):
+            self._integral_j *= 1.001
+            original(self, *args, **kwargs)
+
+        monkeypatch.setattr(BatchedInvariantSuite, "observe_awake", biased)
+        config = batch_invariants_pairing(tiny_base()).config_b
+        with pytest.raises(InvariantViolation):
+            CampaignRunner(config).run_fleet(
+                MODEL, unconstrained(), iterations=1, jobs=1
+            )

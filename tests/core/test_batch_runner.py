@@ -59,19 +59,19 @@ class TestEligibility:
             config, unconstrained(), fleet(4)
         )
 
-    def test_invariant_observers_are_ineligible(self):
+    def test_invariant_observers_are_eligible(self):
         config = CampaignConfig(accubench=bench(check_invariants=True))
-        assert "invariant" in batch_ineligibility_reason(
-            config, unconstrained(), fleet(4)
+        assert (
+            batch_ineligibility_reason(config, unconstrained(), fleet(4)) is None
         )
 
-    def test_mixed_models_are_ineligible(self):
+    def test_mixed_models_are_eligible(self):
         config = CampaignConfig(accubench=bench())
         mixed = fleet(2) + synthetic_fleet(
             "Nexus 6", 2, thermal_solver="expm", initial_temp_c=26.0
         )
-        assert "mixed" in batch_ineligibility_reason(
-            config, unconstrained(), mixed
+        assert (
+            batch_ineligibility_reason(config, unconstrained(), mixed) is None
         )
 
     def test_run_batch_rejects_ineligible_fleet(self):

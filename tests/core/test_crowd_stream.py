@@ -152,6 +152,49 @@ class TestCheckpointResume:
             load_checkpoint(path, "not-the-fingerprint")
 
 
+class TestMixedModelResume:
+    """Heterogeneous populations checkpoint and resume like uniform ones.
+
+    With ``models`` cycling per user index, every 3-user cohort holds two
+    models, so ``execute_cohort`` runs a genuinely mixed
+    :class:`~repro.sim.batch.BatchedWorld` — and the checkpoint cursor
+    (2 uniforms per user, model choice index-pure) must replay across it.
+    """
+
+    def test_mixed_cohorts_resume_bit_identically_for_any_jobs(self, tmp_path):
+        config = replace(
+            default_crowd_differential_config(user_count=8),
+            models=("Nexus 5", "Nexus 6"),
+        )
+        fleet_models = [device.spec.name for device in crowd_fleet(config)]
+        assert fleet_models == ["Nexus 5", "Nexus 6"] * 4
+
+        baseline = run_streaming_crowd_study(config, cohort_size=3)
+        assert baseline.complete
+        assert baseline.model == "Nexus 5+Nexus 6"
+
+        path = str(tmp_path / "mixed.ckpt")
+        partial = run_streaming_crowd_study(
+            config, cohort_size=3, checkpoint_path=path, stop_after_cohorts=2
+        )
+        assert not partial.complete
+        assert partial.cohorts_completed == 2
+        with open(path) as fp:
+            saved = fp.read()
+
+        for jobs in (1, 2, 4):
+            job_path = str(tmp_path / f"mixed-jobs{jobs}.ckpt")
+            with open(job_path, "w") as fp:
+                fp.write(saved)
+            resumed = run_streaming_crowd_study(
+                config, cohort_size=3, checkpoint_path=job_path, jobs=jobs
+            )
+            assert resumed.complete
+            assert resumed.resumed_from_cohort == 2
+            expected = dict(baseline.to_dict(), resumed_from_cohort=2)
+            assert resumed.to_dict() == expected
+
+
 class TestDropAccounting:
     def test_short_observe_drops_everyone_like_serial(self, micro_config):
         # 50 s of 5 s polls → 10 samples, 6 after the 40% head skip —

@@ -49,6 +49,27 @@ class TestRecording:
         assert t.column("a")[0] == 1.0
         assert t.column("b")[0] == 2.0
 
+    def test_same_stamp_overwrites(self):
+        # A fast-forward macro window stamps a sample at its end time; the
+        # next decimated step can land on the same clock reading.  The
+        # fresher state must supersede the row, never duplicate the stamp.
+        t = Trace(["temp"])
+        t.record(1.0, temp=30.0)
+        t.record(1.5, temp=31.0)
+        t.record(1.5, temp=32.0)
+        assert len(t) == 2
+        assert t.times()[-1] == 1.5
+        assert t.column("temp")[-1] == 32.0
+        assert np.all(np.diff(t.times()) > 0)
+
+    def test_same_stamp_overwrite_refreshes_views(self):
+        t = Trace(["temp"])
+        t.record(1.0, temp=30.0)
+        t.column("temp")  # populate the view cache
+        t.record(1.0, temp=40.0)
+        assert t.column("temp")[-1] == 40.0
+        assert len(t) == 1
+
     def test_growth_beyond_initial_capacity(self):
         t = Trace(["temp"])
         for i in range(2000):
