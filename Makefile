@@ -1,6 +1,6 @@
 # Convenience targets; all assume the package is installed (see README).
 
-.PHONY: test check check-update-golden bench bench-fast bench-batch bench-crowd smoke-telemetry validate calibrate examples all
+.PHONY: test check check-update-golden bench bench-fast bench-batch bench-crowd bench-backend smoke-telemetry validate calibrate examples all
 
 test:
 	pytest tests/
@@ -32,6 +32,12 @@ bench-batch:
 # REPRO_BENCH_CROWD_FULL=1 for the 10^6 run); writes BENCH_crowd.json.
 bench-crowd:
 	pytest benchmarks/test_perf_crowd.py -q -s
+
+# Execution backend transport A/B: shared-memory vs pickled results on
+# a traced fleet, result-byte accounting, and crowd memory flatness on
+# the shared-memory backend; writes BENCH_backend.json.
+bench-backend:
+	pytest benchmarks/test_perf_backend.py -q -s
 
 # Live-telemetry smoke: a streamed crowd run scraped over HTTP mid-run;
 # asserts advancing /status, parseable /metrics, round-tripping manifest.

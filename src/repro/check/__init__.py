@@ -34,6 +34,7 @@ from repro.check.differential import (
     Pairing,
     Tolerance,
     ToleranceSpec,
+    backend_pairing,
     batch_pairing,
     crowd_stream_pairing_report,
     default_crowd_differential_config,
@@ -77,6 +78,7 @@ __all__ = [
     "Pairing",
     "Tolerance",
     "ToleranceSpec",
+    "backend_pairing",
     "batch_pairing",
     "crowd_stream_pairing_report",
     "default_crowd_differential_config",

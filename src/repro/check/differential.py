@@ -373,7 +373,10 @@ class Pairing:
     throttle, a heterogeneous fleet) stay declarative.  ``models``, when
     set, overrides the caller's model list for this pairing — a factory
     that ignores its model argument (the mixed fleet) pairs it with a
-    single descriptive label.
+    single descriptive label.  ``compare_traces`` extends the comparison
+    from scalar result fields to the raw trace sample buffers — the gate
+    the backend pairings use, since a result transport that corrupted a
+    trace byte could still agree on every derived scalar.
     """
 
     name: str
@@ -386,6 +389,7 @@ class Pairing:
     jobs_b: int = 1
     fleet_factory: Optional[Callable[[CampaignConfig, str], List]] = None
     models: Optional[Tuple[str, ...]] = None
+    compare_traces: bool = False
 
     def __post_init__(self) -> None:
         if self.config_a == self.config_b and self.jobs_a == self.jobs_b:
@@ -445,6 +449,36 @@ def jobs_pairing(base: CampaignConfig, jobs: int) -> Pairing:
         spec=EXACT_SPEC,
         jobs_a=1,
         jobs_b=jobs,
+    )
+
+
+def backend_pairing(
+    base: CampaignConfig,
+    backend_a: str,
+    backend_b: str,
+    jobs_a: int = 1,
+    jobs_b: int = 2,
+) -> Pairing:
+    """Two execution backends on the same campaign — bit-identical down
+    to the raw trace bytes.
+
+    Both sides keep full traces so the shared-memory transport's attach
+    path is actually exercised and diffed; an explicit backend name is
+    honored even at one job (``shared-memory`` with ``jobs_b=1`` runs a
+    one-worker pool with the full segment transport, which is exactly
+    the coverage wanted).
+    """
+    traced = _with_protocol(base, keep_traces=True)
+    return Pairing(
+        name=f"backend-{backend_a}-vs-{backend_b}-j{jobs_b}",
+        label_a=f"{backend_a}/j{jobs_a}",
+        label_b=f"{backend_b}/j{jobs_b}",
+        config_a=replace(traced, backend=backend_a),
+        config_b=replace(traced, backend=backend_b),
+        spec=EXACT_SPEC,
+        jobs_a=jobs_a,
+        jobs_b=jobs_b,
+        compare_traces=True,
     )
 
 
@@ -608,8 +642,10 @@ def mixed_fleet_pairing(base: CampaignConfig) -> Pairing:
 
 def default_pairings(base: CampaignConfig) -> Tuple[Pairing, ...]:
     """The standard battery: euler↔expm, serial↔{2,4} jobs, ff on↔off,
-    serial↔batched engine, plus the batch-eligibility parity matrix
-    (invariants on, memory-bounded, skin-throttled, mixed fleet)."""
+    serial↔batched engine, the batch-eligibility parity matrix
+    (invariants on, memory-bounded, skin-throttled, mixed fleet), plus
+    the execution-backend parity matrix (in-process ↔ process-pool ↔
+    shared-memory at 1, 2 and 4 jobs, traces included)."""
     return (
         solver_pairing(base),
         jobs_pairing(base, 2),
@@ -620,6 +656,10 @@ def default_pairings(base: CampaignConfig) -> Tuple[Pairing, ...]:
         batch_memory_bound_pairing(base),
         batch_skin_throttle_pairing(base),
         mixed_fleet_pairing(base),
+        backend_pairing(base, "in-process", "process-pool", jobs_a=1, jobs_b=2),
+        backend_pairing(base, "in-process", "shared-memory", jobs_a=1, jobs_b=1),
+        backend_pairing(base, "in-process", "shared-memory", jobs_a=1, jobs_b=2),
+        backend_pairing(base, "process-pool", "shared-memory", jobs_a=4, jobs_b=4),
     )
 
 
@@ -662,6 +702,57 @@ class DifferentialReport:
         if hidden > 0:
             lines.append(f"    ... and {hidden} more divergence(s)")
         return "\n".join(lines)
+
+
+def _compare_result_traces(
+    spec: ToleranceSpec, a: ExperimentResult, b: ExperimentResult
+) -> Tuple[int, List[Divergence]]:
+    """Diff every kept trace; returns (traces compared, divergences).
+
+    Equality is checked on the raw sample buffers first — the cheap path
+    a correct transport always takes — and only a mismatch pays for the
+    per-sample walk that names the first diverging channel and phase.
+    """
+    compared = 0
+    divergences: List[Divergence] = []
+    for da, db in zip(a.devices, b.devices):
+        for index, (ia, ib) in enumerate(zip(da.iterations, db.iterations)):
+            ta, tb = ia.trace, ib.trace
+            if ta is None and tb is None:
+                continue
+            context = f"{da.model} {da.serial} iter {index} trace"
+            if ta is None or tb is None:
+                divergences.append(
+                    Divergence(
+                        field="trace-present",
+                        context=context,
+                        value_a=float(ta is not None),
+                        value_b=float(tb is not None),
+                    )
+                )
+                continue
+            compared += 1
+            if (
+                ta.samples().tobytes() == tb.samples().tobytes()
+                and list(ta.phases) == list(tb.phases)
+                and ta.open_phase == tb.open_phase
+            ):
+                continue
+            detail = spec.compare_trace(ta, tb, context=context)
+            if detail:
+                divergences.extend(detail)
+            else:
+                # Samples agree but phase annotations do not (or the
+                # per-sample walk could not localize the byte diff).
+                divergences.append(
+                    Divergence(
+                        field="trace-bytes",
+                        context=context,
+                        value_a=float(len(ta)),
+                        value_b=float(len(tb)),
+                    )
+                )
+    return compared, divergences
 
 
 def run_pairing(
@@ -709,6 +800,12 @@ def run_pairing(
             for device in result_a.devices
             for it in device.iterations
         )
+        if pairing.compare_traces:
+            traced, trace_divergences = _compare_result_traces(
+                pairing.spec, result_a, result_b
+            )
+            compared += traced
+            divergences.extend(trace_divergences)
     return DifferentialReport(
         name=pairing.name,
         label_a=pairing.label_a,

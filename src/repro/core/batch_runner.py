@@ -69,6 +69,38 @@ def batch_ineligibility_reason(
     return None
 
 
+def shard_bounds(fleet: Sequence[Device], jobs: int) -> List[int]:
+    """Cut points slicing a batched fleet into contiguous shards.
+
+    This is the one place batched task sizing is decided (the runner and
+    any future dispatcher call it rather than re-deriving the policy): at
+    most ``jobs`` shards so every worker gets one, each at least
+    :data:`MIN_AUTO_BATCH_UNITS` units so the batched step's fixed numpy
+    cost still amortizes.  On a mixed-model fleet the cuts snap to model
+    boundaries — a per-model cohort block split across shards would
+    shrink its GEMM batch on both sides.  Units are never reordered:
+    ``fleet[bounds[i]:bounds[i+1]]`` slices reassemble in fleet order.
+    """
+    shard_count = max(1, min(jobs, len(fleet) // MIN_AUTO_BATCH_UNITS))
+    bounds = [
+        round(i * len(fleet) / shard_count) for i in range(shard_count + 1)
+    ]
+    changes = [
+        i
+        for i in range(1, len(fleet))
+        if fleet[i].spec.name != fleet[i - 1].spec.name
+    ]
+    if changes:
+        snapped = [0]
+        for cut in bounds[1:-1]:
+            nearest = min(changes, key=lambda boundary: abs(boundary - cut))
+            if nearest > snapped[-1]:
+                snapped.append(nearest)
+        snapped.append(len(fleet))
+        bounds = snapped
+    return bounds
+
+
 def run_batch(
     devices: Sequence[Device],
     experiment: ExperimentSpec,

@@ -78,6 +78,12 @@ class CrowdConfig:
         The ambient-probe cycle lengths.
     root_seed:
         Seed for population sampling.
+    backend:
+        Execution backend for streamed cohort dispatch (see
+        :mod:`repro.core.backends`).  Backends move results without
+        shaping them, so this field is excluded from the checkpoint
+        fingerprint — a campaign checkpointed on one backend resumes
+        bit-identically on another.
     """
 
     model: str = "Nexus 5"
@@ -99,8 +105,12 @@ class CrowdConfig:
     probe_heat_s: float = 90.0
     probe_observe_s: float = 600.0
     root_seed: int = DEFAULT_ROOT_SEED
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
+        from repro.core.backends import validate_backend
+
+        validate_backend(self.backend)
         if self.user_count < 1:
             raise ConfigurationError("user_count must be at least 1")
         low, high = self.ambient_range_c

@@ -42,8 +42,6 @@ import hashlib
 import json
 import os
 import time
-from collections import deque
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from math import ceil
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -55,6 +53,7 @@ from repro.core.ambient_estimation import (
     DEFAULT_PROBE_SKIP_FRACTION,
     estimate_ambient,
 )
+from repro.core.backends import resolve_backend, validate_backend
 from repro.core.batch_runner import run_batch_iteration
 from repro.core.crowd import (
     CrowdConfig,
@@ -69,7 +68,7 @@ from repro.core.crowd import (
     probe_drop_reason,
 )
 from repro.core.experiments import unconstrained
-from repro.core.parallel import CrowdCohortTask, execute_task_payload
+from repro.core.parallel import CrowdCohortTask
 from repro.core.streaming import (
     BinRecoveryCounter,
     QuantileBank,
@@ -443,8 +442,13 @@ def _config_fingerprint(
     reservoir_capacity: int,
 ) -> str:
     """Stable hash of everything that shapes the stream's trajectory."""
+    config_dict = asdict(config)
+    # The execution backend moves results without shaping them (the
+    # differential backend pairings gate exactly that), so a checkpoint
+    # written on one backend must resume on any other.
+    config_dict.pop("backend", None)
     payload = {
-        "config": asdict(config),
+        "config": config_dict,
         "cohort_size": cohort_size,
         "ambient_band_c": list(ambient_band_c),
         "min_r_squared": min_r_squared,
@@ -539,6 +543,7 @@ def run_streaming_crowd_study(
     watchdog: Optional[Watchdog] = None,
     manifest_path: Optional[str] = None,
     log: Optional[Callable[[str], None]] = None,
+    backend: Optional[str] = None,
 ) -> CrowdStreamResult:
     """Run (or resume) the §VI crowd campaign as a cohort stream.
 
@@ -550,9 +555,14 @@ def run_streaming_crowd_study(
     cohort_size:
         Users advanced per lock-step batch.
     jobs:
-        Worker processes; cohorts are prefetched a bounded window ahead
-        and always *fold* in population order, so results are identical
-        for any worker count.
+        Worker processes; the execution backend prefetches cohorts a
+        bounded window ahead, and completions always *fold* in population
+        order, so results are identical for any worker count.
+    backend:
+        Execution backend name (see :mod:`repro.core.backends`);
+        ``None`` defers to ``config.backend``.  Checkpoints are
+        backend-agnostic — the backend is excluded from the campaign
+        fingerprint — and results are bit-identical on every backend.
     checkpoint_path:
         When given: resume from it if it exists, write it every
         ``checkpoint_every`` folded cohorts.
@@ -601,6 +611,9 @@ def run_streaming_crowd_study(
         raise ConfigurationError("checkpoint_every must be at least 1")
     if jobs < 1:
         raise ConfigurationError("jobs must be at least 1")
+    backend_name = validate_backend(
+        backend if backend is not None else getattr(config, "backend", "auto")
+    )
 
     fingerprint = _config_fingerprint(
         config, cohort_size, ambient_band_c, min_r_squared, reservoir_capacity
@@ -750,6 +763,8 @@ def run_streaming_crowd_study(
                         )
 
     collect = registry.enabled
+    effective_jobs = max(1, min(jobs, end_cohort - start_cohort))
+    engine = resolve_backend(backend_name, effective_jobs)
     with registry.span(
         "crowd.stream",
         model=crowd_model_label(config),
@@ -757,33 +772,27 @@ def run_streaming_crowd_study(
         cohort_size=cohort_size,
         jobs=jobs,
     ):
-        if jobs == 1 or end_cohort - start_cohort <= 1:
-            for index in range(start_cohort, end_cohort):
-                fold(
-                    index,
-                    execute_task_payload(
-                        make_task(index), collect_metrics=collect
-                    ),
-                )
-        else:
-            window = jobs + _PREFETCH
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                in_flight: deque = deque()
-                next_index = start_cohort
-                while in_flight or next_index < end_cohort:
-                    while next_index < end_cohort and len(in_flight) < window:
-                        task = make_task(next_index)
-                        in_flight.append(
-                            (
-                                next_index,
-                                pool.submit(
-                                    execute_task_payload, task, collect
-                                ),
-                            )
-                        )
-                        next_index += 1
-                    index, future = in_flight.popleft()
-                    fold(index, future.result())
+        # The backend yields in completion order with a bounded in-flight
+        # window; a small reorder buffer (never larger than the window)
+        # restores strict population order before folding.  Payloads are
+        # dropped the moment they fold, so parent memory tracks the
+        # window, not the campaign.
+        task_iter = (make_task(i) for i in range(start_cohort, end_cohort))
+        pending: Dict[int, Any] = {}
+        next_fold = start_cohort
+        try:
+            for offset_index, payload in engine.execute(
+                task_iter,
+                effective_jobs,
+                collect_metrics=collect,
+                window=effective_jobs + _PREFETCH,
+            ):
+                pending[start_cohort + offset_index] = payload
+                while next_fold in pending:
+                    fold(next_fold, pending.pop(next_fold))
+                    next_fold += 1
+        finally:
+            engine.close()
 
     wall_s = time.perf_counter() - started_wall
     result = CrowdStreamResult(

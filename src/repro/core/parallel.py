@@ -19,15 +19,22 @@ Results are bit-identical to a serial run regardless of worker count:
 * Devices are fully constructed in the parent process and shipped to
   workers by pickling, which round-trips generator state, thermal state and
   numpy buffers exactly.
-* :func:`run_tasks` submits every task individually and consumes
-  completions with ``as_completed`` — so the parent can merge worker
-  telemetry and report progress the moment each task lands — but results
-  are reassembled into a list keyed by submission index, so the returned
-  order (and every value in it) is independent of which worker finishes
-  first.
+* :func:`run_tasks` hands tasks to an
+  :class:`~repro.core.backends.ExecutionBackend` and consumes completions
+  as they land — so the parent can merge worker telemetry and report
+  progress the moment each task completes — but results are reassembled
+  into a list keyed by submission index, so the returned order (and every
+  value in it) is independent of which worker finishes first.
 
-``jobs == 1`` (or a single task) bypasses the pool entirely and runs
-in-process — that path is byte-for-byte the sequential campaign loop.
+*Where* tasks run is a pluggable :mod:`repro.core.backends` choice
+(in-process, process pool, or the zero-copy shared-memory pool), selected
+by :attr:`CampaignConfig.backend` — results are bit-identical under every
+backend, a contract ``repro.check.differential``'s backend pairings gate
+unconditionally.  ``tasks`` may be any iterable: the backend pulls
+lazily, keeping a bounded in-flight window, so huge campaigns never
+enqueue (or pickle) every task upfront.  With ``"auto"`` (the default),
+``jobs == 1`` — or a single task — bypasses pools entirely and runs
+in-process: byte-for-byte the sequential campaign loop.
 
 Telemetry
 ---------
@@ -43,9 +50,17 @@ completion — in completion order, which is the whole point.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.core.experiments import ExperimentSpec
 from repro.core.results import DeviceResult
@@ -83,6 +98,10 @@ class DeviceTask:
     ambient_c: Optional[float] = None
     iterations: Optional[int] = None
     supply_voltage: Optional[float] = None
+
+    @property
+    def result_count(self) -> int:
+        return 1
 
 
 @dataclass(frozen=True)
@@ -221,61 +240,86 @@ def _run(task: "Task") -> List[DeviceResult]:
 
 
 def run_tasks(
-    tasks: Sequence["Task"],
+    tasks: Iterable["Task"],
     jobs: int,
     progress: Optional[ProgressCallback] = None,
+    backend: Optional[Union[str, "Any"]] = None,
 ) -> List[DeviceResult]:
-    """Execute tasks over ``jobs`` worker processes, preserving task order.
+    """Execute tasks over an execution backend, preserving task order.
 
     ``jobs`` must already be resolved to a concrete positive count (the
-    runner maps ``0`` to the machine's core count before calling).  With one
-    job or one task the pool is bypassed and everything runs in-process.
+    runner maps ``0`` to the machine's core count before calling).
+    ``backend`` is a :data:`~repro.core.backends.BACKEND_NAMES` name
+    (``None`` means ``"auto"``: in-process at one effective job, the
+    zero-copy shared-memory pool otherwise) or an already constructed
+    :class:`~repro.core.backends.ExecutionBackend` — a caller-owned
+    instance is used as-is and not closed here, so a long campaign can
+    keep one worker pool across dispatches.
 
-    Completions are consumed as they land: worker metric snapshots merge
-    into the parent's default registry and ``progress`` fires per unit
-    result, while the returned list stays in submission order — a
-    :class:`BatchTask`'s per-unit results flatten in place of the shard.
+    ``tasks`` may be a lazy iterable: the backend pulls at most a bounded
+    window ahead of completions, and the per-task result-count/offset
+    bookkeeping (the single place task sizing is resolved) grows as tasks
+    are drawn.  Completions are consumed as they land: worker metric
+    snapshots merge into the parent's default registry and ``progress``
+    fires per unit result, while the returned list stays in submission
+    order — a :class:`BatchTask`'s per-unit results flatten in place of
+    the shard.  Only each payload's results are retained; the payload
+    itself (metrics snapshot included) is dropped as soon as it is
+    absorbed, so parent memory tracks the in-flight window.
     """
+    from repro.core.backends import ExecutionBackend, resolve_backend
+
     if jobs < 1:
         raise ConfigurationError("jobs must be at least 1")
-    items = list(tasks)
-    sizes = [
-        task.result_count if isinstance(task, BatchTask) else 1 for task in items
-    ]
-    offsets = [0] * len(items)
-    for i in range(1, len(items)):
-        offsets[i] = offsets[i - 1] + sizes[i - 1]
-    total = sum(sizes)
     registry = default_registry()
     collect = registry.enabled
-    payloads: List[Optional[TaskPayload]] = [None] * len(items)
-    workers = min(jobs, len(items))
-    if workers <= 1:
-        completed = 0
-        for index, task in enumerate(items):
-            payload = execute_task_payload(task, collect_metrics=collect)
-            payloads[index] = payload
-            completed += sizes[index]
-            _absorb(registry, payload, progress, offsets[index], completed, total)
+    if isinstance(tasks, Sequence):
+        known_total: Optional[int] = sum(
+            task.result_count for task in tasks
+        )
+        effective = min(jobs, max(len(tasks), 1))
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(execute_task_payload, task, collect): index
-                for index, task in enumerate(items)
-            }
-            completed = 0
-            for future in as_completed(futures):
-                index = futures[future]
-                payload = future.result()
-                payloads[index] = payload
-                completed += sizes[index]
-                _absorb(
-                    registry, payload, progress, offsets[index], completed, total
-                )
+        known_total = None
+        effective = jobs
+
+    owned: Optional[ExecutionBackend] = None
+    if backend is None or isinstance(backend, str):
+        owned = resolve_backend(backend or "auto", effective)
+        engine: ExecutionBackend = owned
+    else:
+        engine = backend
+
+    sizes: List[int] = []
+    offsets: List[int] = []
+    produced = 0
+
+    def annotated() -> Iterable["Task"]:
+        # Sizing/offset bookkeeping happens exactly once, here, as the
+        # backend draws tasks — call sites never duplicate it.
+        nonlocal produced
+        for task in tasks:
+            sizes.append(task.result_count)
+            offsets.append(produced)
+            produced += task.result_count
+            yield task
+
+    slots: Dict[int, List[DeviceResult]] = {}
+    completed = 0
+    try:
+        for index, payload in engine.execute(
+            annotated(), effective, collect_metrics=collect
+        ):
+            slots[index] = payload.results
+            completed += sizes[index]
+            total = known_total if known_total is not None else produced
+            _absorb(
+                registry, payload, progress, offsets[index], completed, total
+            )
+    finally:
+        if owned is not None:
+            owned.close()
     return [
-        result
-        for payload in payloads  # type: ignore[union-attr]
-        for result in payload.results
+        result for index in range(len(sizes)) for result in slots.pop(index)
     ]
 
 

@@ -14,7 +14,11 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.batch_runner import MIN_AUTO_BATCH_UNITS, batch_ineligibility_reason
+from repro.core.batch_runner import (
+    MIN_AUTO_BATCH_UNITS,
+    batch_ineligibility_reason,
+    shard_bounds,
+)
 from repro.core.config import AccubenchConfig
 from repro.core.experiments import ExperimentSpec, fixed_frequency, unconstrained
 from repro.core.parallel import BatchTask, DeviceTask, Task, run_tasks
@@ -58,10 +62,17 @@ class CampaignConfig:
     jobs:
         Worker processes for fleet/study execution: ``1`` (default) runs
         the classic serial loop, ``N > 1`` fans independent units out over
-        a process pool, ``0`` means "all cores".  Values above the
+        a worker pool, ``0`` means "all cores".  Values above the
         machine's core count are clamped at resolution time (a per-call
         ``jobs`` override is honored as given).  Results are identical
         regardless (see :mod:`repro.core.parallel`).
+    backend:
+        Execution backend for multi-process dispatch (see
+        :mod:`repro.core.backends`): ``"auto"`` (default) runs in-process
+        at one effective job and on the zero-copy shared-memory pool
+        otherwise; ``"in-process"``, ``"process-pool"`` and
+        ``"shared-memory"`` force a substrate.  Results are bit-identical
+        under every backend.
     """
 
     accubench: AccubenchConfig = field(default_factory=AccubenchConfig)
@@ -71,10 +82,14 @@ class CampaignConfig:
     monsoon_voltage: Optional[float] = None
     root_seed: int = DEFAULT_ROOT_SEED
     jobs: int = 1
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
+        from repro.core.backends import validate_backend
+
         if self.jobs < 0:
             raise ConfigurationError("jobs must be non-negative (0 = all cores)")
+        validate_backend(self.backend)
         require_finite(
             "CampaignConfig",
             ambient_c=self.ambient_c,
@@ -196,7 +211,14 @@ class CampaignRunner:
         tasks = self._fleet_tasks(
             fleet, experiment, resolved, ambient_c=ambient_c, iterations=iterations
         )
-        results = tuple(run_tasks(tasks, resolved, progress=self.progress))
+        results = tuple(
+            run_tasks(
+                tasks,
+                resolved,
+                progress=self.progress,
+                backend=self.config.backend,
+            )
+        )
         return ExperimentResult(model=model, workload=experiment.name, devices=results)
 
     def run_model(
@@ -303,14 +325,11 @@ class CampaignRunner:
         Ineligible fleets silently fall back to the serial per-unit path —
         batching is a performance choice, never a correctness one.
 
-        Batched fleets are cut into at most ``jobs`` contiguous shards (one
-        :class:`BatchTask` each, at least ``MIN_AUTO_BATCH_UNITS`` units per
-        shard) so a multi-process run keeps every worker fed while each
-        shard still amortizes the batched step's fixed cost.  On a
-        mixed-model fleet the cuts snap to model boundaries, keeping every
-        per-model cohort block contiguous within one shard (a model split
-        across shards would shrink its GEMM batch on both sides); units
-        are never reordered, so results still come back in fleet order.
+        Batched fleets are cut into shards by
+        :func:`repro.core.batch_runner.shard_bounds` — the single home of
+        the batched task-sizing policy (shard count, minimum units per
+        shard, model-boundary snapping); units are never reordered, so
+        results still come back in fleet order.
         """
         mode = self.config.accubench.batch
         eligible = (
@@ -332,23 +351,7 @@ class CampaignRunner:
                 )
                 for device in fleet
             ]
-        shard_count = max(1, min(jobs, len(fleet) // MIN_AUTO_BATCH_UNITS))
-        bounds = [
-            round(i * len(fleet) / shard_count) for i in range(shard_count + 1)
-        ]
-        changes = [
-            i
-            for i in range(1, len(fleet))
-            if fleet[i].spec.name != fleet[i - 1].spec.name
-        ]
-        if changes:
-            snapped = [0]
-            for cut in bounds[1:-1]:
-                nearest = min(changes, key=lambda boundary: abs(boundary - cut))
-                if nearest > snapped[-1]:
-                    snapped.append(nearest)
-            snapped.append(len(fleet))
-            bounds = snapped
+        bounds = shard_bounds(fleet, jobs)
         return [
             BatchTask(
                 devices=tuple(fleet[bounds[i] : bounds[i + 1]]),
@@ -376,7 +379,9 @@ class CampaignRunner:
             fleet = self._build_fleet(model, None, None)
             counts.append(len(fleet))
             tasks.extend(self._fleet_tasks(fleet, experiment, jobs))
-        results = run_tasks(tasks, jobs, progress=self.progress)
+        results = run_tasks(
+            tasks, jobs, progress=self.progress, backend=self.config.backend
+        )
         experiments: List[ExperimentResult] = []
         cursor = 0
         for (model, experiment), count in zip(plan, counts):

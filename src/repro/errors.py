@@ -40,6 +40,10 @@ class ObservabilityError(ReproError):
     """The metrics/span layer was misused or fed a malformed document."""
 
 
+class BackendError(ReproError):
+    """An execution backend's worker pool or result transport failed."""
+
+
 class CheckError(ReproError):
     """The correctness harness (:mod:`repro.check`) was misused or failed."""
 

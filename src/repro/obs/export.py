@@ -161,6 +161,30 @@ def format_summary(source: MetricsSource) -> str:
         width = max(len(name) for name in counters)
         for name, value in counters.items():
             lines.append(f"  {name:<{width}s}  {value:,.10g}")
+    # Result-transport digest: how task results travelled back from the
+    # workers (pickle stream vs zero-copy shared-memory attach).  The raw
+    # counters are in the table above; this section derives the split.
+    transport = {
+        name: value
+        for name, value in (counters or {}).items()
+        if name.startswith("transport.")
+    }
+    if transport:
+        lines.append("result transport")
+        pickled = transport.get("transport.pickle_bytes", 0.0)
+        shm = transport.get("transport.shm_bytes", 0.0)
+        tasks = transport.get("transport.task_pickle_bytes", 0.0)
+        attached = int(transport.get("transport.traces_attached", 0.0))
+        copied = int(transport.get("transport.traces_copied", 0.0))
+        lines.append(f"  pickled bytes        {pickled:,.0f}")
+        if tasks:
+            lines.append(f"  task pickle bytes    {tasks:,.0f}")
+        lines.append(f"  shared-memory bytes  {shm:,.0f}")
+        lines.append(f"  traces               {attached} attached, {copied} copied")
+        if shm + pickled > 0:
+            lines.append(
+                f"  zero-copy fraction   {shm / (shm + pickled):.1%}"
+            )
     gauges = document["gauges"]
     if gauges:
         lines.append("gauges")

@@ -18,7 +18,7 @@ hand out cached read-only array views invalidated on append, so repeated
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,6 +61,7 @@ class Trace:
         "_views",
         "_phases",
         "_open_phase",
+        "_owner",
     )
 
     def __init__(
@@ -84,11 +85,81 @@ class Trace:
         self._views: Dict[int, np.ndarray] = {}
         self._phases: List[PhaseSpan] = []
         self._open_phase: Optional[Tuple[str, float]] = None
+        self._owner: Optional[Any] = None
+
+    @classmethod
+    def from_samples(
+        cls,
+        channels: Sequence[str],
+        samples: np.ndarray,
+        phases: Sequence[PhaseSpan] = (),
+        open_phase: Optional[Tuple[str, float]] = None,
+        owner: Optional[Any] = None,
+    ) -> "Trace":
+        """Adopt an existing ``(rows, len(channels) + 1)`` sample block.
+
+        The attach half of zero-copy result transport: ``samples`` may be a
+        view into memory the trace does not allocate (a shared-memory
+        segment, a memmapped spill file), and ``owner`` is whatever object
+        must stay alive for that memory to remain mapped — the trace holds
+        it until the buffer is next grown or the trace is collected.  The
+        block is adopted as-is (no copy); rows must already be in strictly
+        increasing time order, which transported traces are by construction.
+        """
+        trace = cls(channels, capacity=1)
+        if samples.ndim != 2 or samples.shape[1] != len(trace._channels) + 1:
+            raise ConfigurationError(
+                "sample block must be 2-D with one column per channel "
+                f"plus time; got shape {samples.shape} for "
+                f"{len(trace._channels)} channel(s)"
+            )
+        rows = samples.shape[0]
+        if rows:
+            trace._buffer = samples
+            trace._size = rows
+            trace._owner = owner
+        trace._phases = list(phases)
+        trace._open_phase = open_phase
+        return trace
 
     @property
     def channels(self) -> Tuple[str, ...]:
         """Declared channel names."""
         return self._channels
+
+    @property
+    def open_phase(self) -> Optional[Tuple[str, float]]:
+        """The ``(name, start_s)`` of a phase begun but not yet ended."""
+        return self._open_phase
+
+    def samples(self) -> np.ndarray:
+        """The live ``(len(self), channels + 1)`` sample block (no copy).
+
+        Column 0 is time; declared channels follow in order.  This is the
+        transport/export surface — treat it as read-only unless you own
+        the trace.
+        """
+        return self._buffer[: self._size]
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Pickle only live rows: capacity slack, cached views and any
+        # foreign buffer owner never travel across a process boundary.
+        return {
+            "channels": self._channels,
+            "samples": np.ascontiguousarray(self._buffer[: self._size]),
+            "phases": list(self._phases),
+            "open_phase": self._open_phase,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        restored = Trace.from_samples(
+            state["channels"],
+            state["samples"],
+            phases=state["phases"],
+            open_phase=state["open_phase"],
+        )
+        for slot in Trace.__slots__:
+            setattr(self, slot, getattr(restored, slot))
 
     def __len__(self) -> int:
         return self._size
@@ -265,4 +336,7 @@ class Trace:
         grown = np.empty((self._buffer.shape[0] * 2, self._buffer.shape[1]))
         grown[: self._size] = self._buffer[: self._size]
         self._buffer = grown
+        # Growth copies the samples onto the heap, so a foreign buffer
+        # (shared-memory segment, spill memmap) can be released now.
+        self._owner = None
         return grown

@@ -72,6 +72,10 @@ class TestPairings:
             "batch-memory-bound",
             "batch-skin-throttle",
             "batch-mixed-fleet",
+            "backend-in-process-vs-process-pool-j2",
+            "backend-in-process-vs-shared-memory-j1",
+            "backend-in-process-vs-shared-memory-j2",
+            "backend-process-pool-vs-shared-memory-j4",
         ]
 
     def test_invariants_pairing_arms_both_sides(self):

@@ -10,12 +10,15 @@ The scenario pairings that gate the lifted batch-eligibility
 restrictions get mutants of their own: a biased batched skin-throttle
 state machine, a biased memory-bounded roofline share, and a biased
 vectorized invariant integral must each be flagged by the pairing (or
-checker) that claims to guard it.
+checker) that claims to guard it.  The execution-backend pairings get a
+transport mutant: a corrupted sample in the shared-memory attach path
+must be flagged by the trace-byte comparison.
 """
 
 import pytest
 
 from repro.check.differential import (
+    backend_pairing,
     batch_invariants_pairing,
     batch_memory_bound_pairing,
     batch_pairing,
@@ -155,6 +158,48 @@ class TestMutationDetection:
             "mean_freq_mhz",
             "max_cpu_temp_c",
         }
+
+    def test_corrupted_shm_attach_is_flagged(self, monkeypatch):
+        # Flip one sample value as the shared-memory transport attaches a
+        # trace in the parent.  Every scalar result field still agrees
+        # (they were computed in the worker, before transport), so only
+        # the backend pairing's trace-byte comparison can catch it —
+        # proving that gate is live.  The seam runs parent-side, which is
+        # why a plain monkeypatch reaches it despite the worker pool.
+        import repro.core.backends as backends
+
+        original = backends._attach_trace
+
+        def corrupted(channels, samples, phases, open_phase, owner):
+            if samples.size:
+                samples[0, -1] += 0.5
+            return original(channels, samples, phases, open_phase, owner)
+
+        monkeypatch.setattr(backends, "_attach_trace", corrupted)
+        report = run_pairing(
+            backend_pairing(
+                tiny_base(), "in-process", "shared-memory", jobs_a=1, jobs_b=2
+            ),
+            [MODEL],
+            iterations=1,
+        )
+        assert not report.passed, (
+            "the backend pairing failed to flag a corrupted shared-memory "
+            "trace attach"
+        )
+        assert all("trace" in d.context for d in report.divergences), [
+            d.describe() for d in report.divergences
+        ]
+
+    def test_unmutated_backend_pairing_passes(self):
+        report = run_pairing(
+            backend_pairing(
+                tiny_base(), "in-process", "shared-memory", jobs_a=1, jobs_b=2
+            ),
+            [MODEL],
+            iterations=1,
+        )
+        assert report.passed, report.render()
 
     def test_biased_vectorized_invariant_integral_is_flagged(self, monkeypatch):
         # Corrupt the vectorized checker's own energy integral: the

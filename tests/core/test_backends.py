@@ -1,0 +1,273 @@
+"""Pluggable execution backends: parity, windows, transport, failures.
+
+The headline contract (gated unconditionally, not env-gated): every
+backend at every worker count produces bit-identical
+:class:`DeviceResult` lists — trace sample bytes and phase annotations
+included — because *where* a task ran and *how* its results travelled
+must never be observable in the results.  Around that sit the plumbing
+contracts: lazy task iterables are pulled through a bounded in-flight
+window, transport telemetry counts what actually moved, shared-memory
+segments and spill files never leak (success, abort or discard), and a
+worker exception surfaces in the parent as itself, chained from
+:class:`BackendError` with the worker traceback.
+"""
+
+import gc
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.backends import (
+    BACKEND_NAMES,
+    InProcessBackend,
+    ProcessPoolBackend,
+    SharedMemoryBackend,
+    default_window,
+    resolve_backend,
+    validate_backend,
+)
+from repro.core.config import AccubenchConfig
+from repro.core.experiments import unconstrained
+from repro.core.parallel import CrowdCohortTask, DeviceTask, run_tasks
+from repro.core.runner import CampaignConfig
+from repro.core.serialize import device_to_dict
+from repro.device.fleet import synthetic_fleet
+from repro.errors import BackendError, ConfigurationError
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+MODEL = "Nexus 5"
+
+#: Every concrete backend name (``auto`` resolves to one of these).
+CONCRETE = ("in-process", "process-pool", "shared-memory")
+
+
+def traced_config() -> CampaignConfig:
+    config = CampaignConfig(accubench=AccubenchConfig().scaled(0.02))
+    return replace(
+        config, accubench=replace(config.accubench, keep_traces=True)
+    )
+
+
+def fleet_tasks(count: int = 4, root_seed: int = 11):
+    config = traced_config()
+    return [
+        DeviceTask(
+            device=device,
+            experiment=unconstrained(),
+            config=config,
+            iterations=1,
+        )
+        for device in synthetic_fleet(MODEL, count=count, root_seed=root_seed)
+    ]
+
+
+def digest(results):
+    """Scalar fields plus raw trace bytes — the full parity surface."""
+    scalars = [
+        json.dumps(device_to_dict(result), sort_keys=True)
+        for result in results
+    ]
+    traces = [
+        (
+            iteration.trace.samples().tobytes(),
+            iteration.trace.phases,
+            iteration.trace.open_phase,
+        )
+        for result in results
+        for iteration in result.iterations
+        if iteration.trace is not None
+    ]
+    assert traces, "parity fixture must actually carry traces"
+    return scalars, traces
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return digest(run_tasks(fleet_tasks(), jobs=1, backend="in-process"))
+
+
+class TestParity:
+    """Bit-identical results for any backend and any jobs count."""
+
+    @pytest.mark.parametrize("backend", CONCRETE)
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_results_identical_with_trace_bytes(
+        self, backend, jobs, reference
+    ):
+        results = run_tasks(fleet_tasks(), jobs=jobs, backend=backend)
+        assert digest(results) == reference
+
+    def test_auto_matches_explicit(self, reference):
+        assert digest(run_tasks(fleet_tasks(), jobs=2)) == reference
+
+    def test_caller_owned_backend_survives_dispatches(self, reference):
+        # A constructed instance is used as-is and not closed by
+        # run_tasks, so one worker pool serves consecutive dispatches.
+        with SharedMemoryBackend() as backend:
+            first = run_tasks(fleet_tasks(), jobs=2, backend=backend)
+            second = run_tasks(fleet_tasks(), jobs=2, backend=backend)
+        assert digest(first) == reference
+        assert digest(second) == reference
+
+
+class TestWindow:
+    """Lazy iterables are pulled at most ``window`` ahead of completions."""
+
+    def test_shared_memory_backend_bounds_drawn_tasks(self):
+        tasks = fleet_tasks(count=6)
+        drawn = []
+
+        def lazy():
+            for index, task in enumerate(tasks):
+                drawn.append(index)
+                yield task
+
+        completed = 0
+        with SharedMemoryBackend() as backend:
+            for _index, _payload in backend.execute(lazy(), 2, window=2):
+                completed += 1
+                # At most window tasks beyond the completions consumed.
+                assert len(drawn) <= completed + 2
+        assert completed == len(tasks)
+
+    def test_in_process_backend_draws_one_at_a_time(self):
+        tasks = fleet_tasks(count=3)
+        drawn = []
+
+        def lazy():
+            for index, task in enumerate(tasks):
+                drawn.append(index)
+                yield task
+
+        completed = 0
+        for _index, _payload in InProcessBackend().execute(lazy(), 1):
+            completed += 1
+            assert len(drawn) == completed
+        assert completed == len(tasks)
+
+
+class TestSpill:
+    def test_zero_budget_spills_and_leaves_no_files(
+        self, tmp_path, reference
+    ):
+        # A zero RSS budget forces every trace block through the memmapped
+        # spill path; results stay bit-identical and the spill files are
+        # unlinked as soon as the parent maps them.
+        backend = SharedMemoryBackend(rss_budget_mb=0, spill_dir=str(tmp_path))
+        with backend:
+            results = run_tasks(fleet_tasks(), jobs=2, backend=backend)
+        assert digest(results) == reference
+        assert list(tmp_path.glob("*.traces")) == []
+
+    def test_live_attached_bytes_follow_trace_lifetime(self):
+        backend = SharedMemoryBackend()
+        with backend:
+            results = run_tasks(fleet_tasks(count=2), jobs=2, backend=backend)
+            assert backend.live_attached_bytes > 0
+            del results
+            gc.collect()
+            assert backend.live_attached_bytes == 0
+
+
+class TestTransportTelemetry:
+    def run_with_registry(self, backend):
+        with use_registry(MetricsRegistry(enabled=True)) as registry:
+            results = run_tasks(fleet_tasks(), jobs=2, backend=backend)
+        trace_count = sum(
+            1
+            for result in results
+            for iteration in result.iterations
+            if iteration.trace is not None and len(iteration.trace)
+        )
+        return registry.snapshot()["counters"], trace_count
+
+    def test_shared_memory_attaches_instead_of_copying(self):
+        counters, traces = self.run_with_registry("shared-memory")
+        assert counters["transport.traces_attached"] == traces
+        assert counters["transport.shm_bytes"] > 0
+        assert counters.get("transport.traces_copied", 0) == 0
+        # (The pickled-vs-shm byte *ratio* is a trace-heavy workload
+        # claim; benchmarks/test_perf_backend.py asserts it at scale.)
+
+    def test_process_pool_copies_every_trace(self):
+        counters, traces = self.run_with_registry("process-pool")
+        assert counters["transport.traces_copied"] == traces
+        assert counters["transport.pickle_bytes"] > 0
+        assert counters.get("transport.shm_bytes", 0) == 0
+        assert counters.get("transport.traces_attached", 0) == 0
+
+
+class TestFailures:
+    def test_worker_exception_propagates_as_itself(self):
+        from repro.core.crowd import CrowdConfig
+
+        # An empty cohort is rejected inside execute_cohort — in the
+        # worker process — and must surface in the parent as the same
+        # exception type, chained from BackendError with the traceback.
+        bad = CrowdCohortTask(cohort_index=0, config=CrowdConfig(), users=())
+        with pytest.raises(ConfigurationError) as info:
+            run_tasks([bad, bad], jobs=2, backend="shared-memory")
+        assert isinstance(info.value.__cause__, BackendError)
+        assert "worker traceback" in str(info.value.__cause__)
+
+    def test_abandoned_stream_tears_down_and_pool_rebuilds(self):
+        # A consumer that walks away mid-stream (upstream exception)
+        # must not leave stale completions to collide with the next
+        # dispatch: the pool is torn down and lazily rebuilt.
+        backend = SharedMemoryBackend()
+        with backend:
+            stream = backend.execute(iter(fleet_tasks(count=4)), 2)
+            next(stream)
+            stream.close()
+            results = run_tasks(
+                fleet_tasks(count=2), jobs=2, backend=backend
+            )
+        assert len(results) == 2
+
+    def test_close_is_idempotent(self):
+        backend = SharedMemoryBackend()
+        list(backend.execute(iter(fleet_tasks(count=1)), 1))
+        backend.close()
+        backend.close()
+
+
+class TestResolution:
+    def test_backend_names(self):
+        assert BACKEND_NAMES == (
+            "auto",
+            "in-process",
+            "process-pool",
+            "shared-memory",
+        )
+
+    def test_validate_returns_known_names(self):
+        for name in BACKEND_NAMES:
+            assert validate_backend(name) == name
+        with pytest.raises(ConfigurationError):
+            validate_backend("bogus")
+
+    def test_auto_resolution(self):
+        assert isinstance(resolve_backend("auto", 1), InProcessBackend)
+        with resolve_backend("auto", 2) as parallel:
+            assert isinstance(parallel, SharedMemoryBackend)
+        with resolve_backend("process-pool", 2) as pool:
+            assert isinstance(pool, ProcessPoolBackend)
+        # Explicit names are honored even at one job: the parity
+        # pairings rely on a 1-worker pool with full transport.
+        with resolve_backend("shared-memory", 1) as shm:
+            assert isinstance(shm, SharedMemoryBackend)
+
+    def test_default_window_adds_prefetch(self):
+        assert default_window(1) == 3
+        assert default_window(4) == 6
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(backend="bogus")
+        with pytest.raises(ConfigurationError):
+            run_tasks([], jobs=1, backend="bogus")
+        assert CampaignConfig(backend="shared-memory").backend == (
+            "shared-memory"
+        )

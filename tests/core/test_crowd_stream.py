@@ -195,6 +195,75 @@ class TestMixedModelResume:
             assert resumed.to_dict() == expected
 
 
+class TestExecutionBackends:
+    """The pluggable backend never shows in crowd results or checkpoints."""
+
+    def test_backend_does_not_change_results(self, micro_config, full_run):
+        result, _ = full_run
+        for backend in ("in-process", "process-pool", "shared-memory"):
+            run = run_streaming_crowd_study(
+                micro_config, cohort_size=3, jobs=2, backend=backend
+            )
+            assert run.to_dict() == result.to_dict(), backend
+
+    def test_config_backend_drives_execution(self, micro_config, full_run):
+        result, _ = full_run
+        configured = replace(micro_config, backend="shared-memory")
+        run = run_streaming_crowd_study(configured, cohort_size=3, jobs=2)
+        assert run.to_dict() == result.to_dict()
+
+    def test_kill_and_resume_on_shared_memory_backend(
+        self, micro_config, full_run, tmp_path
+    ):
+        # Interrupt a shared-memory campaign mid-flight (the checkpoint
+        # idiom for a kill: stop after 2 folded cohorts, worker pool torn
+        # down with completions still pending) and resume on the same
+        # backend — bit-identical to the uninterrupted serial reference.
+        result, _ = full_run
+        path = str(tmp_path / "crowd-shm.ckpt")
+        partial = run_streaming_crowd_study(
+            micro_config, cohort_size=3, checkpoint_path=path,
+            stop_after_cohorts=2, jobs=2, backend="shared-memory",
+        )
+        assert not partial.complete
+        assert partial.cohorts_completed == 2
+        resumed = run_streaming_crowd_study(
+            micro_config, cohort_size=3, checkpoint_path=path,
+            jobs=2, backend="shared-memory",
+        )
+        assert resumed.complete
+        assert resumed.resumed_from_cohort == 2
+        expected = dict(result.to_dict(), resumed_from_cohort=2)
+        assert resumed.to_dict() == expected
+
+    def test_checkpoint_resumes_across_backends(
+        self, micro_config, full_run, tmp_path
+    ):
+        # The backend is excluded from the checkpoint fingerprint: a
+        # checkpoint written under the default backend resumes under
+        # shared-memory, because transport cannot change the results.
+        result, _ = full_run
+        path = str(tmp_path / "cross.ckpt")
+        run_streaming_crowd_study(
+            micro_config, cohort_size=3, checkpoint_path=path,
+            stop_after_cohorts=1,
+        )
+        resumed = run_streaming_crowd_study(
+            micro_config, cohort_size=3, checkpoint_path=path,
+            jobs=2, backend="shared-memory",
+        )
+        assert resumed.complete
+        assert resumed.resumed_from_cohort == 1
+        expected = dict(result.to_dict(), resumed_from_cohort=1)
+        assert resumed.to_dict() == expected
+
+    def test_rejects_unknown_backend(self, micro_config):
+        with pytest.raises(ConfigurationError):
+            run_streaming_crowd_study(micro_config, backend="bogus")
+        with pytest.raises(ConfigurationError):
+            CrowdConfig(backend="bogus")
+
+
 class TestDropAccounting:
     def test_short_observe_drops_everyone_like_serial(self, micro_config):
         # 50 s of 5 s polls → 10 samples, 6 after the 40% head skip —

@@ -187,3 +187,65 @@ class TestSummaries:
         counts, edges = trace.histogram("temp", bins=5)
         assert counts.sum() == 10
         assert len(edges) == 6
+
+
+class TestTransportSurface:
+    """The attach/pickle API zero-copy result transport is built on."""
+
+    def test_from_samples_adopts_block_without_copy(self):
+        base = Trace(["a"])
+        base.append(0.0, [1.0])
+        base.append(1.0, [2.0])
+        block = np.ascontiguousarray(base.samples())
+        adopted = Trace.from_samples(("a",), block)
+        assert len(adopted) == 2
+        assert np.shares_memory(adopted.samples(), block)
+        assert list(adopted.column("a")) == [1.0, 2.0]
+
+    def test_append_after_adoption_grows_onto_heap_and_drops_owner(self):
+        class Owner:
+            pass
+
+        owner = Owner()
+        block = np.array([[0.0, 1.0], [1.0, 2.0]])
+        adopted = Trace.from_samples(("a",), block, owner=owner)
+        assert adopted._owner is owner
+        # The adopted block is at capacity, so the first append copies the
+        # samples onto the heap — the foreign buffer can be unmapped.
+        adopted.append(2.0, [3.0])
+        assert adopted._owner is None
+        assert not np.shares_memory(adopted.samples(), block)
+        assert len(adopted) == 3
+
+    def test_pickle_ships_live_rows_only(self):
+        import pickle
+
+        t = Trace(["a", "b"], capacity=64)
+        t.begin_phase("warm", 0.0)
+        t.append(0.0, [1.0, 2.0])
+        t.append(0.5, [3.0, 4.0])
+        t.end_phase(0.5)
+        t.begin_phase("load", 0.5)
+        clone = pickle.loads(pickle.dumps(t))
+        assert clone.channels == t.channels
+        assert np.array_equal(clone.samples(), t.samples())
+        assert clone.phases == t.phases
+        assert clone.open_phase == t.open_phase
+        # Capacity slack never travels: the clone's buffer is exactly its
+        # live rows.
+        assert clone._buffer.shape[0] == len(clone)
+
+    def test_empty_trace_round_trips_and_stays_appendable(self):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(Trace(["a"])))
+        assert len(clone) == 0
+        clone.append(0.0, [1.0])
+        clone.append(1.0, [2.0])
+        assert len(clone) == 2
+
+    def test_from_samples_rejects_mismatched_block(self):
+        with pytest.raises(ConfigurationError):
+            Trace.from_samples(("a",), np.zeros((3, 3)))
+        with pytest.raises(ConfigurationError):
+            Trace.from_samples(("a",), np.zeros(4))
